@@ -1,0 +1,196 @@
+package fast
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation (one Benchmark per experiment, driving internal/exp at a
+// reduced scale so `go test -bench=.` completes in minutes), plus
+// micro-benchmarks of the pipeline's stages. cmd/fastbench runs the same
+// experiments at full laptop scale and prints the tables.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/internal/baseline"
+	"fastmatch/internal/core"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/exp"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/host"
+	"fastmatch/internal/order"
+	"fastmatch/ldbc"
+)
+
+// benchExpConfig keeps experiment benchmarks affordable while preserving
+// every shape the experiments measure.
+func benchExpConfig() exp.Config {
+	return exp.Config{
+		BasePersons:  100,
+		Seed:         42,
+		Timeout:      2 * time.Second,
+		GPUMemBudget: 64 << 20,
+		BRAMBytes:    128 << 10,
+		BatchSize:    128,
+	}
+}
+
+// runExperiment is the shared body of the per-figure benchmarks. The
+// experiments that walk the DG60-scale ladder (fig9/10/16/17) run at a
+// further reduced base so the whole suite stays within a CI budget;
+// cmd/fastbench regenerates them at full laptop scale.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := benchExpConfig()
+	switch name {
+	case "fig9", "fig10", "fig16", "fig17":
+		cfg.BasePersons = 40
+		cfg.Queries = []string{"q0", "q2", "q4", "q8"}
+	case "fig14":
+		cfg.Queries = []string{"q0", "q2", "q4", "q5", "q8"}
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(name, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		for _, t := range tables {
+			t.Render(io.Discard)
+		}
+	}
+}
+
+// --- One benchmark per table / figure (DESIGN.md's experiment index). ---
+
+func BenchmarkTable3Datasets(b *testing.B)           { runExperiment(b, "table3") }
+func BenchmarkFig7DRAMvsBRAM(b *testing.B)           { runExperiment(b, "fig7") }
+func BenchmarkFig8PartitionFactor(b *testing.B)      { runExperiment(b, "fig8") }
+func BenchmarkFig9PartitionSize(b *testing.B)        { runExperiment(b, "fig9") }
+func BenchmarkFig10PartitionTime(b *testing.B)       { runExperiment(b, "fig10") }
+func BenchmarkFig11TaskParallelism(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFig12GeneratorSeparation(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkFig13CPUShare(b *testing.B)            { runExperiment(b, "fig13") }
+func BenchmarkFig14Comparison(b *testing.B)          { runExperiment(b, "fig14") }
+func BenchmarkFig15Orders(b *testing.B)              { runExperiment(b, "fig15") }
+func BenchmarkFig16ScaleFactor(b *testing.B)         { runExperiment(b, "fig16") }
+func BenchmarkFig17EdgeSampling(b *testing.B)        { runExperiment(b, "fig17") }
+func BenchmarkNoSweep(b *testing.B)                  { runExperiment(b, "ablation-no") }
+func BenchmarkCycleModelAblation(b *testing.B)       { runExperiment(b, "ablation-cycles") }
+
+// --- Micro-benchmarks of the pipeline's stages. ---
+
+func benchWorkload(b *testing.B) (*graph.Query, *graph.Graph) {
+	b.Helper()
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 3, BasePersons: 100, Seed: 42})
+	q, err := ldbc.QueryByName("q5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q, g
+}
+
+func BenchmarkCSTBuild(b *testing.B) {
+	q, g := benchWorkload(b)
+	root := order.SelectRoot(q, g)
+	tree := order.BuildBFSTree(q, root)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cst.Build(q, g, tree)
+		if c.IsEmpty() {
+			b.Fatal("empty CST")
+		}
+	}
+}
+
+func BenchmarkWorkloadEstimate(b *testing.B) {
+	q, g := benchWorkload(b)
+	tree := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := cst.EstimateWorkload(c); w <= 0 {
+			b.Fatal("zero workload")
+		}
+	}
+}
+
+func BenchmarkCSTPartition(b *testing.B) {
+	q, g := benchWorkload(b)
+	tree := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tree)
+	o := order.PathBased(tree, c)
+	pc := cst.PartitionConfig{MaxSizeBytes: c.SizeBytes()/8 + 64, MaxCandDegree: 1 << 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := cst.Partition(c, o, pc, func(*cst.CST) {}); n < 2 {
+			b.Fatalf("only %d partitions", n)
+		}
+	}
+}
+
+// BenchmarkKernel benchmarks each hardware variant's full kernel execution
+// (real enumeration plus cycle accounting) on the same CST.
+func BenchmarkKernel(b *testing.B) {
+	q, g := benchWorkload(b)
+	tree := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tree)
+	o := order.PathBased(tree, c)
+	dev := fpgasim.DefaultConfig()
+	for _, v := range core.Variants() {
+		b.Run(v.String(), func(b *testing.B) {
+			var emb int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(c, o, core.Options{Variant: v, Config: dev})
+				if err != nil {
+					b.Fatal(err)
+				}
+				emb = res.Count
+			}
+			b.ReportMetric(float64(emb), "embeddings")
+		})
+	}
+}
+
+// BenchmarkBaselines measures each comparison algorithm on the same query.
+func BenchmarkBaselines(b *testing.B) {
+	q, g := benchWorkload(b)
+	for _, name := range []string{"backtrack", "CFL", "CECI", "DAF", "GpSM", "GSI"} {
+		alg := baseline.Registry()[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg(q, g, baseline.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEnd measures the whole pipeline per variant, reporting
+// embeddings per second of host wall time.
+func BenchmarkEndToEnd(b *testing.B) {
+	q, g := benchWorkload(b)
+	for _, v := range []core.Variant{core.VariantBasic, core.VariantSep} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := host.Match(q, g, host.Config{Variant: v})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Embeddings == 0 {
+					b.Fatal("no embeddings")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLDBCGenerate measures dataset generation throughput.
+func BenchmarkLDBCGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 200, Seed: int64(i)})
+		if g.NumVertices() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

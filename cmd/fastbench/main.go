@@ -1,0 +1,99 @@
+// Command fastbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fastbench -list
+//	fastbench -exp fig14
+//	fastbench -exp all -base 200 -timeout 10s -out results.txt
+//
+// Each experiment prints one or more aligned text tables; EXPERIMENTS.md
+// maps them back to the paper's figures and records the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fastmatch/internal/exp"
+)
+
+func main() {
+	var (
+		name    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		base    = flag.Int("base", 0, "BasePersons scale knob (default 200)")
+		seed    = flag.Int64("seed", 0, "generator seed (default 42)")
+		timeout = flag.Duration("timeout", 0, "per-baseline time limit (default 10s)")
+		budget  = flag.Int64("gpumem", 0, "GPU memory budget in MB for GSI/GpSM (default 64)")
+		queries = flag.String("queries", "", "comma-separated query filter (e.g. q2,q5)")
+		out     = flag.String("out", "", "write results to file instead of stdout")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range exp.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "fastbench: -exp required (or -list); e.g. -exp fig14")
+		os.Exit(2)
+	}
+
+	cfg := exp.Config{
+		BasePersons: *base,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	}
+	if *budget > 0 {
+		cfg.GPUMemBudget = *budget << 20
+	}
+	if *queries != "" {
+		cfg.Queries = strings.Split(*queries, ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fastbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = exp.Names()
+	}
+	for _, n := range names {
+		start := time.Now()
+		tables, err := exp.Run(n, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastbench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Fprintf(w, "# %s\n", t.ID)
+				if err := t.RenderCSV(w); err != nil {
+					fmt.Fprintln(os.Stderr, "fastbench:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintln(w)
+			} else {
+				t.Render(w)
+			}
+		}
+		if *format != "csv" {
+			fmt.Fprintf(w, "[%s completed in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command fastmatch runs one subgraph-matching query through the CPU–FPGA
+// pipeline (or a baseline) and prints counts and a timing breakdown.
+//
+// Usage:
+//
+//	fastmatch -data graph.txt -query query.txt
+//	fastmatch -dataset DG03 -q q5 -variant share -fpgas 2
+//	fastmatch -dataset DG01 -q q2 -engine CECI -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	fast "fastmatch"
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "data graph file (text or binary format)")
+		queryPath = flag.String("query", "", "query graph file (text format)")
+		dataset   = flag.String("dataset", "", "generated dataset instead of -data: DG01/DG03/DG10/DG60")
+		base      = flag.Int("base", 200, "BasePersons for generated datasets")
+		qname     = flag.String("q", "", "benchmark query instead of -query: q0…q8")
+		engine    = flag.String("engine", "FAST", "FAST or a baseline: backtrack, CFL, DAF, CECI, GpSM, GSI")
+		variant   = flag.String("variant", "share", "FAST variant: dram, basic, task, sep, share")
+		fpgas     = flag.Int("fpgas", 1, "number of simulated FPGA cards")
+		delta     = flag.Float64("delta", 0, "CPU workload share δ override")
+		threads   = flag.Int("threads", 1, "threads for baseline engines (e.g. 8 for CECI-8)")
+		timeout   = flag.Duration("timeout", 0, "baseline time limit")
+		verbose   = flag.Bool("v", false, "print per-phase details")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *queryPath, *dataset, *base, *qname, *engine, *variant,
+		*fpgas, *delta, *threads, *timeout, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "fastmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, queryPath, dataset string, base int, qname, engine, variant string,
+	fpgas int, delta float64, threads int, timeout time.Duration, verbose bool) error {
+
+	// Load or generate the data graph.
+	var g *graph.Graph
+	switch {
+	case dataPath != "":
+		var err error
+		if g, err = graph.LoadFile(dataPath); err != nil {
+			return err
+		}
+	case dataset != "":
+		cfg, err := ldbc.Dataset(dataset)
+		if err != nil {
+			return err
+		}
+		cfg.BasePersons = base
+		g = ldbc.Generate(cfg)
+	default:
+		return fmt.Errorf("need -data or -dataset")
+	}
+
+	// Load or pick the query.
+	var q *graph.Query
+	switch {
+	case queryPath != "":
+		f, err := os.Open(queryPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if q, err = graph.ReadQueryText(queryPath, f); err != nil {
+			return err
+		}
+	case qname != "":
+		var err error
+		if q, err = ldbc.QueryByName(qname); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -query or -q")
+	}
+
+	fmt.Printf("data:  %v\n", g)
+	fmt.Printf("query: %v\n", q)
+
+	if engine != "FAST" {
+		res, err := fast.RunBaseline(fast.Baseline(engine), q, g, fast.BaselineOptions{
+			Threads: threads,
+			Timeout: timeout,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine %s: %d embeddings in %v (peak memory %d B)\n",
+			engine, res.Count, res.Elapsed.Round(time.Microsecond), res.PeakMemory)
+		return nil
+	}
+
+	res, err := fast.Match(q, g, &fast.Options{
+		Variant:  fast.Variant(variant),
+		NumFPGAs: fpgas,
+		Delta:    delta,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("FAST (%s, %d card(s)): %d embeddings in %v\n",
+		variant, fpgas, res.Count, res.Total.Round(time.Microsecond))
+	if verbose {
+		fmt.Printf("  CST build:      %v\n", res.BuildTime.Round(time.Microsecond))
+		fmt.Printf("  partition:      %v (%d partitions, %d to CPU)\n",
+			res.PartitionTime.Round(time.Microsecond), res.Partitions, res.CPUPartitions)
+		fmt.Printf("  PCIe transfer:  %v\n", res.TransferTime.Round(time.Microsecond))
+		fmt.Printf("  FPGA kernels:   %v (%d cycles)\n", res.FPGATime.Round(time.Microsecond), res.KernelCycles)
+		fmt.Printf("  CPU share:      %v\n", res.CPUShareTime.Round(time.Microsecond))
+		fmt.Printf("  CST bytes:      %d (data graph %d)\n", res.CSTBytes, res.DataBytes)
+	}
+	return nil
+}

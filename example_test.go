@@ -1,0 +1,65 @@
+package fast_test
+
+import (
+	"fmt"
+
+	fast "fastmatch"
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+// ExampleMatch runs the paper's Fig. 1 query end to end through the
+// CPU–FPGA pipeline.
+func ExampleMatch() {
+	// Fig. 1(b)'s data graph (labels A=0 B=1 C=2 D=3 E=4, 0-based ids).
+	b := graph.NewBuilder(12, 14)
+	for _, l := range []graph.Label{0, 0, 2, 1, 2, 1, 2, 3, 3, 3, 4, 4} {
+		b.AddVertex(l)
+	}
+	for _, e := range [][2]graph.VertexID{
+		{0, 3}, {0, 2}, {0, 6}, {3, 2}, {2, 8}, {1, 5}, {1, 4},
+		{5, 4}, {5, 6}, {4, 9}, {6, 9}, {5, 7}, {6, 10}, {8, 11},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.MustBuild()
+	q := graph.MustQuery("fig1", []graph.Label{0, 1, 2, 3},
+		[][2]graph.QueryVertex{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+
+	res, err := fast.Match(q, g, &fast.Options{CollectEmbeddings: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("embeddings:", res.Count)
+	for _, e := range res.Embeddings {
+		fmt.Println(e)
+	}
+	// Output:
+	// embeddings: 2
+	// [0 3 2 8]
+	// [1 5 4 9]
+}
+
+// ExampleRunBaseline compares FAST's count with a CPU baseline.
+func ExampleRunBaseline() {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 42})
+	q, _ := ldbc.QueryByName("q2")
+
+	pipeline, _ := fast.Match(q, g, nil)
+	ceci, _ := fast.RunBaseline(fast.BaselineCECI, q, g, fast.BaselineOptions{})
+	fmt.Println("counts agree:", pipeline.Count == ceci.Count)
+	// Output:
+	// counts agree: true
+}
+
+// ExampleEstimateWorkload shows the scheduler's workload DP, which upper
+// bounds the true embedding count (false positives are ignored).
+func ExampleEstimateWorkload() {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 42})
+	q, _ := ldbc.QueryByName("q0")
+	w := fast.EstimateWorkload(q, g)
+	n, _ := fast.Count(q, g)
+	fmt.Println("estimate bounds count:", w >= float64(n))
+	// Output:
+	// estimate bounds count: true
+}

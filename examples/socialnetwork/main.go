@@ -1,0 +1,42 @@
+// Socialnetwork: generate an LDBC-SNB-like graph and run the paper's nine
+// benchmark queries (Fig. 6) with FAST and two CPU baselines, printing a
+// small Fig. 14-style comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	fast "fastmatch"
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+func main() {
+	cfg := ldbc.Config{ScaleFactor: 3, BasePersons: 200, Seed: 42}
+	g := ldbc.Generate(cfg)
+	fmt.Println("generated:", graph.ComputeStats("DG03-small", g))
+	fmt.Println()
+	fmt.Printf("%-5s %12s %12s %12s %12s\n", "query", "#emb", "FAST", "CECI", "DAF")
+
+	for _, q := range ldbc.Queries() {
+		res, err := fast.Match(q, g, nil)
+		if err != nil {
+			log.Fatalf("%s: %v", q.Name(), err)
+		}
+		row := fmt.Sprintf("%-5s %12d %12v", q.Name(), res.Count, res.Total.Round(time.Microsecond))
+		for _, b := range []fast.Baseline{fast.BaselineCECI, fast.BaselineDAF} {
+			br, err := fast.RunBaseline(b, q, g, fast.BaselineOptions{Timeout: 30 * time.Second})
+			switch {
+			case err != nil:
+				row += fmt.Sprintf(" %12s", "INF")
+			case br.Count != res.Count:
+				log.Fatalf("%s: %s found %d, FAST found %d", q.Name(), b, br.Count, res.Count)
+			default:
+				row += fmt.Sprintf(" %12v", br.Elapsed.Round(time.Microsecond))
+			}
+		}
+		fmt.Println(row)
+	}
+}

@@ -1,0 +1,116 @@
+package fast
+
+import (
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+// TestEdgeLabeledFacade: the Section II extension is reachable through the
+// public API and agrees with the oracle.
+func TestEdgeLabeledFacade(t *testing.T) {
+	b := graph.NewBuilder(6, 4)
+	p1 := b.AddVertex(0)
+	p2 := b.AddVertex(0)
+	m1 := b.AddVertex(1)
+	m2 := b.AddVertex(1)
+	m3 := b.AddVertex(1)
+	b.AddEdgeLabeled(p1, m1, 1)
+	b.AddEdgeLabeled(p1, m2, 2)
+	b.AddEdgeLabeled(p2, m2, 1)
+	b.AddEdgeLabeled(p2, m3, 2)
+	g := b.MustBuild()
+
+	q := graph.MustQuery("labeled-wedge", []graph.Label{0, 1, 1},
+		[][2]graph.QueryVertex{{0, 1}, {0, 2}})
+	if err := q.SetEdgeLabel(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.SetEdgeLabel(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Match(q, g, &Options{CollectEmbeddings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := RunBaseline(BaselineBacktrack, q, g, BaselineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != oracle.Count {
+		t.Errorf("FAST %d vs oracle %d", res.Count, oracle.Count)
+	}
+	if res.Count != 2 { // (p1,m1,m2) and (p2,m2,m3)
+		t.Errorf("count = %d, want 2", res.Count)
+	}
+	for _, e := range res.Embeddings {
+		if err := graph.VerifyEmbedding(q, g, e); err != nil {
+			t.Errorf("invalid: %v", err)
+		}
+	}
+}
+
+func TestDefaultDeviceMirrorsPaper(t *testing.T) {
+	d := DefaultDevice()
+	if d.ClockMHz != 300 {
+		t.Errorf("clock %v, want the paper's 300 MHz", d.ClockMHz)
+	}
+	if d.BRAMBytes != 35<<20 {
+		t.Errorf("BRAM %d, want 35 MB", d.BRAMBytes)
+	}
+	if d.DRAMBytes != 64<<30 {
+		t.Errorf("DRAM %d, want 64 GB", d.DRAMBytes)
+	}
+	if d.PCIeGBps != 16 {
+		t.Errorf("PCIe %v GB/s, want 16", d.PCIeGBps)
+	}
+}
+
+func TestMatchMultiFPGAFacade(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 42})
+	q, _ := ldbc.QueryByName("q5")
+	dev := DefaultDevice()
+	dev.BRAMBytes = 64 << 10
+	dev.BatchSize = 128
+	one, err := Match(q, g, &Options{Device: dev, NumFPGAs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Match(q, g, &Options{Device: dev, NumFPGAs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Count != four.Count {
+		t.Errorf("multi-FPGA changed count: %d vs %d", one.Count, four.Count)
+	}
+	if one.Partitions >= 4 && four.FPGATime >= one.FPGATime {
+		t.Errorf("4 cards not faster: %v vs %v", four.FPGATime, one.FPGATime)
+	}
+}
+
+func TestAllVariantsListedAndDistinct(t *testing.T) {
+	seen := map[Variant]bool{}
+	for _, v := range AllVariants() {
+		if seen[v] {
+			t.Errorf("duplicate variant %s", v)
+		}
+		seen[v] = true
+		if _, _, err := v.toCore(); err != nil {
+			t.Errorf("%s: %v", v, err)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("got %d variants", len(seen))
+	}
+}
+
+func TestAnalyzeCSTAgainstDevice(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 42})
+	q, _ := ldbc.QueryByName("q7")
+	s := AnalyzeCST(q, g)
+	// The CST must be a fraction of the data graph (Fig. 9: < 60%).
+	if s.SizeBytes <= 0 || float64(s.SizeBytes) > 2*float64(g.SizeBytes()) {
+		t.Errorf("CST size %d vs graph %d", s.SizeBytes, g.SizeBytes())
+	}
+}

@@ -1,0 +1,312 @@
+// Package fast is the public API of this reproduction of "FAST: FPGA-based
+// Subgraph Matching on Massive Graphs" (ICDE 2021). It exposes the
+// CPU–FPGA co-designed matching pipeline (CST construction, partitioning,
+// workload-balanced scheduling, and the pipelined FAST kernel running on a
+// cycle-accurate FPGA device model), the paper's CPU and GPU-style baseline
+// algorithms, and the LDBC-like benchmark workloads — everything the
+// examples, command-line tools and benchmark harness consume.
+//
+// Quick start:
+//
+//	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 42})
+//	q, _ := ldbc.QueryByName("q2")
+//	res, err := fast.Match(q, g, nil)
+//	fmt.Println(res.Count, res.Total)
+package fast
+
+import (
+	"fmt"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/internal/baseline"
+	"fastmatch/internal/core"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/host"
+	"fastmatch/internal/order"
+)
+
+// Variant selects the kernel implementation being modelled (Section VI).
+type Variant string
+
+// Kernel variants, in ascending optimisation order. VariantShare is the
+// paper's final configuration ("FAST"): the SEP kernel plus a CPU share of
+// δ = 0.1 (Fig. 13's sweet spot).
+const (
+	VariantDRAM  Variant = "dram"
+	VariantBasic Variant = "basic"
+	VariantTask  Variant = "task"
+	VariantSep   Variant = "sep"
+	VariantShare Variant = "share"
+)
+
+// DefaultDelta is the CPU workload share used by VariantShare.
+const DefaultDelta = 0.1
+
+// AllVariants lists the kernel variants in ascending optimisation order.
+func AllVariants() []Variant {
+	return []Variant{VariantDRAM, VariantBasic, VariantTask, VariantSep, VariantShare}
+}
+
+func (v Variant) toCore() (core.Variant, float64, error) {
+	switch v {
+	case VariantDRAM:
+		return core.VariantDRAM, 0, nil
+	case VariantBasic:
+		return core.VariantBasic, 0, nil
+	case VariantTask:
+		return core.VariantTask, 0, nil
+	case VariantSep, "":
+		return core.VariantSep, 0, nil
+	case VariantShare:
+		return core.VariantSep, DefaultDelta, nil
+	}
+	return 0, 0, fmt.Errorf("fast: unknown variant %q", v)
+}
+
+// DeviceConfig describes the simulated FPGA card. The zero value means the
+// paper's Alveo U200 setup (300 MHz, 35 MB BRAM, 64 GB DRAM, PCIe gen3×16).
+type DeviceConfig struct {
+	ClockMHz    float64
+	BRAMBytes   int64
+	DRAMBytes   int64
+	PortMax     int
+	BatchSize   int // the paper's No: partial results expanded per round
+	DRAMLatency int // cycles per random DRAM read (paper: 7–8)
+	PCIeGBps    float64
+}
+
+// DefaultDevice returns the U200-like configuration.
+func DefaultDevice() DeviceConfig {
+	d := fpgasim.DefaultConfig()
+	return DeviceConfig{
+		ClockMHz:    d.ClockMHz,
+		BRAMBytes:   d.BRAMBytes,
+		DRAMBytes:   d.DRAMBytes,
+		PortMax:     d.PortMax,
+		BatchSize:   d.No,
+		DRAMLatency: d.DRAMLatency,
+		PCIeGBps:    d.PCIeGBps,
+	}
+}
+
+func (dc DeviceConfig) toSim() fpgasim.Config {
+	cfg := fpgasim.DefaultConfig()
+	if dc.ClockMHz > 0 {
+		cfg.ClockMHz = dc.ClockMHz
+	}
+	if dc.BRAMBytes > 0 {
+		cfg.BRAMBytes = dc.BRAMBytes
+	}
+	if dc.DRAMBytes > 0 {
+		cfg.DRAMBytes = dc.DRAMBytes
+	}
+	if dc.PortMax > 0 {
+		cfg.PortMax = dc.PortMax
+	}
+	if dc.BatchSize > 0 {
+		cfg.No = dc.BatchSize
+	}
+	if dc.DRAMLatency > 0 {
+		cfg.DRAMLatency = dc.DRAMLatency
+	}
+	if dc.PCIeGBps > 0 {
+		cfg.PCIeGBps = dc.PCIeGBps
+	}
+	return cfg
+}
+
+// Options configures Match. A nil *Options means VariantShare on the
+// default device.
+type Options struct {
+	Variant  Variant
+	Device   DeviceConfig
+	NumFPGAs int
+	// Delta overrides the CPU workload share δ (ignored unless >= 0; the
+	// VariantShare default is DefaultDelta).
+	Delta float64
+	// Order picks the matching-order strategy: "path" (default), "cfl",
+	// "daf", "ceci".
+	Order string
+	// CollectEmbeddings materialises matches in Result.Embeddings.
+	CollectEmbeddings bool
+}
+
+// Result reports one end-to-end match.
+type Result struct {
+	Count      int64
+	Embeddings []graph.Embedding
+
+	// Phase timings (see host.Report for composition semantics).
+	BuildTime     time.Duration
+	PartitionTime time.Duration
+	TransferTime  time.Duration
+	FPGATime      time.Duration
+	CPUShareTime  time.Duration
+	Total         time.Duration
+
+	Partitions    int
+	CPUPartitions int
+	KernelCycles  int64
+	CSTBytes      int64
+	DataBytes     int64
+}
+
+// Match finds all embeddings of q in g using the CPU–FPGA pipeline.
+func Match(q *graph.Query, g *graph.Graph, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{Variant: VariantShare}
+	}
+	variant, delta, err := opts.Variant.toCore()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Delta > 0 {
+		delta = opts.Delta
+	}
+	cfg := host.Config{
+		Device:   opts.Device.toSim(),
+		NumFPGAs: opts.NumFPGAs,
+		Variant:  variant,
+		Delta:    delta,
+		Strategy: host.OrderStrategy(opts.Order),
+		Collect:  opts.CollectEmbeddings,
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = host.OrderPath
+	}
+	rep, err := host.Match(q, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Count:         rep.Embeddings,
+		Embeddings:    rep.Collected,
+		BuildTime:     rep.BuildTime,
+		PartitionTime: rep.PartitionTime,
+		TransferTime:  rep.TransferTime,
+		FPGATime:      rep.FPGATime,
+		CPUShareTime:  rep.CPUShareTime,
+		Total:         rep.Total,
+		Partitions:    rep.NumPartitions,
+		CPUPartitions: rep.CPUPartitions,
+		KernelCycles:  rep.KernelCycles,
+		CSTBytes:      rep.CSTBytes,
+		DataBytes:     rep.DataBytes,
+	}, nil
+}
+
+// Count returns only the number of embeddings of q in g, using the default
+// pipeline.
+func Count(q *graph.Query, g *graph.Graph) (int64, error) {
+	res, err := Match(q, g, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// Baseline names a comparison algorithm from the paper's evaluation.
+type Baseline string
+
+// The comparison algorithms of Section VII.
+const (
+	BaselineBacktrack Baseline = "backtrack" // plain backtracking oracle
+	BaselineCFL       Baseline = "CFL"       // CFL-Match-like (edge verification)
+	BaselineDAF       Baseline = "DAF"       // DAF-like (candidate space, adaptive order)
+	BaselineCECI      Baseline = "CECI"      // CECI-like (intersection based)
+	BaselineGpSM      Baseline = "GpSM"      // GPU-style edge joins
+	BaselineGSI       Baseline = "GSI"       // GPU-style prealloc-combine joins
+)
+
+// AllBaselines lists the comparison algorithms.
+func AllBaselines() []Baseline {
+	return []Baseline{BaselineBacktrack, BaselineCFL, BaselineDAF, BaselineCECI, BaselineGpSM, BaselineGSI}
+}
+
+// BaselineOptions configures RunBaseline.
+type BaselineOptions struct {
+	// Threads > 1 wraps the algorithm with root-candidate partitioning
+	// (the paper's DAF-8 / CECI-8).
+	Threads int
+	// MemoryBudget bounds the join algorithms' device memory (bytes);
+	// exceeding it returns ErrOOM like a real GPU allocation failure.
+	MemoryBudget int64
+	// Timeout aborts with ErrTimeout (the paper's INF marker).
+	Timeout           time.Duration
+	CollectEmbeddings bool
+}
+
+// Sentinel errors surfaced from baselines.
+var (
+	ErrOOM     = baseline.ErrOOM
+	ErrTimeout = baseline.ErrTimeout
+)
+
+// BaselineResult reports a baseline run.
+type BaselineResult struct {
+	Count      int64
+	Embeddings []graph.Embedding
+	Elapsed    time.Duration
+	PeakMemory int64
+}
+
+// RunBaseline executes one comparison algorithm and measures wall time.
+func RunBaseline(name Baseline, q *graph.Query, g *graph.Graph, opts BaselineOptions) (*BaselineResult, error) {
+	alg, ok := baseline.Registry()[string(name)]
+	if !ok {
+		return nil, fmt.Errorf("fast: unknown baseline %q", name)
+	}
+	if opts.Threads > 1 {
+		alg = baseline.Parallel(alg, opts.Threads)
+	}
+	start := time.Now()
+	res, err := alg(q, g, baseline.Options{
+		Collect:      opts.CollectEmbeddings,
+		MemoryBudget: opts.MemoryBudget,
+		Timeout:      opts.Timeout,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineResult{
+		Count:      res.Count,
+		Embeddings: res.Embeddings,
+		Elapsed:    elapsed,
+		PeakMemory: res.PeakMemory,
+	}, nil
+}
+
+// EstimateWorkload exposes the paper's workload-estimation DP (Section V-C):
+// the number of spanning-tree embeddings in the CST of (q, g), the quantity
+// the scheduler balances between CPU and FPGA.
+func EstimateWorkload(q *graph.Query, g *graph.Graph) float64 {
+	root := order.SelectRoot(q, g)
+	tree := order.BuildBFSTree(q, root)
+	return cst.EstimateWorkload(cst.Build(q, g, tree))
+}
+
+// CSTStats summarises the CST the pipeline would build for (q, g):
+// candidate totals, adjacency entries, size in bytes and the maximum
+// candidate degree the partitioner bounds.
+type CSTStats struct {
+	Candidates int
+	AdjEntries int
+	SizeBytes  int64
+	MaxDegree  int
+}
+
+// AnalyzeCST builds the CST for (q, g) and reports its statistics.
+func AnalyzeCST(q *graph.Query, g *graph.Graph) CSTStats {
+	root := order.SelectRoot(q, g)
+	tree := order.BuildBFSTree(q, root)
+	s := cst.Build(q, g, tree).ComputeStats()
+	return CSTStats{
+		Candidates: s.CandTotal,
+		AdjEntries: s.AdjEntries,
+		SizeBytes:  s.SizeBytes,
+		MaxDegree:  s.MaxDegree,
+	}
+}

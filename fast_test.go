@@ -1,0 +1,184 @@
+package fast
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+func testGraph() *graph.Graph {
+	return ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 42})
+}
+
+func TestMatchDefaults(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q2")
+	res, err := Match(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count <= 0 {
+		t.Errorf("Count = %d", res.Count)
+	}
+	if res.Total <= 0 || res.Partitions < 1 {
+		t.Errorf("result: %+v", res)
+	}
+	n, err := Count(q, g)
+	if err != nil || n != res.Count {
+		t.Errorf("Count() = %d,%v want %d", n, err, res.Count)
+	}
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q5")
+	var want int64 = -1
+	for _, v := range AllVariants() {
+		res, err := Match(q, g, &Options{Variant: v})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if want == -1 {
+			want = res.Count
+		} else if res.Count != want {
+			t.Errorf("%s: %d, want %d", v, res.Count, want)
+		}
+	}
+	if _, err := Match(q, g, &Options{Variant: "warp"}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestVariantShareUsesCPU(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q7")
+	// Tiny BRAM forces many partitions, giving the scheduler something to
+	// share with the CPU.
+	dev := DefaultDevice()
+	dev.BRAMBytes = 1 << 16
+	dev.BatchSize = 64
+	res, err := Match(q, g, &Options{Variant: VariantShare, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions < 2 {
+		t.Skipf("only %d partitions", res.Partitions)
+	}
+	if res.CPUPartitions == 0 {
+		t.Error("VariantShare assigned no CPU work despite many partitions")
+	}
+}
+
+func TestMatchCollectEmbeddings(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q0")
+	res, err := Match(q, g, &Options{CollectEmbeddings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(res.Embeddings)) != res.Count {
+		t.Fatalf("collected %d of %d", len(res.Embeddings), res.Count)
+	}
+	for _, e := range res.Embeddings[:min(len(res.Embeddings), 50)] {
+		if err := graph.VerifyEmbedding(q, g, e); err != nil {
+			t.Fatalf("invalid embedding: %v", err)
+		}
+	}
+}
+
+func TestBaselinesMatchPipeline(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q4")
+	want, err := Count(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range AllBaselines() {
+		res, err := RunBaseline(b, q, g, BaselineOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if res.Count != want {
+			t.Errorf("%s: %d, want %d", b, res.Count, want)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: elapsed %v", b, res.Elapsed)
+		}
+	}
+	if _, err := RunBaseline("nope", q, g, BaselineOptions{}); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestBaselineThreads(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q5")
+	seq, err := RunBaseline(BaselineCECI, q, g, BaselineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBaseline(BaselineCECI, q, g, BaselineOptions{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Count != par.Count {
+		t.Errorf("CECI-8 count %d, CECI %d", par.Count, seq.Count)
+	}
+}
+
+func TestBaselineOOMAndTimeout(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 3, Seed: 42})
+	q, _ := ldbc.QueryByName("q6")
+	if _, err := RunBaseline(BaselineGpSM, q, g, BaselineOptions{MemoryBudget: 1 << 10}); !errors.Is(err, ErrOOM) {
+		t.Errorf("GpSM with 1KB: %v, want ErrOOM", err)
+	}
+	if _, err := RunBaseline(BaselineBacktrack, q, g, BaselineOptions{Timeout: time.Nanosecond}); !errors.Is(err, ErrTimeout) {
+		t.Errorf("1ns timeout: %v, want ErrTimeout", err)
+	}
+}
+
+func TestEstimateWorkloadAndAnalyze(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q1")
+	w := EstimateWorkload(q, g)
+	n, _ := Count(q, g)
+	if w < float64(n) {
+		t.Errorf("workload estimate %v below true count %d", w, n)
+	}
+	s := AnalyzeCST(q, g)
+	if s.Candidates <= 0 || s.SizeBytes <= 0 || s.MaxDegree <= 0 {
+		t.Errorf("AnalyzeCST: %+v", s)
+	}
+}
+
+func TestDeviceConfigKnobs(t *testing.T) {
+	g := testGraph()
+	q, _ := ldbc.QueryByName("q2")
+	slow := DefaultDevice()
+	slow.ClockMHz = 30 // 10× slower clock → 10× the kernel time
+	fastRes, err := Match(q, g, &Options{Variant: VariantSep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRes, err := Match(q, g, &Options{Variant: VariantSep, Device: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRes.Count != fastRes.Count {
+		t.Fatalf("clock changed results")
+	}
+	ratio := float64(slowRes.FPGATime) / float64(fastRes.FPGATime)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("10× clock slowdown gave FPGA-time ratio %.1f", ratio)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"testing"
+)
+
+// labeledTriangle builds A-B-C with edge labels 1 (A-B), 2 (B-C), 3 (A-C).
+func labeledTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3, 3)
+	b.AddVertex(0)
+	b.AddVertex(1)
+	b.AddVertex(2)
+	b.AddEdgeLabeled(0, 1, 1)
+	b.AddEdgeLabeled(1, 2, 2)
+	b.AddEdgeLabeled(0, 2, 3)
+	return b.MustBuild()
+}
+
+func TestEdgeLabelStorage(t *testing.T) {
+	g := labeledTriangle(t)
+	if !g.EdgeLabeled() {
+		t.Fatal("EdgeLabeled false")
+	}
+	cases := []struct {
+		u, v VertexID
+		want EdgeLabel
+	}{
+		{0, 1, 1}, {1, 0, 1}, {1, 2, 2}, {2, 1, 2}, {0, 2, 3}, {2, 0, 3},
+	}
+	for _, c := range cases {
+		got, ok := g.EdgeLabelBetween(c.u, c.v)
+		if !ok || got != c.want {
+			t.Errorf("EdgeLabelBetween(%d,%d) = %d,%v want %d", c.u, c.v, got, ok, c.want)
+		}
+	}
+	if _, ok := g.EdgeLabelBetween(0, 0); ok {
+		t.Error("label on non-edge")
+	}
+	if !g.HasEdgeLabeled(0, 1, WildcardEdgeLabel) {
+		t.Error("wildcard should match")
+	}
+	if !g.HasEdgeLabeled(0, 1, 1) || g.HasEdgeLabeled(0, 1, 2) {
+		t.Error("HasEdgeLabeled wrong")
+	}
+	if labels := g.EdgeLabels(0); len(labels) != 2 {
+		t.Errorf("EdgeLabels(0) = %v", labels)
+	}
+}
+
+func TestUnlabeledGraphWildcards(t *testing.T) {
+	g, err := FromEdgeList([]Label{0, 1}, [][2]VertexID{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeLabeled() {
+		t.Error("unlabeled graph claims labels")
+	}
+	if g.EdgeLabels(0) != nil {
+		t.Error("EdgeLabels non-nil for unlabeled graph")
+	}
+	l, ok := g.EdgeLabelBetween(0, 1)
+	if !ok || l != WildcardEdgeLabel {
+		t.Errorf("unlabeled edge label = %d,%v", l, ok)
+	}
+	if !g.HasEdgeLabeled(0, 1, 5) {
+		t.Error("unlabeled data edge must match any requirement (wildcard storage)")
+	}
+}
+
+func TestEdgeArcsEncodeDirection(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddVertex(0)
+	b.AddVertex(1)
+	b.AddEdgeArcs(0, 1, 7, 8) // 0→1 labelled 7, 1→0 labelled 8
+	g := b.MustBuild()
+	if l, _ := g.EdgeLabelBetween(0, 1); l != 7 {
+		t.Errorf("fwd label = %d", l)
+	}
+	if l, _ := g.EdgeLabelBetween(1, 0); l != 8 {
+		t.Errorf("rev label = %d", l)
+	}
+}
+
+func TestQueryEdgeLabels(t *testing.T) {
+	q := MustQuery("lq", []Label{0, 1}, [][2]QueryVertex{{0, 1}})
+	if q.EdgeLabeled() {
+		t.Error("fresh query claims edge labels")
+	}
+	if err := q.SetEdgeLabel(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !q.EdgeLabeled() || q.EdgeLabel(0, 1) != 4 || q.EdgeLabel(1, 0) != 4 {
+		t.Errorf("labels: %d / %d", q.EdgeLabel(0, 1), q.EdgeLabel(1, 0))
+	}
+	if err := q.SetEdgeArcLabels(0, 1, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if q.EdgeLabel(0, 1) != 5 || q.EdgeLabel(1, 0) != 6 {
+		t.Error("arc labels not stored")
+	}
+	if err := q.SetEdgeLabel(0, 0, 1); err == nil {
+		t.Error("labelled a non-edge")
+	}
+}
+
+func TestVerifyEmbeddingEdgeLabels(t *testing.T) {
+	g := labeledTriangle(t)
+	q := MustQuery("lq", []Label{0, 1}, [][2]QueryVertex{{0, 1}})
+	if err := q.SetEdgeLabel(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEmbedding(q, g, Embedding{0, 1}); err != nil {
+		t.Errorf("matching label rejected: %v", err)
+	}
+	q2 := MustQuery("lq2", []Label{0, 1}, [][2]QueryVertex{{0, 1}})
+	if err := q2.SetEdgeLabel(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEmbedding(q2, g, Embedding{0, 1}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"fastmatch/graph"
+)
+
+// Backtrack is the classical Ullmann-style backtracking matcher: a static
+// connected matching order, label/degree candidate filtering, and pairwise
+// edge verification against the data graph for every earlier query
+// neighbour. No auxiliary structure beyond per-vertex candidate lists. It
+// doubles as the ground-truth oracle for every other engine in the module.
+func Backtrack(q *graph.Query, g *graph.Graph, opts Options) (Result, error) {
+	n := q.NumVertices()
+	cands := make([][]graph.VertexID, n)
+	candCount := make([]int, n)
+	var peak int64
+	for u := 0; u < n; u++ {
+		cands[u] = candidateFilter(q, g, u, opts)
+		candCount[u] = len(cands[u])
+		peak += int64(len(cands[u])) * 4
+		if candCount[u] == 0 {
+			return Result{PeakMemory: peak}, nil
+		}
+	}
+	o := connectedOrder(q, candCount)
+	pos := make([]int, n)
+	for i, u := range o {
+		pos[u] = i
+	}
+	// earlier[i]: query neighbours of o[i] that are matched before it.
+	earlier := make([][]graph.QueryVertex, n)
+	for i, u := range o {
+		for _, w := range q.Neighbors(u) {
+			if pos[w] < i {
+				earlier[i] = append(earlier[i], w)
+			}
+		}
+	}
+
+	col := &collector{opts: opts}
+	mapping := make(graph.Embedding, n)
+	used := make(map[graph.VertexID]bool, n)
+	dl := newDeadline(opts)
+	timedOut := false
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if dl.expired() {
+			timedOut = true
+			return false
+		}
+		if depth == n {
+			return col.add(mapping)
+		}
+		u := o[depth]
+		var pool []graph.VertexID
+		if depth == 0 {
+			pool = cands[u]
+		} else {
+			// Scan the adjacency of the earlier neighbour with the
+			// smallest degree, filtering by candidate membership — the
+			// "edge verification" strategy (cheaper to generate, pays a
+			// HasEdge probe per remaining neighbour).
+			pivot := earlier[depth][0]
+			for _, w := range earlier[depth][1:] {
+				if g.Degree(mapping[w]) < g.Degree(mapping[pivot]) {
+					pivot = w
+				}
+			}
+			pool = g.Neighbors(mapping[pivot])
+		}
+		anchored := opts.AnchorSet != nil && opts.AnchorVertex == u
+	cand:
+		for _, v := range pool {
+			if g.Label(v) != q.Label(u) || g.Degree(v) < q.Degree(u) || used[v] {
+				continue
+			}
+			if anchored && !opts.AnchorSet[v] {
+				continue
+			}
+			for _, w := range earlier[depth] {
+				// Half-edge labels must match in both directions so the
+				// oracle agrees with FAST on edge-labeled and
+				// directed-encoded queries.
+				if !g.HasEdgeLabeled(mapping[w], v, q.EdgeLabel(w, u)) ||
+					!g.HasEdgeLabeled(v, mapping[w], q.EdgeLabel(u, w)) {
+					continue cand
+				}
+			}
+			mapping[u] = v
+			used[v] = true
+			ok := rec(depth + 1)
+			used[v] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	if timedOut {
+		return col.result(peak), ErrTimeout
+	}
+	return col.result(peak), nil
+}

@@ -1,0 +1,206 @@
+// Package baseline implements the comparison algorithms of Section VII:
+// a plain backtracking matcher (the ground-truth oracle), CFL-like
+// (tree-indexed backtracking with pairwise edge verification), CECI-like
+// (intersection-based enumeration), DAF-like (candidate space with an
+// adaptive matching order), and the two GPU-style join strategies GpSM-like
+// (edge-candidate binary joins) and GSI-like (vertex-extending
+// Prealloc-Combine joins) under an explicit device-memory budget that
+// reproduces the paper's OOM behaviour.
+//
+// These are from-scratch Go reimplementations of the *algorithmic families*;
+// the original C++/CUDA systems are not available offline. Comparative
+// shapes (who wins, how costs grow) follow from the strategies, which is
+// what EXPERIMENTS.md relies on.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fastmatch/graph"
+)
+
+// ErrOOM reports that a join-based algorithm exceeded its device-memory
+// budget, the failure mode GSI/GpSM exhibit on larger graphs in Fig. 14.
+var ErrOOM = errors.New("baseline: device memory exceeded")
+
+// ErrTimeout reports that a run exceeded Options.Timeout — the paper's
+// "INF" entries (3-hour limit there; configurable here).
+var ErrTimeout = errors.New("baseline: time limit exceeded")
+
+// Options configures a baseline run.
+type Options struct {
+	// Collect materialises embeddings; otherwise only the count returns.
+	Collect bool
+	// Limit stops after this many embeddings when > 0.
+	Limit int64
+	// MemoryBudget bounds the intermediate tables of the join-based
+	// algorithms (bytes); 0 means unlimited. Backtracking algorithms
+	// ignore it — their footprint is one partial embedding.
+	MemoryBudget int64
+	// Threads is used by Parallel; individual algorithms run single
+	// threaded like the paper's single-thread baselines.
+	Threads int
+	// AnchorVertex/AnchorSet restrict the candidate set of one query
+	// vertex, which is how Parallel carves the search space into disjoint
+	// shares (root-candidate partitioning). AnchorSet == nil disables it.
+	AnchorVertex graph.QueryVertex
+	AnchorSet    map[graph.VertexID]bool
+	// Timeout aborts the run with ErrTimeout (0 = none). Checked every few
+	// thousand search steps, like the wall-clock guard the paper's 3-hour
+	// limit imposes on the original binaries.
+	Timeout time.Duration
+}
+
+// deadline tracks a cheap, amortised timeout check.
+type deadline struct {
+	at    time.Time
+	ticks uint32
+}
+
+func newDeadline(opts Options) *deadline {
+	if opts.Timeout <= 0 {
+		return &deadline{}
+	}
+	return &deadline{at: time.Now().Add(opts.Timeout)}
+}
+
+// expired polls the clock on the first call and then once every 4096 calls,
+// so small searches still notice an already-expired deadline and large ones
+// pay almost nothing.
+func (d *deadline) expired() bool {
+	if d.at.IsZero() {
+		return false
+	}
+	d.ticks++
+	if d.ticks&4095 != 1 {
+		return false
+	}
+	return time.Now().After(d.at)
+}
+
+// expiredNow checks the clock immediately (between join phases).
+func (d *deadline) expiredNow() bool {
+	return !d.at.IsZero() && time.Now().After(d.at)
+}
+
+// Result reports a baseline run.
+type Result struct {
+	Count      int64
+	Embeddings []graph.Embedding
+	// PeakMemory estimates the largest resident intermediate state in
+	// bytes (join tables for GpSM/GSI, index size for tree-based ones).
+	PeakMemory int64
+}
+
+// Func is the common algorithm signature.
+type Func func(q *graph.Query, g *graph.Graph, opts Options) (Result, error)
+
+// Registry maps the paper's algorithm names to implementations.
+func Registry() map[string]Func {
+	return map[string]Func{
+		"backtrack": Backtrack,
+		"CFL":       CFL,
+		"CECI":      CECI,
+		"DAF":       DAF,
+		"DAF-FS":    DAFFS,
+		"GpSM":      GpSM,
+		"GSI":       GSI,
+	}
+}
+
+// collector accumulates embeddings subject to Collect/Limit and reports
+// when enumeration should stop.
+type collector struct {
+	opts  Options
+	count int64
+	out   []graph.Embedding
+}
+
+func (c *collector) add(e graph.Embedding) bool {
+	c.count++
+	if c.opts.Collect {
+		c.out = append(c.out, e.Clone())
+	}
+	return c.opts.Limit <= 0 || c.count < c.opts.Limit
+}
+
+func (c *collector) result(peak int64) Result {
+	return Result{Count: c.count, Embeddings: c.out, PeakMemory: peak}
+}
+
+// candidateFilter returns vertices passing the label/degree/NLF filter,
+// honouring any anchor restriction in opts.
+func candidateFilter(q *graph.Query, g *graph.Graph, u graph.QueryVertex, opts Options) []graph.VertexID {
+	nlf := q.NeighborLabelCounts(u)
+	anchored := opts.AnchorSet != nil && opts.AnchorVertex == u
+	var out []graph.VertexID
+	for _, v := range g.VerticesWithLabel(q.Label(u)) {
+		if g.Degree(v) < q.Degree(u) {
+			continue
+		}
+		if anchored && !opts.AnchorSet[v] {
+			continue
+		}
+		ok := true
+		for l, need := range nlf {
+			if g.DegreeWithLabel(v, l) < need {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// connectedOrder produces a static connected matching order starting at the
+// vertex with the fewest candidates, then greedily appending the neighbour
+// with the fewest candidates.
+func connectedOrder(q *graph.Query, candCount []int) []graph.QueryVertex {
+	n := q.NumVertices()
+	used := make([]bool, n)
+	o := make([]graph.QueryVertex, 0, n)
+	best := 0
+	for u := 1; u < n; u++ {
+		if candCount[u] < candCount[best] {
+			best = u
+		}
+	}
+	o = append(o, best)
+	used[best] = true
+	for len(o) < n {
+		pick := -1
+		for u := 0; u < n; u++ {
+			if used[u] {
+				continue
+			}
+			adjacent := false
+			for _, w := range q.Neighbors(u) {
+				if used[w] {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				continue
+			}
+			if pick == -1 || candCount[u] < candCount[pick] {
+				pick = u
+			}
+		}
+		o = append(o, pick)
+		used[pick] = true
+	}
+	return o
+}
+
+func checkBudget(opts Options, bytes int64) error {
+	if opts.MemoryBudget > 0 && bytes > opts.MemoryBudget {
+		return fmt.Errorf("%w: %d > %d bytes", ErrOOM, bytes, opts.MemoryBudget)
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/graph"
+)
+
+// fig1 returns the paper's Fig. 1 query and data graph (see cst tests for
+// the derivation); ground truth is exactly two embeddings.
+func fig1() (*graph.Query, *graph.Graph) {
+	q := graph.MustQuery("fig1", []graph.Label{0, 1, 2, 3},
+		[][2]graph.QueryVertex{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	labels := []graph.Label{0, 0, 2, 1, 2, 1, 2, 3, 3, 3, 4, 4}
+	edges := [][2]graph.VertexID{
+		{0, 3}, {0, 2}, {0, 6}, {3, 2}, {2, 8}, {1, 5}, {1, 4},
+		{5, 4}, {5, 6}, {4, 9}, {6, 9}, {5, 7}, {6, 10}, {8, 11},
+	}
+	g, err := graph.FromEdgeList(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return q, g
+}
+
+func TestAllAlgorithmsOnFig1(t *testing.T) {
+	q, g := fig1()
+	for name, alg := range Registry() {
+		res, err := alg(q, g, Options{Collect: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Count != 2 {
+			t.Errorf("%s: count = %d, want 2", name, res.Count)
+		}
+		for _, e := range res.Embeddings {
+			if err := graph.VerifyEmbedding(q, g, e); err != nil {
+				t.Errorf("%s: invalid embedding %v: %v", name, e, err)
+			}
+		}
+	}
+}
+
+// TestAlgorithmsAgreeProperty: every algorithm family returns the exact
+// embedding set of the Backtrack oracle on random inputs.
+func TestAlgorithmsAgreeProperty(t *testing.T) {
+	algs := Registry()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomUniform(graph.GenConfig{
+			NumVertices: 50 + rng.Intn(100),
+			NumLabels:   2 + rng.Intn(3),
+			AvgDegree:   2 + rng.Float64()*4,
+			Seed:        seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(4), rng.Intn(3), g.NumLabels(), rng)
+		ref, err := Backtrack(q, g, Options{Collect: true})
+		if err != nil {
+			return false
+		}
+		want := make(map[string]bool, len(ref.Embeddings))
+		for _, e := range ref.Embeddings {
+			want[e.Key()] = true
+		}
+		for name, alg := range algs {
+			res, err := alg(q, g, Options{Collect: true})
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, name, err)
+				return false
+			}
+			if res.Count != ref.Count {
+				t.Logf("seed %d %s: count %d, oracle %d", seed, name, res.Count, ref.Count)
+				return false
+			}
+			for _, e := range res.Embeddings {
+				if !want[e.Key()] {
+					t.Logf("seed %d %s: unexpected embedding %v", seed, name, e)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 35}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLimitStopsEarly(t *testing.T) {
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 200, NumLabels: 2, AvgDegree: 8, Seed: 3})
+	rng := rand.New(rand.NewSource(3))
+	q := graph.RandomConnectedQuery("rq", 3, 0, 2, rng)
+	full, err := Backtrack(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count < 10 {
+		t.Skipf("workload too small: %d embeddings", full.Count)
+	}
+	for _, name := range []string{"backtrack", "CFL", "CECI", "DAF"} {
+		res, err := Registry()[name](q, g, Options{Limit: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Count != 5 {
+			t.Errorf("%s: Limit=5 produced %d", name, res.Count)
+		}
+	}
+}
+
+func TestJoinBudgetsTriggerOOM(t *testing.T) {
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 400, NumLabels: 2, AvgDegree: 8, Seed: 11})
+	rng := rand.New(rand.NewSource(11))
+	q := graph.RandomConnectedQuery("rq", 4, 1, 2, rng)
+	for _, name := range []string{"GpSM", "GSI"} {
+		alg := Registry()[name]
+		// Unlimited: must succeed.
+		if _, err := alg(q, g, Options{}); err != nil {
+			t.Fatalf("%s unlimited: %v", name, err)
+		}
+		// 1 KB of device memory: must OOM on this workload.
+		_, err := alg(q, g, Options{MemoryBudget: 1 << 10})
+		if !errors.Is(err, ErrOOM) {
+			t.Errorf("%s with 1KB budget: err = %v, want ErrOOM", name, err)
+		}
+	}
+}
+
+func TestPeakMemoryReported(t *testing.T) {
+	q, g := fig1()
+	for name, alg := range Registry() {
+		res, err := alg(q, g, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.PeakMemory <= 0 {
+			t.Errorf("%s: PeakMemory = %d", name, res.PeakMemory)
+		}
+	}
+}
+
+func TestGpSMPeakExceedsGSI(t *testing.T) {
+	// Edge-join materialisation should be hungrier than vertex-extension
+	// with prealloc on a dense-ish workload (the paper's explanation for
+	// GSI handling graphs GpSM cannot).
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 500, NumLabels: 2, AvgDegree: 10, Seed: 23})
+	rng := rand.New(rand.NewSource(23))
+	q := graph.RandomConnectedQuery("rq", 4, 2, 2, rng)
+	gp, err := GpSM(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := GSI(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Count != gs.Count {
+		t.Fatalf("counts differ: %d vs %d", gp.Count, gs.Count)
+	}
+	t.Logf("GpSM peak %d, GSI peak %d", gp.PeakMemory, gs.PeakMemory)
+}
+
+// TestParallelMatchesSequential: DAF-8/CECI-8-style wrappers return the
+// same embedding set as one thread.
+func TestParallelMatchesSequential(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomPowerLaw(graph.GenConfig{
+			NumVertices: 150, NumLabels: 3, AvgDegree: 5, Seed: seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(3), rng.Intn(2), 3, rng)
+		for _, name := range []string{"CECI", "DAF", "backtrack"} {
+			seq, err := Registry()[name](q, g, Options{Collect: true})
+			if err != nil {
+				return false
+			}
+			par, err := Parallel(Registry()[name], 8)(q, g, Options{Collect: true})
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, name, err)
+				return false
+			}
+			if par.Count != seq.Count {
+				t.Logf("seed %d %s: parallel %d vs sequential %d", seed, name, par.Count, seq.Count)
+				return false
+			}
+			want := make(map[string]bool)
+			for _, e := range seq.Embeddings {
+				want[e.Key()] = true
+			}
+			for _, e := range par.Embeddings {
+				if !want[e.Key()] {
+					t.Logf("seed %d %s: unexpected embedding", seed, name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelEmptyAndThreadClamp(t *testing.T) {
+	q := graph.MustQuery("missing", []graph.Label{9, 9}, [][2]graph.QueryVertex{{0, 1}})
+	_, g := fig1()
+	res, err := Parallel(Backtrack, 8)(q, g, Options{})
+	if err != nil || res.Count != 0 {
+		t.Errorf("empty: %v, %v", res, err)
+	}
+	// threads < 1 clamps to 1.
+	q2, g2 := fig1()
+	res, err = Parallel(Backtrack, 0)(q2, g2, Options{})
+	if err != nil || res.Count != 2 {
+		t.Errorf("clamp: count=%d err=%v", res.Count, err)
+	}
+}
+
+func TestConnectedOrderIsConnected(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(6), rng.Intn(4), 3, rng)
+		counts := make([]int, q.NumVertices())
+		for u := range counts {
+			counts[u] = rng.Intn(100)
+		}
+		o := connectedOrder(q, counts)
+		if len(o) != q.NumVertices() {
+			return false
+		}
+		seen := make([]bool, q.NumVertices())
+		seen[o[0]] = true
+		for _, u := range o[1:] {
+			ok := false
+			for _, w := range q.Neighbors(u) {
+				if seen[w] {
+					ok = true
+					break
+				}
+			}
+			if !ok || seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	a := []graph.VertexID{1, 3, 5, 7, 9}
+	b := []graph.VertexID{3, 4, 5, 9, 10}
+	c := []graph.VertexID{5, 9, 11}
+	got := intersectSorted(nil, a, b, c)
+	want := []graph.VertexID{5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intersect = %v, want %v", got, want)
+		}
+	}
+	if got := intersectSorted(nil); got != nil {
+		t.Errorf("empty intersect = %v", got)
+	}
+	single := intersectSorted(nil, a)
+	if !sort.SliceIsSorted(single, func(i, j int) bool { return single[i] < single[j] }) {
+		t.Error("single-list intersect unsorted")
+	}
+}
+
+func TestSingleVertexQuery(t *testing.T) {
+	q := graph.MustQuery("v", []graph.Label{2}, nil)
+	_, g := fig1()
+	want := int64(len(g.VerticesWithLabel(2))) // all C-labelled vertices
+	for name, alg := range Registry() {
+		res, err := alg(q, g, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Count != want {
+			t.Errorf("%s: count = %d, want %d", name, res.Count, want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package baseline
+
+import (
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// CECI is the CECI-like baseline: a compact embedding-cluster-style index
+// that covers *all* query edges (tree and non-tree), a BFS-rank matching
+// order, and intersection-based candidate computation — the extension pool
+// for a query vertex is the intersection of the indexed adjacency lists of
+// every already-matched neighbour, so no pairwise edge probes are needed
+// during enumeration. The paper reports this family beating edge
+// verification on CPUs (and FAST beating both).
+func CECI(q *graph.Query, g *graph.Graph, opts Options) (Result, error) {
+	idx := buildTreeIndex(q, g, true, opts)
+	if idx.empty() {
+		return Result{PeakMemory: idx.peak}, nil
+	}
+	o := order.CECILike(idx.tree, treeIndexEstimator{idx})
+	return enumerateTree(idx, o, opts, true)
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// CFL is the CFL-Match-like baseline: a CPI-style tree index (tree-edge
+// adjacency only), a path-based matching order that postpones Cartesian
+// products, and *edge verification* — non-tree query edges are checked with
+// pairwise HasEdge probes against the data graph during enumeration rather
+// than being indexed. The paper singles out this verification cost as the
+// reason CFL trails the intersection-based DAF/CECI on CPUs, while FAST
+// retires the same check in one pipelined cycle.
+func CFL(q *graph.Query, g *graph.Graph, opts Options) (Result, error) {
+	idx := buildTreeIndex(q, g, false, opts)
+	if idx.empty() {
+		return Result{PeakMemory: idx.peak}, nil
+	}
+	est := treeIndexEstimator{idx}
+	o := order.PathBased(idx.tree, est)
+	return enumerateTree(idx, o, opts, false)
+}
+
+// treeIndexEstimator adapts treeIndex to order.Estimator.
+type treeIndexEstimator struct{ idx *treeIndex }
+
+func (e treeIndexEstimator) CandCount(u graph.QueryVertex) int { return len(e.idx.cands[u]) }
+
+func (e treeIndexEstimator) AvgBranch(up, uc graph.QueryVertex) float64 {
+	m := e.idx.adj[[2]graph.QueryVertex{up, uc}]
+	if len(e.idx.cands[up]) == 0 {
+		return 0
+	}
+	total := 0
+	for _, l := range m {
+		total += len(l)
+	}
+	return float64(total) / float64(len(e.idx.cands[up]))
+}
+
+// enumerateTree backtracks over a tree index following order o. When
+// intersect is false (CFL), extension candidates come from the tree-parent
+// adjacency and non-tree edges are verified pairwise on G; when true
+// (CECI), candidates are the intersection of the indexed adjacency of every
+// earlier query neighbour.
+func enumerateTree(idx *treeIndex, o order.Order, opts Options, intersect bool) (Result, error) {
+	q, g, t := idx.q, idx.g, idx.tree
+	n := q.NumVertices()
+	pos := o.PositionOf()
+	earlier := make([][]graph.QueryVertex, n) // earlier neighbours per depth
+	for i, u := range o {
+		for _, w := range q.Neighbors(u) {
+			if pos[w] < i {
+				earlier[i] = append(earlier[i], w)
+			}
+		}
+	}
+
+	col := &collector{opts: opts}
+	mapping := make(graph.Embedding, n)
+	used := make(map[graph.VertexID]bool, n)
+	// One scratch buffer per depth: the pool at depth d must stay intact
+	// while deeper levels compute their own intersections.
+	scratch := make([][]graph.VertexID, n)
+	dl := newDeadline(opts)
+	timedOut := false
+
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if dl.expired() {
+			timedOut = true
+			return false
+		}
+		if depth == n {
+			return col.add(mapping)
+		}
+		u := o[depth]
+		var pool []graph.VertexID
+		switch {
+		case depth == 0:
+			pool = idx.cands[u]
+		case intersect:
+			// CECI: intersect indexed adjacency from every matched
+			// neighbour (tree or non-tree).
+			lists := make([][]graph.VertexID, 0, len(earlier[depth]))
+			for _, w := range earlier[depth] {
+				lists = append(lists, idx.neighborsOf(w, u, mapping[w]))
+			}
+			scratch[depth] = intersectSorted(scratch[depth][:0], lists...)
+			pool = scratch[depth]
+		default:
+			// CFL: tree-parent adjacency only.
+			pool = idx.neighborsOf(t.Parent[u], u, mapping[t.Parent[u]])
+		}
+	cand:
+		for _, v := range pool {
+			if used[v] {
+				continue
+			}
+			if !intersect {
+				// Edge verification for the remaining earlier neighbours.
+				for _, w := range earlier[depth] {
+					if w == t.Parent[u] {
+						continue
+					}
+					if !g.HasEdge(mapping[w], v) {
+						continue cand
+					}
+				}
+			}
+			mapping[u] = v
+			used[v] = true
+			ok := rec(depth + 1)
+			used[v] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	if timedOut {
+		return col.result(idx.peak), ErrTimeout
+	}
+	return col.result(idx.peak), nil
+}

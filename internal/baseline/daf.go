@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"fastmatch/graph"
+)
+
+// DAF is the DAF-like baseline: a CS-style candidate space covering every
+// query edge, intersection-based extension, and DAF's signature *adaptive
+// matching order* — instead of a static order, at every step the enumerator
+// picks the extendable query vertex (tree parent already matched) whose
+// current intersection pool is smallest. The original's third pillar,
+// failing-set pruning, is implemented separately as DAFFS (failingset.go);
+// this variant is what the Fig. 14 comparison uses, matching the adaptive
+// order + candidate space combination that drives DAF's standing there.
+func DAF(q *graph.Query, g *graph.Graph, opts Options) (Result, error) {
+	idx := buildTreeIndex(q, g, true, opts)
+	if idx.empty() {
+		return Result{PeakMemory: idx.peak}, nil
+	}
+	n := q.NumVertices()
+	col := &collector{opts: opts}
+	mapping := make(graph.Embedding, n)
+	matched := make([]bool, n)
+	used := make(map[graph.VertexID]bool, n)
+
+	// pool computes the intersection-based extension candidates of u given
+	// the currently matched neighbours.
+	pool := func(u graph.QueryVertex) []graph.VertexID {
+		var lists [][]graph.VertexID
+		for _, w := range idx.q.Neighbors(u) {
+			if matched[w] {
+				lists = append(lists, idx.neighborsOf(w, u, mapping[w]))
+			}
+		}
+		if len(lists) == 0 {
+			return idx.cands[u]
+		}
+		return intersectSorted(nil, lists...)
+	}
+
+	dl := newDeadline(opts)
+	timedOut := false
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if dl.expired() {
+			timedOut = true
+			return false
+		}
+		if depth == n {
+			return col.add(mapping)
+		}
+		// Adaptive order: pick the connected unmatched vertex with the
+		// smallest extension pool right now.
+		bestU := -1
+		var bestPool []graph.VertexID
+		for u := 0; u < n; u++ {
+			if matched[u] {
+				continue
+			}
+			connected := depth == 0 // first vertex: any; afterwards require a matched neighbour
+			if !connected {
+				for _, w := range idx.q.Neighbors(u) {
+					if matched[w] {
+						connected = true
+						break
+					}
+				}
+			}
+			if !connected {
+				continue
+			}
+			p := pool(u)
+			if bestU == -1 || len(p) < len(bestPool) {
+				bestU, bestPool = u, p
+				if len(p) == 0 {
+					break // dead branch; fail fast
+				}
+			}
+		}
+		u := bestU
+		matched[u] = true
+		ok := true
+		for _, v := range bestPool {
+			if used[v] {
+				continue
+			}
+			mapping[u] = v
+			used[v] = true
+			ok = rec(depth + 1)
+			used[v] = false
+			if !ok {
+				break
+			}
+		}
+		matched[u] = false
+		return ok
+	}
+	rec(0)
+	if timedOut {
+		return col.result(idx.peak), ErrTimeout
+	}
+	return col.result(idx.peak), nil
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fastmatch/graph"
+)
+
+// TestDAFFSAgreesWithOracle: failing-set pruning must never change the
+// embedding set — it only skips provably fruitless siblings.
+func TestDAFFSAgreesWithOracle(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomUniform(graph.GenConfig{
+			NumVertices: 60 + rng.Intn(80),
+			NumLabels:   2 + rng.Intn(3),
+			AvgDegree:   2 + rng.Float64()*4,
+			Seed:        seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(4), rng.Intn(3), g.NumLabels(), rng)
+		want, err := Backtrack(q, g, Options{Collect: true})
+		if err != nil {
+			return false
+		}
+		got, err := DAFFS(q, g, Options{Collect: true})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if got.Count != want.Count {
+			t.Logf("seed %d: DAF-FS %d vs oracle %d", seed, got.Count, want.Count)
+			return false
+		}
+		keys := make(map[string]bool, len(want.Embeddings))
+		for _, e := range want.Embeddings {
+			keys[e.Key()] = true
+		}
+		for _, e := range got.Embeddings {
+			if !keys[e.Key()] {
+				t.Logf("seed %d: extra embedding %v", seed, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDAFFSPrunesIndependentFailure: the classic failing-set scenario — a
+// query branch that fails for reasons independent of the currently matched
+// vertex. Data: one A hub connected to many Bs, each B to many Cs, but the
+// A has no D neighbour while query demands A-D. Without failing sets the
+// matcher retries every (B, C) combination; with them the A-level failure
+// propagates immediately. We check correctness (zero matches) and that the
+// run completes fast even with a large B×C fan-out.
+func TestDAFFSPrunesIndependentFailure(t *testing.T) {
+	const fan = 120
+	b := graph.NewBuilder(2+2*fan, 3*fan)
+	a := b.AddVertex(0)
+	bs := make([]graph.VertexID, fan)
+	for i := range bs {
+		bs[i] = b.AddVertex(1)
+		b.AddEdge(a, bs[i])
+	}
+	for _, bb := range bs {
+		for i := 0; i < 2; i++ {
+			c := b.AddVertex(2)
+			b.AddEdge(bb, c)
+		}
+	}
+	// No D vertex adjacent to a at all; add one floating D so the label
+	// exists (otherwise candidate filtering trivially empties).
+	d := b.AddVertex(3)
+	b.AddEdge(d, bs[0])
+	g := b.MustBuild()
+
+	// Query: A-B, B-C, A-D.
+	q := graph.MustQuery("fsq", []graph.Label{0, 1, 2, 3},
+		[][2]graph.QueryVertex{{0, 1}, {1, 2}, {0, 3}})
+	res, err := DAFFS(q, g, Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 {
+		t.Errorf("found %d matches of an impossible query", res.Count)
+	}
+	oracle, err := Backtrack(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Count != 0 {
+		t.Fatalf("oracle disagrees: %d", oracle.Count)
+	}
+}
+
+func TestDAFFSInRegistry(t *testing.T) {
+	if _, ok := Registry()["DAF-FS"]; !ok {
+		t.Error("DAF-FS missing from registry")
+	}
+}
+
+func TestDAFFSLimitAndTimeout(t *testing.T) {
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 300, NumLabels: 2, AvgDegree: 8, Seed: 7})
+	rng := rand.New(rand.NewSource(7))
+	q := graph.RandomConnectedQuery("rq", 3, 1, 2, rng)
+	res, err := DAFFS(q, g, Options{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count > 3 {
+		t.Errorf("Limit ignored: %d", res.Count)
+	}
+}

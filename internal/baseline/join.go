@@ -1,0 +1,360 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+
+	"fastmatch/graph"
+)
+
+// The two GPU-style baselines materialise full intermediate result tables
+// the way GpSM and GSI do on a GPU, and run table steps with goroutine
+// data parallelism standing in for CUDA thread blocks. Their defining
+// failure mode — running out of device memory on large inputs (Fig. 14's
+// OOM entries) — is reproduced via Options.MemoryBudget.
+
+// table is a flat row-major intermediate relation: every row maps the
+// query vertices in cols (in order) to data vertices.
+type table struct {
+	cols []graph.QueryVertex
+	rows []graph.VertexID // len = numRows * len(cols)
+}
+
+func (t *table) numRows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return len(t.rows) / len(t.cols)
+}
+
+func (t *table) row(i int) []graph.VertexID {
+	w := len(t.cols)
+	return t.rows[i*w : (i+1)*w]
+}
+
+func (t *table) bytes() int64 { return int64(len(t.rows)) * 4 }
+
+func (t *table) colOf(u graph.QueryVertex) int {
+	for i, c := range t.cols {
+		if c == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// parallelRows fans rows out over workers and concatenates their outputs in
+// deterministic chunk order.
+func parallelRows(numRows, width int, produce func(lo, hi int, out *[]graph.VertexID)) []graph.VertexID {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numRows {
+		workers = numRows
+	}
+	if workers <= 1 {
+		var out []graph.VertexID
+		produce(0, numRows, &out)
+		return out
+	}
+	chunks := make([][]graph.VertexID, workers)
+	var wg sync.WaitGroup
+	per := (numRows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > numRows {
+			hi = numRows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			produce(lo, hi, &chunks[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]graph.VertexID, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// GpSM is the GpSM-like baseline: collect candidate *edges* for every query
+// edge, then assemble embeddings with a sequence of binary joins over a
+// connected query-edge order, materialising each intermediate relation in
+// full. High memory traffic and join-size blow-ups are inherent to the
+// strategy, which is why it OOMs first in the paper's comparison.
+func GpSM(q *graph.Query, g *graph.Graph, opts Options) (Result, error) {
+	n := q.NumVertices()
+	cands := make([][]graph.VertexID, n)
+	candSet := make([]map[graph.VertexID]bool, n)
+	var peak int64
+	for u := 0; u < n; u++ {
+		cands[u] = candidateFilter(q, g, u, opts)
+		if len(cands[u]) == 0 {
+			return Result{}, nil
+		}
+		candSet[u] = make(map[graph.VertexID]bool, len(cands[u]))
+		for _, v := range cands[u] {
+			candSet[u][v] = true
+		}
+		peak += int64(len(cands[u])) * 4
+	}
+
+	// Connected query-edge order: each joined edge shares an endpoint with
+	// the covered prefix.
+	type qedge struct{ a, b graph.QueryVertex }
+	var edges []qedge
+	for u := 0; u < n; u++ {
+		for _, w := range q.Neighbors(u) {
+			if u < w {
+				edges = append(edges, qedge{u, w})
+			}
+		}
+	}
+	if len(edges) == 0 { // single-vertex query: the relation is C(u0)
+		cur := &table{cols: []graph.QueryVertex{0}, rows: cands[0]}
+		return tableResult(cur, n, opts, peak)
+	}
+	ordered := make([]qedge, 0, len(edges))
+	covered := make([]bool, n)
+	pickedEdge := make([]bool, len(edges))
+	// Seed with the edge whose candidate-edge count is smallest (estimated
+	// by endpoint candidate product).
+	best := 0
+	for i, e := range edges {
+		if len(cands[e.a])*len(cands[e.b]) < len(cands[edges[best].a])*len(cands[edges[best].b]) {
+			best = i
+		}
+	}
+	ordered = append(ordered, edges[best])
+	pickedEdge[best] = true
+	covered[edges[best].a], covered[edges[best].b] = true, true
+	for len(ordered) < len(edges) {
+		pick := -1
+		for i, e := range edges {
+			if pickedEdge[i] || (!covered[e.a] && !covered[e.b]) {
+				continue
+			}
+			if pick == -1 {
+				pick = i
+			}
+		}
+		ordered = append(ordered, edges[pick])
+		pickedEdge[pick] = true
+		covered[edges[pick].a], covered[edges[pick].b] = true, true
+	}
+
+	// Initial relation: candidate edges of the first query edge.
+	first := ordered[0]
+	cur := &table{cols: []graph.QueryVertex{first.a, first.b}}
+	for _, v := range cands[first.a] {
+		for _, w := range g.Neighbors(v) {
+			if candSet[first.b][w] && v != w {
+				cur.rows = append(cur.rows, v, w)
+			}
+		}
+	}
+	if cur.bytes() > peak {
+		peak = cur.bytes()
+	}
+	if err := checkBudget(opts, cur.bytes()); err != nil {
+		return Result{PeakMemory: peak}, err
+	}
+
+	dl := newDeadline(opts)
+	for _, e := range ordered[1:] {
+		if dl.expiredNow() {
+			return Result{PeakMemory: peak}, ErrTimeout
+		}
+		ca, cb := cur.colOf(e.a), cur.colOf(e.b)
+		switch {
+		case ca >= 0 && cb >= 0:
+			// Both endpoints bound: semi-join filter.
+			width := len(cur.cols)
+			rows := parallelRows(cur.numRows(), width, func(lo, hi int, out *[]graph.VertexID) {
+				for i := lo; i < hi; i++ {
+					r := cur.row(i)
+					if g.HasEdge(r[ca], r[cb]) {
+						*out = append(*out, r...)
+					}
+				}
+			})
+			cur = &table{cols: cur.cols, rows: rows}
+		default:
+			// One endpoint bound: expand with the candidate edges of e.
+			bound, free := e.a, e.b
+			if ca < 0 {
+				bound, free = e.b, e.a
+			}
+			bc := cur.colOf(bound)
+			width := len(cur.cols)
+			rows := parallelRows(cur.numRows(), width+1, func(lo, hi int, out *[]graph.VertexID) {
+				for i := lo; i < hi; i++ {
+					r := cur.row(i)
+				next:
+					for _, w := range g.Neighbors(r[bc]) {
+						if !candSet[free][w] {
+							continue
+						}
+						for _, x := range r { // injectivity
+							if x == w {
+								continue next
+							}
+						}
+						*out = append(*out, r...)
+						*out = append(*out, w)
+					}
+				}
+			})
+			cur = &table{cols: append(append([]graph.QueryVertex(nil), cur.cols...), free), rows: rows}
+		}
+		if cur.bytes() > peak {
+			peak = cur.bytes()
+		}
+		if err := checkBudget(opts, cur.bytes()); err != nil {
+			return Result{PeakMemory: peak}, err
+		}
+		if cur.numRows() == 0 {
+			return Result{PeakMemory: peak}, nil
+		}
+	}
+	return tableResult(cur, n, opts, peak)
+}
+
+// tableResult converts a final relation into a Result, reordering columns
+// into query-vertex order.
+func tableResult(cur *table, n int, opts Options, peak int64) (Result, error) {
+	col := &collector{opts: opts}
+	perm := make([]int, n)
+	for u := 0; u < n; u++ {
+		perm[u] = cur.colOf(u)
+	}
+	e := make(graph.Embedding, n)
+	for i := 0; i < cur.numRows(); i++ {
+		r := cur.row(i)
+		for u := 0; u < n; u++ {
+			e[u] = r[perm[u]]
+		}
+		if !col.add(e) {
+			break
+		}
+	}
+	return col.result(peak), nil
+}
+
+// GSI is the GSI-like baseline: vertex-extending joins with GSI's
+// Prealloc-Combine discipline — for each extension step a first parallel
+// pass counts every row's output size, a prefix sum pre-allocates the exact
+// output table, and a second parallel pass writes without conflicts. Joining
+// candidate *vertices* rather than edges keeps intermediate tables smaller
+// than GpSM's, matching the paper's observation that GSI still OOMs earlier
+// than CPU baselines but handles more than GpSM on some inputs (memory cost
+// of preallocation included).
+func GSI(q *graph.Query, g *graph.Graph, opts Options) (Result, error) {
+	n := q.NumVertices()
+	cands := make([][]graph.VertexID, n)
+	candSet := make([]map[graph.VertexID]bool, n)
+	candCount := make([]int, n)
+	var peak int64
+	for u := 0; u < n; u++ {
+		cands[u] = candidateFilter(q, g, u, opts)
+		if len(cands[u]) == 0 {
+			return Result{}, nil
+		}
+		candSet[u] = make(map[graph.VertexID]bool, len(cands[u]))
+		for _, v := range cands[u] {
+			candSet[u][v] = true
+		}
+		candCount[u] = len(cands[u])
+		peak += int64(len(cands[u])) * 4
+	}
+	o := connectedOrder(q, candCount)
+
+	cur := &table{cols: []graph.QueryVertex{o[0]}, rows: append([]graph.VertexID(nil), cands[o[0]]...)}
+	if cur.bytes() > peak {
+		peak = cur.bytes()
+	}
+	dl := newDeadline(opts)
+	for _, u := range o[1:] {
+		if dl.expiredNow() {
+			return Result{PeakMemory: peak}, ErrTimeout
+		}
+		width := len(cur.cols)
+		// Matched neighbours of u and their columns.
+		var nbrCols []int
+		for _, w := range q.Neighbors(u) {
+			if c := cur.colOf(w); c >= 0 {
+				nbrCols = append(nbrCols, c)
+			}
+		}
+		pivot := nbrCols[0]
+
+		extend := func(r []graph.VertexID, emitFn func(graph.VertexID)) {
+		next:
+			for _, w := range g.Neighbors(r[pivot]) {
+				if !candSet[u][w] {
+					continue
+				}
+				for _, c := range nbrCols[1:] {
+					if !g.HasEdge(r[c], w) {
+						continue next
+					}
+				}
+				for _, x := range r {
+					if x == w {
+						continue next
+					}
+				}
+				emitFn(w)
+			}
+		}
+
+		// Pass 1 (prealloc): count each row's extensions in parallel.
+		numRows := cur.numRows()
+		counts := make([]int64, numRows+1)
+		parallelRows(numRows, 0, func(lo, hi int, _ *[]graph.VertexID) {
+			for i := lo; i < hi; i++ {
+				var c int64
+				extend(cur.row(i), func(graph.VertexID) { c++ })
+				counts[i+1] = c
+			}
+		})
+		for i := 1; i <= numRows; i++ {
+			counts[i] += counts[i-1]
+		}
+		outRows := counts[numRows]
+		outBytes := outRows * int64(width+1) * 4
+		if cur.bytes()+outBytes > peak {
+			peak = cur.bytes() + outBytes
+		}
+		// Prealloc itself is what OOMs on the GPU: both tables are live.
+		if err := checkBudget(opts, cur.bytes()+outBytes); err != nil {
+			return Result{PeakMemory: peak}, err
+		}
+		// Pass 2 (combine): conflict-free parallel writes at prefix-sum
+		// offsets.
+		out := make([]graph.VertexID, outRows*int64(width+1))
+		parallelRows(numRows, 0, func(lo, hi int, _ *[]graph.VertexID) {
+			for i := lo; i < hi; i++ {
+				off := counts[i] * int64(width+1)
+				r := cur.row(i)
+				extend(r, func(w graph.VertexID) {
+					copy(out[off:], r)
+					out[off+int64(width)] = w
+					off += int64(width + 1)
+				})
+			}
+		})
+		cur = &table{cols: append(append([]graph.QueryVertex(nil), cur.cols...), u), rows: out}
+		if cur.numRows() == 0 {
+			return Result{PeakMemory: peak}, nil
+		}
+	}
+	return tableResult(cur, n, opts, peak)
+}

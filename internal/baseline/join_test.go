@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fastmatch/graph"
+)
+
+func TestTableBasics(t *testing.T) {
+	tab := &table{cols: []graph.QueryVertex{2, 0}}
+	tab.rows = []graph.VertexID{10, 20, 30, 40}
+	if tab.numRows() != 2 {
+		t.Errorf("numRows = %d", tab.numRows())
+	}
+	if r := tab.row(1); r[0] != 30 || r[1] != 40 {
+		t.Errorf("row(1) = %v", r)
+	}
+	if tab.bytes() != 16 {
+		t.Errorf("bytes = %d", tab.bytes())
+	}
+	if tab.colOf(2) != 0 || tab.colOf(0) != 1 || tab.colOf(5) != -1 {
+		t.Error("colOf wrong")
+	}
+	empty := &table{}
+	if empty.numRows() != 0 {
+		t.Errorf("empty numRows = %d", empty.numRows())
+	}
+}
+
+func TestParallelRowsCoversAllRows(t *testing.T) {
+	check := func(n uint8) bool {
+		rows := int(n)
+		out := parallelRows(rows, 1, func(lo, hi int, dst *[]graph.VertexID) {
+			for i := lo; i < hi; i++ {
+				*dst = append(*dst, graph.VertexID(i))
+			}
+		})
+		if len(out) != rows {
+			return false
+		}
+		// Chunk order is deterministic, so output is the identity.
+		for i, v := range out {
+			if v != graph.VertexID(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGSIPreallocExactness: the two-pass prealloc-combine must produce
+// exactly as many rows as the counting pass promised — no gaps, no
+// overflow. We validate indirectly: every returned embedding is valid and
+// the count matches the oracle (join row corruption would break both).
+func TestGSIPreallocExactness(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomUniform(graph.GenConfig{
+			NumVertices: 80, NumLabels: 2, AvgDegree: 5, Seed: seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(3), rng.Intn(2), 2, rng)
+		res, err := GSI(q, g, Options{Collect: true})
+		if err != nil {
+			return false
+		}
+		for _, e := range res.Embeddings {
+			if graph.VerifyEmbedding(q, g, e) != nil {
+				return false
+			}
+		}
+		oracle, err := Backtrack(q, g, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Count == oracle.Count
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinTimeouts(t *testing.T) {
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 600, NumLabels: 2, AvgDegree: 10, Seed: 19})
+	rng := rand.New(rand.NewSource(19))
+	q := graph.RandomConnectedQuery("rq", 5, 2, 2, rng)
+	for _, name := range []string{"GpSM", "GSI"} {
+		_, err := Registry()[name](q, g, Options{Timeout: time.Nanosecond})
+		if !errors.Is(err, ErrTimeout) {
+			// A fast machine might finish within timer resolution; accept
+			// success only when the run genuinely beat the clock.
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", name, err)
+			}
+		}
+	}
+}
+
+func TestGpSMDenseQueryUsesSemiJoin(t *testing.T) {
+	// A triangle query exercises the both-endpoints-bound path.
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 120, NumLabels: 1, AvgDegree: 8, Seed: 23})
+	q := graph.MustQuery("tri", []graph.Label{0, 0, 0},
+		[][2]graph.QueryVertex{{0, 1}, {1, 2}, {0, 2}})
+	gp, err := GpSM(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Backtrack(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Count != oracle.Count {
+		t.Errorf("GpSM %d vs oracle %d", gp.Count, oracle.Count)
+	}
+}
+
+func TestCollectorLimit(t *testing.T) {
+	c := &collector{opts: Options{Limit: 2, Collect: true}}
+	e := graph.Embedding{1}
+	if !c.add(e) {
+		t.Error("first add stopped")
+	}
+	if c.add(e) {
+		t.Error("limit not enforced")
+	}
+	if c.count != 2 || len(c.out) != 2 {
+		t.Errorf("collector state: %d/%d", c.count, len(c.out))
+	}
+	// Collected embeddings are clones: mutating the source must not change
+	// stored copies.
+	e[0] = 99
+	if c.out[0][0] == 99 {
+		t.Error("collector stored an alias, not a clone")
+	}
+}

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"sort"
+
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// treeIndex is the shared auxiliary structure behind the CFL/CECI/DAF-like
+// baselines: a BFS spanning tree of the query, refined candidate sets, and
+// per-query-edge candidate adjacency keyed by data vertex. CFL's CPI keeps
+// only tree-edge adjacency; CECI's index and DAF's CS also cover non-tree
+// edges — controlled by withNonTree.
+type treeIndex struct {
+	q     *graph.Query
+	g     *graph.Graph
+	tree  *order.Tree
+	cands [][]graph.VertexID
+	// adj[{a,b}][v] lists candidates of b adjacent to v ∈ C(a), sorted.
+	adj  map[[2]graph.QueryVertex]map[graph.VertexID][]graph.VertexID
+	peak int64
+}
+
+// buildTreeIndex constructs the index. The construction mirrors CST's
+// top-down + bottom-up passes (the baselines and FAST share this part of
+// their lineage: CPI begat CST).
+func buildTreeIndex(q *graph.Query, g *graph.Graph, withNonTree bool, opts Options) *treeIndex {
+	root := order.SelectRoot(q, g)
+	t := order.BuildBFSTree(q, root)
+	idx := &treeIndex{
+		q: q, g: g, tree: t,
+		cands: make([][]graph.VertexID, q.NumVertices()),
+		adj:   make(map[[2]graph.QueryVertex]map[graph.VertexID][]graph.VertexID),
+	}
+	for u := 0; u < q.NumVertices(); u++ {
+		idx.cands[u] = candidateFilter(q, g, u, opts)
+	}
+	member := func(u graph.QueryVertex) map[graph.VertexID]bool {
+		m := make(map[graph.VertexID]bool, len(idx.cands[u]))
+		for _, v := range idx.cands[u] {
+			m[v] = true
+		}
+		return m
+	}
+	// Top-down.
+	for _, u := range t.BFSOrder {
+		if u == t.Root {
+			continue
+		}
+		pm := member(t.Parent[u])
+		kept := idx.cands[u][:0]
+		for _, v := range idx.cands[u] {
+			for _, w := range g.Neighbors(v) {
+				if pm[w] {
+					kept = append(kept, v)
+					break
+				}
+			}
+		}
+		idx.cands[u] = kept
+	}
+	// Bottom-up.
+	for i := len(t.BFSOrder) - 1; i >= 0; i-- {
+		u := t.BFSOrder[i]
+		if len(t.Children[u]) == 0 {
+			continue
+		}
+		sets := make([]map[graph.VertexID]bool, len(t.Children[u]))
+		for j, uc := range t.Children[u] {
+			sets[j] = member(uc)
+		}
+		kept := idx.cands[u][:0]
+	cand:
+		for _, v := range idx.cands[u] {
+			for _, set := range sets {
+				found := false
+				for _, w := range g.Neighbors(v) {
+					if set[w] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue cand
+				}
+			}
+			kept = append(kept, v)
+		}
+		idx.cands[u] = kept
+	}
+	// Adjacency lists, both directions, tree edges always and non-tree
+	// edges when requested.
+	build := func(a, b graph.QueryVertex) {
+		bm := member(b)
+		m := make(map[graph.VertexID][]graph.VertexID, len(idx.cands[a]))
+		for _, v := range idx.cands[a] {
+			var list []graph.VertexID
+			for _, w := range g.Neighbors(v) {
+				if bm[w] {
+					list = append(list, w)
+				}
+			}
+			if len(list) > 0 {
+				sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+				m[v] = list
+				idx.peak += int64(len(list)) * 4
+			}
+		}
+		idx.adj[[2]graph.QueryVertex{a, b}] = m
+	}
+	for _, u := range t.BFSOrder {
+		if u != t.Root {
+			build(t.Parent[u], u)
+			build(u, t.Parent[u])
+		}
+	}
+	if withNonTree {
+		for _, e := range t.NonTreeEdges {
+			build(e[0], e[1])
+			build(e[1], e[0])
+		}
+	}
+	for _, cands := range idx.cands {
+		idx.peak += int64(len(cands)) * 4
+	}
+	return idx
+}
+
+// neighborsOf returns the indexed adjacency of v ∈ C(a) towards b.
+func (idx *treeIndex) neighborsOf(a, b graph.QueryVertex, v graph.VertexID) []graph.VertexID {
+	return idx.adj[[2]graph.QueryVertex{a, b}][v]
+}
+
+// empty reports whether any candidate set died during refinement.
+func (idx *treeIndex) empty() bool {
+	for _, cands := range idx.cands {
+		if len(cands) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// intersectSorted intersects sorted vertex lists; result appended to dst.
+func intersectSorted(dst []graph.VertexID, lists ...[]graph.VertexID) []graph.VertexID {
+	if len(lists) == 0 {
+		return dst
+	}
+	if len(lists) == 1 {
+		return append(dst, lists[0]...)
+	}
+	// Intersect the two shortest first.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	cur := append([]graph.VertexID(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		var next []graph.VertexID
+		i, j := 0, 0
+		for i < len(cur) && j < len(l) {
+			switch {
+			case cur[i] < l[j]:
+				i++
+			case cur[i] > l[j]:
+				j++
+			default:
+				next = append(next, cur[i])
+				i++
+				j++
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return append(dst, cur...)
+}

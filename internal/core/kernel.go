@@ -1,0 +1,386 @@
+// Package core implements FAST, the paper's FPGA subgraph-matching kernel
+// (Section VI). The matching process is decomposed into the four pipelined
+// modules of Algorithm 4 — Generator, Visited Validator, Edge Validator and
+// Synchronizer — which process batches of up to No partial results per
+// round instead of one-at-a-time backtracking, because a fully pipelined
+// FPGA loop cannot tolerate data dependencies between iterations.
+//
+// The kernel does the real enumeration work over a CST partition while
+// charging cycles to the fpgasim device model. Four variants reproduce the
+// paper's ablation: FAST-DRAM (CST stays in DRAM), FAST-BASIC (BRAM, serial
+// modules, Eq. 2), FAST-TASK (task parallelism via FIFOs, Eq. 3) and
+// FAST-SEP (split tv/tn generators, Eq. 4). All variants return identical
+// embedding sets; only the cycle accounting differs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/order"
+)
+
+// Variant selects the hardware implementation being modelled.
+type Variant int
+
+const (
+	// VariantSep is the zero value and the default: task parallelism plus
+	// split tv/tn generators feeding duplicated FIFOs (Fig. 5(c), Eq. 4) —
+	// the paper's final kernel configuration.
+	VariantSep Variant = iota
+	// VariantDRAM fetches the CST from card DRAM on every access, with no
+	// other optimisation (the FAST-DRAM baseline of Fig. 7).
+	VariantDRAM
+	// VariantBasic loads the CST into BRAM and runs the modules serially
+	// (Fig. 5(a), Eq. 2).
+	VariantBasic
+	// VariantTask adds task parallelism: modules stream through FIFOs and
+	// execute concurrently (Fig. 5(b), Eq. 3).
+	VariantTask
+)
+
+// String names the variant the way the paper does.
+func (v Variant) String() string {
+	switch v {
+	case VariantDRAM:
+		return "FAST-DRAM"
+	case VariantBasic:
+		return "FAST-BASIC"
+	case VariantTask:
+		return "FAST-TASK"
+	case VariantSep:
+		return "FAST-SEP"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists all kernel variants in ascending optimisation order.
+func Variants() []Variant {
+	return []Variant{VariantDRAM, VariantBasic, VariantTask, VariantSep}
+}
+
+// Result reports one kernel execution over one CST partition.
+type Result struct {
+	// Count is the number of embeddings found (|M|).
+	Count int64
+	// Embeddings holds the matches when Options.Collect is set.
+	Embeddings []graph.Embedding
+	// Cycles is the total modelled cycle count, including CST load and
+	// result flush; Duration is Cycles at the configured clock.
+	Cycles   int64
+	Duration time.Duration
+	// LoadCycles / FlushCycles are the DRAM↔BRAM transfer components.
+	LoadCycles  int64
+	FlushCycles int64
+	// Rounds is how many generator rounds ran.
+	Rounds int64
+	// Partials is N, the total partial results generated; EdgeTasks is M,
+	// the total edge-validation tasks — the quantities in Eqs. 1–4.
+	Partials  int64
+	EdgeTasks int64
+	// Pops counts reads from the intermediate results buffer.
+	Pops int64
+	// BufferHighWater is the maximum partial-result count resident at any
+	// point; the deepest-first strategy bounds it by (|V(q)|−1)·No.
+	BufferHighWater int
+	// PerModule breaks Cycles down by module name.
+	PerModule map[string]int64
+}
+
+// Options configures a kernel run.
+type Options struct {
+	Variant Variant
+	Config  fpgasim.Config
+	// Collect materialises embeddings in Result.Embeddings; otherwise only
+	// Count is maintained (flushing ids to DRAM is still modelled).
+	Collect bool
+	// Emit, when non-nil, receives every embedding as it completes.
+	Emit func(graph.Embedding)
+}
+
+// partial is an entry of the intermediate results buffer P: the candidate
+// indices mapped so far (by matching-order position) plus a resume cursor —
+// when a partial result has more candidates than the round's remaining
+// No budget, the paper maps the first batch and resumes the rest later
+// (Section VI-B).
+type partial struct {
+	m   []cst.CandIndex
+	cur int32
+}
+
+// Run executes the FAST kernel over one CST partition with matching order o.
+func Run(c *cst.CST, o order.Order, opts Options) (Result, error) {
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := o.Validate(c.Tree); err != nil {
+		return Result{}, fmt.Errorf("core: %v", err)
+	}
+	nq := c.Query.NumVertices()
+
+	// Resource admission: the BRAM-only variants must fit the CST plus the
+	// partial-results buffer on chip (Section VI-B's buffer sizing).
+	bufferBytes := int64(nq-1) * int64(cfg.No) * int64(nq*4+4)
+	if opts.Variant != VariantDRAM {
+		if need := c.SizeBytes() + bufferBytes; need > cfg.BRAMBytes {
+			return Result{}, fmt.Errorf("core: CST (%d B) + buffer (%d B) exceed BRAM (%d B); partition the CST",
+				c.SizeBytes(), bufferBytes, cfg.BRAMBytes)
+		}
+	} else if bufferBytes > cfg.BRAMBytes {
+		return Result{}, fmt.Errorf("core: partial-results buffer (%d B) exceeds BRAM (%d B); lower No", bufferBytes, cfg.BRAMBytes)
+	}
+
+	run := &runState{
+		c:       c,
+		o:       o,
+		opts:    opts,
+		pos:     o.PositionOf(),
+		counter: fpgasim.NewCounter(),
+		timing:  newTiming(opts.Variant, cfg, c.MaxCandDegree()),
+	}
+	run.prepare()
+	res := run.execute()
+	return res, nil
+}
+
+// runState carries one kernel execution.
+type runState struct {
+	c    *cst.CST
+	o    order.Order
+	opts Options
+	pos  []int
+
+	// checks[d] lists the earlier non-tree neighbours (by query vertex) the
+	// Edge Validator must probe when extending to depth d.
+	checks [][]graph.QueryVertex
+	// parentPos[d] is the order position of O[d]'s tree parent.
+	parentPos []int
+
+	levels  [][]partial     // levels[d]: partials with d vertices mapped
+	rootIdx []cst.CandIndex // identity sequence over C(root)
+	counter *fpgasim.Counter
+	timing  *timing
+
+	count     int64
+	collected []graph.Embedding
+	rounds    int64
+	partials  int64
+	edgeTasks int64
+	pops      int64
+	highWater int
+}
+
+func (r *runState) prepare() {
+	nq := r.c.Query.NumVertices()
+	r.checks = make([][]graph.QueryVertex, nq)
+	r.parentPos = make([]int, nq)
+	for d, u := range r.o {
+		if d > 0 {
+			r.parentPos[d] = r.pos[r.c.Tree.Parent[u]]
+		}
+		for _, un := range r.c.Query.Neighbors(u) {
+			if un == r.c.Tree.Parent[u] {
+				continue
+			}
+			if r.pos[un] < d {
+				r.checks[d] = append(r.checks[d], un)
+			}
+		}
+	}
+	r.rootIdx = make([]cst.CandIndex, len(r.c.Candidates(r.o[0])))
+	for i := range r.rootIdx {
+		r.rootIdx[i] = cst.CandIndex(i)
+	}
+	// Level 0 is a single empty partial whose cursor walks C(root),
+	// so arbitrarily large root candidate sets respect the No bound.
+	r.levels = make([][]partial, nq)
+	r.levels[0] = []partial{{m: nil, cur: 0}}
+	if r.c.IsEmpty() {
+		r.levels[0] = nil
+	}
+}
+
+// candidatesOf returns the candidate list the Generator reads for extending
+// p at depth d: all of C(root) at depth 0, otherwise the CST adjacency of
+// the mapped parent candidate.
+func (r *runState) candidatesOf(d int, p *partial) []cst.CandIndex {
+	u := r.o[d]
+	if d == 0 {
+		return r.rootIdx
+	}
+	up := r.c.Tree.Parent[u]
+	return r.c.Adjacency(up, u, p.m[r.parentPos[d]])
+}
+
+// execute is Algorithm 4's main loop: while the buffer has work, run one
+// round at the deepest non-empty level.
+func (r *runState) execute() Result {
+	cfg := r.opts.Config
+	var loadCycles int64
+	if r.opts.Variant != VariantDRAM {
+		loadCycles = cfg.LoadCycles(r.c.SizeBytes())
+		r.counter.Add("load", loadCycles)
+	}
+
+	for {
+		d := r.deepestLevel()
+		if d < 0 {
+			break
+		}
+		r.round(d)
+	}
+
+	// Flush complete results from BRAM to card DRAM (4 bytes per mapped
+	// vertex id).
+	flushCycles := cfg.LoadCycles(r.count * int64(len(r.o)) * 4)
+	r.counter.Add("flush", flushCycles)
+
+	res := Result{
+		Count:           r.count,
+		Embeddings:      r.collected,
+		Cycles:          r.counter.Total(),
+		LoadCycles:      loadCycles,
+		FlushCycles:     flushCycles,
+		Rounds:          r.rounds,
+		Partials:        r.partials,
+		EdgeTasks:       r.edgeTasks,
+		Pops:            r.pops,
+		BufferHighWater: r.highWater,
+		PerModule:       r.counter.PerModule(),
+	}
+	res.Duration = cfg.CyclesToDuration(res.Cycles)
+	return res
+}
+
+func (r *runState) deepestLevel() int {
+	for d := len(r.levels) - 1; d >= 0; d-- {
+		if len(r.levels[d]) > 0 {
+			return d
+		}
+	}
+	return -1
+}
+
+// round expands the partials at level d into level d+1 (Algorithms 5–8),
+// then charges the round's cycles per the variant's composition.
+func (r *runState) round(d int) {
+	cfg := r.opts.Config
+	u := r.o[d]
+	complete := d+1 == len(r.o)
+	level := r.levels[d]
+	var (
+		pops   int64
+		nextLv []partial
+		nPo    int64
+		nTn    int64
+	)
+	if !complete {
+		nextLv = r.levels[d+1][:0]
+	}
+
+	// The vertex being matched is O[d] when expanding partials that have d
+	// vertices mapped... they extend *to* depth d+1 by matching O[d].
+	checkList := r.checksFor(d)
+
+	budget := int64(cfg.No)
+	i := 0
+	for i < len(level) && nPo < budget {
+		p := &level[i]
+		cands := r.candidatesOf(d, p)
+		avail := cands[p.cur:]
+		pops++
+		space := budget - nPo
+		take := int64(len(avail))
+		resumed := false
+		if take > space {
+			take = space
+			resumed = true
+		}
+		for _, ci := range avail[:take] {
+			nPo++
+			nTn += int64(len(checkList))
+			// Visited validation (Algorithm 6): the newly mapped data
+			// vertex must be fresh.
+			v := r.c.Vertex(u, ci)
+			valid := true
+			for pos2, mi := range p.m {
+				if r.c.Vertex(r.o[pos2], mi) == v {
+					valid = false
+					break
+				}
+			}
+			// Edge validation (Algorithm 7): the new candidate must be
+			// CST-adjacent to every earlier non-tree neighbour's mapping.
+			if valid {
+				for _, un := range checkList {
+					if !r.c.HasCandEdge(u, un, ci, p.m[r.pos[un]]) {
+						valid = false
+						break
+					}
+				}
+			}
+			if !valid {
+				continue
+			}
+			// Synchronizer (Algorithm 8): store back or report.
+			if complete {
+				r.count++
+				if r.opts.Collect || r.opts.Emit != nil {
+					e := make(graph.Embedding, len(r.o))
+					for pos2, mi := range p.m {
+						e[r.o[pos2]] = r.c.Vertex(r.o[pos2], mi)
+					}
+					e[u] = v
+					if r.opts.Collect {
+						r.collected = append(r.collected, e)
+					}
+					if r.opts.Emit != nil {
+						r.opts.Emit(e)
+					}
+				}
+			} else {
+				m := make([]cst.CandIndex, d+1)
+				copy(m, p.m)
+				m[d] = ci
+				nextLv = append(nextLv, partial{m: m})
+			}
+		}
+		if resumed {
+			p.cur += int32(take)
+			break // budget exhausted; this partial resumes next round
+		}
+		i++
+	}
+	// Retain unconsumed partials (including a resumed head).
+	r.levels[d] = append(level[:0], level[i:]...)
+	if !complete {
+		r.levels[d+1] = nextLv
+	}
+
+	r.rounds++
+	r.partials += nPo
+	r.edgeTasks += nTn
+	r.pops += pops
+	r.timing.chargeRound(r.counter, pops, nPo, nTn, len(checkList))
+
+	if hw := r.resident(); hw > r.highWater {
+		r.highWater = hw
+	}
+}
+
+// checksFor returns the edge-validation neighbour list for matching O[d].
+func (r *runState) checksFor(d int) []graph.QueryVertex { return r.checks[d] }
+
+// resident counts partials currently buffered (level 0's root cursor is
+// bookkeeping, not a buffered partial).
+func (r *runState) resident() int {
+	total := 0
+	for d := 1; d < len(r.levels); d++ {
+		total += len(r.levels[d])
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/order"
+)
+
+// TestPortOverflowFallback: a CST whose candidate degree exceeds the port
+// budget still runs (the partitioner normally prevents this; the kernel
+// degrades to a multi-cycle probe), producing identical results at a higher
+// cycle count.
+func TestPortOverflowFallback(t *testing.T) {
+	g := graph.RandomPowerLaw(graph.GenConfig{NumVertices: 800, NumLabels: 2, AvgDegree: 8, Seed: 3})
+	rng := rand.New(rand.NewSource(3))
+	q := graph.RandomConnectedQuery("rq", 4, 2, 2, rng)
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tr)
+	o := order.PathBased(tr, c)
+	if c.MaxCandDegree() < 8 {
+		t.Skipf("max degree %d too small", c.MaxCandDegree())
+	}
+	wide := fpgasim.DefaultConfig()
+	narrow := fpgasim.DefaultConfig()
+	narrow.PortMax = 2
+	a, err := Run(c, o, Options{Variant: VariantSep, Config: wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, o, Options{Variant: VariantSep, Config: narrow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != b.Count {
+		t.Fatalf("port overflow changed results: %d vs %d", a.Count, b.Count)
+	}
+	if b.Cycles <= a.Cycles {
+		t.Errorf("narrow ports not slower: %d vs %d", b.Cycles, a.Cycles)
+	}
+}
+
+// TestCollectAndEmitTogether: both reporting paths can be active at once.
+func TestCollectAndEmitTogether(t *testing.T) {
+	c, o, _ := fig1Setup(t)
+	emitted := 0
+	res, err := Run(c, o, Options{
+		Variant: VariantSep,
+		Config:  fpgasim.DefaultConfig(),
+		Collect: true,
+		Emit:    func(graph.Embedding) { emitted++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 2 || len(res.Embeddings) != 2 {
+		t.Errorf("emit=%d collected=%d, want 2/2", emitted, len(res.Embeddings))
+	}
+}
+
+// TestSingleVertexQueryKernel: degenerate queries run (the buffer holds
+// nothing; the root cursor feeds the complete level directly).
+func TestSingleVertexQueryKernel(t *testing.T) {
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 100, NumLabels: 3, AvgDegree: 4, Seed: 5})
+	q := graph.MustQuery("v", []graph.Label{1}, nil)
+	tr := order.BuildBFSTree(q, 0)
+	c := cst.Build(q, g, tr)
+	res, err := Run(c, order.Order{0}, Options{Variant: VariantSep, Config: fpgasim.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every label-1 vertex passing the degree filter (degree 0 required)
+	// is a match.
+	want := int64(len(g.VerticesWithLabel(1)))
+	if res.Count != want {
+		t.Errorf("count %d, want %d", res.Count, want)
+	}
+	if res.BufferHighWater != 0 {
+		t.Errorf("buffer used for single-vertex query: %d", res.BufferHighWater)
+	}
+}
+
+// TestRootLargerThanNo: a root candidate set bigger than No is consumed
+// across rounds via the level-0 cursor without dropping matches.
+func TestRootLargerThanNo(t *testing.T) {
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 500, NumLabels: 2, AvgDegree: 4, Seed: 8})
+	rng := rand.New(rand.NewSource(8))
+	q := graph.RandomConnectedQuery("rq", 3, 0, 2, rng)
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tr)
+	o := order.PathBased(tr, c)
+	if len(c.Candidates(o[0])) < 20 {
+		t.Skipf("root has only %d candidates", len(c.Candidates(o[0])))
+	}
+	cfg := fpgasim.DefaultConfig()
+	cfg.No = 8 // far below |C(root)|
+	res, err := Run(c, o, Options{Variant: VariantBasic, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cst.Count(c, o); res.Count != want {
+		t.Errorf("count %d, want %d", res.Count, want)
+	}
+}
+
+// TestDeterministicCycles: the cycle model is a pure function of the input.
+func TestDeterministicCycles(t *testing.T) {
+	c, o, _ := fig1Setup(t)
+	var prev int64 = -1
+	for i := 0; i < 3; i++ {
+		res, err := Run(c, o, Options{Variant: VariantTask, Config: fpgasim.DefaultConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Cycles != prev {
+			t.Fatalf("cycle count changed across runs: %d vs %d", res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+// TestEdgeLabeledKernel: edge-label constraints flow through the CST into
+// the kernel (the Section II extension on the FPGA path).
+func TestEdgeLabeledKernel(t *testing.T) {
+	b := graph.NewBuilder(4, 2)
+	b.AddVertex(0)
+	b.AddVertex(1)
+	b.AddVertex(0)
+	b.AddVertex(1)
+	b.AddEdgeLabeled(0, 1, 1)
+	b.AddEdgeLabeled(2, 3, 2)
+	g := b.MustBuild()
+	q := graph.MustQuery("lq", []graph.Label{0, 1}, [][2]graph.QueryVertex{{0, 1}})
+	if err := q.SetEdgeLabel(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr := order.BuildBFSTree(q, 0)
+	c := cst.Build(q, g, tr)
+	res, err := Run(c, order.Order{0, 1}, Options{Variant: VariantSep, Config: fpgasim.DefaultConfig(), Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Embeddings[0][0] != 2 {
+		t.Errorf("edge-labeled kernel: %v", res.Embeddings)
+	}
+}

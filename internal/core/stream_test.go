@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/graph"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/order"
+)
+
+// TestSimulateFindsPaperEmbeddings: the cycle-stepped simulation agrees
+// with the paper's Fig. 1 ground truth for every variant.
+func TestSimulateFindsPaperEmbeddings(t *testing.T) {
+	c, o, g := fig1Setup(t)
+	for _, v := range Variants() {
+		res, err := Simulate(c, o, Options{Variant: v, Config: fpgasim.DefaultConfig(), Collect: true})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Count != 2 {
+			t.Fatalf("%v: count = %d, want 2", v, res.Count)
+		}
+		for _, e := range res.Embeddings {
+			if err := graph.VerifyEmbedding(c.Query, g, e); err != nil {
+				t.Errorf("%v: %v", v, err)
+			}
+		}
+	}
+}
+
+// TestSimulateMatchesRunProperty: the discrete-event simulation and the
+// analytic kernel find identical embedding sets and identical N/M task
+// counts on random inputs.
+func TestSimulateMatchesRunProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomUniform(graph.GenConfig{
+			NumVertices: 50 + rng.Intn(80),
+			NumLabels:   2 + rng.Intn(2),
+			AvgDegree:   2 + rng.Float64()*4,
+			Seed:        seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(4), rng.Intn(3), g.NumLabels(), rng)
+		tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+		c := cst.Build(q, g, tr)
+		o := order.PathBased(tr, c)
+		cfg := fpgasim.DefaultConfig()
+		cfg.No = 64 // exercise multi-round behaviour
+		for _, v := range Variants() {
+			analytic, err := Run(c, o, Options{Variant: v, Config: cfg, Collect: true})
+			if err != nil {
+				return false
+			}
+			streamed, err := Simulate(c, o, Options{Variant: v, Config: cfg, Collect: true})
+			if err != nil {
+				t.Logf("seed %d %v: %v", seed, v, err)
+				return false
+			}
+			if analytic.Count != streamed.Count {
+				t.Logf("seed %d %v: count %d vs %d", seed, v, analytic.Count, streamed.Count)
+				return false
+			}
+			if analytic.Partials != streamed.Partials || analytic.EdgeTasks != streamed.EdgeTasks {
+				t.Logf("seed %d %v: N/M mismatch: %d/%d vs %d/%d", seed, v,
+					analytic.Partials, analytic.EdgeTasks, streamed.Partials, streamed.EdgeTasks)
+				return false
+			}
+			want := make(map[string]bool, len(analytic.Embeddings))
+			for _, e := range analytic.Embeddings {
+				want[e.Key()] = true
+			}
+			for _, e := range streamed.Embeddings {
+				if !want[e.Key()] {
+					t.Logf("seed %d %v: extra embedding %v", seed, v, e)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulateValidatesCycleModel: the analytic per-round composition must
+// agree with the discrete-event measurement within a modest factor (pipeline
+// fill and single-cycle arbitration differ), and the optimisation ladder
+// DRAM ≥ BASIC ≥ TASK ≥ SEP must hold under simulation as well.
+func TestSimulateValidatesCycleModel(t *testing.T) {
+	g := graph.RandomPowerLaw(graph.GenConfig{NumVertices: 1200, NumLabels: 3, AvgDegree: 6, Seed: 31})
+	rng := rand.New(rand.NewSource(31))
+	q := graph.RandomConnectedQuery("rq", 4, 2, 3, rng)
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tr)
+	o := order.PathBased(tr, c)
+	cfg := fpgasim.DefaultConfig()
+	cfg.No = 512
+
+	cycles := map[Variant][2]int64{} // variant → {analytic, streamed}
+	for _, v := range Variants() {
+		a, err := Run(c, o, Options{Variant: v, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Simulate(c, o, Options{Variant: v, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[v] = [2]int64{a.Cycles, s.Cycles}
+		r := float64(s.Cycles) / float64(a.Cycles)
+		t.Logf("%v: analytic %d, streamed %d (ratio %.2f)", v, a.Cycles, s.Cycles, r)
+		if r < 0.4 || r > 2.5 {
+			t.Errorf("%v: streamed/analytic ratio %.2f outside [0.4, 2.5]", v, r)
+		}
+	}
+	if cycles[VariantSep][1] > cycles[VariantTask][1] {
+		t.Errorf("simulated SEP %d > TASK %d", cycles[VariantSep][1], cycles[VariantTask][1])
+	}
+	if cycles[VariantTask][1] > cycles[VariantBasic][1] {
+		t.Errorf("simulated TASK %d > BASIC %d", cycles[VariantTask][1], cycles[VariantBasic][1])
+	}
+	if cycles[VariantBasic][1] > cycles[VariantDRAM][1] {
+		t.Errorf("simulated BASIC %d > DRAM %d", cycles[VariantBasic][1], cycles[VariantDRAM][1])
+	}
+}
+
+// TestSimulateBackpressure: an Edge Validator with II > 1 (adjacency lists
+// beyond the port budget) slows the simulated pipeline down but never
+// changes results.
+func TestSimulateBackpressure(t *testing.T) {
+	g := graph.RandomPowerLaw(graph.GenConfig{NumVertices: 800, NumLabels: 2, AvgDegree: 8, Seed: 13})
+	rng := rand.New(rand.NewSource(13))
+	q := graph.RandomConnectedQuery("rq", 4, 2, 2, rng)
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tr)
+	o := order.PathBased(tr, c)
+
+	wide := fpgasim.DefaultConfig() // PortMax 512 → II 1
+	narrow := fpgasim.DefaultConfig()
+	narrow.PortMax = 4 // force II = ⌈D_CST/4⌉ > 1
+	if c.MaxCandDegree() <= narrow.PortMax {
+		t.Skipf("CST max degree %d too small to exercise backpressure", c.MaxCandDegree())
+	}
+	fast, err := Simulate(c, o, Options{Variant: VariantSep, Config: wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Simulate(c, o, Options{Variant: VariantSep, Config: narrow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Count != slow.Count {
+		t.Fatalf("backpressure changed results: %d vs %d", fast.Count, slow.Count)
+	}
+	if slow.Cycles <= fast.Cycles {
+		t.Errorf("narrow ports not slower: %d vs %d cycles", slow.Cycles, fast.Cycles)
+	}
+}
+
+// TestSimulateBufferBound: the simulation honours the same
+// (|V(q)|−1)·No buffer bound as the analytic kernel.
+func TestSimulateBufferBound(t *testing.T) {
+	g := graph.RandomUniform(graph.GenConfig{NumVertices: 300, NumLabels: 2, AvgDegree: 6, Seed: 9})
+	rng := rand.New(rand.NewSource(9))
+	q := graph.RandomConnectedQuery("rq", 4, 1, 2, rng)
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := cst.Build(q, g, tr)
+	o := order.PathBased(tr, c)
+	cfg := fpgasim.DefaultConfig()
+	cfg.No = 8
+	res, err := Simulate(c, o, Options{Variant: VariantSep, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cst.Count(c, o); res.Count != want {
+		t.Fatalf("count %d, want %d", res.Count, want)
+	}
+	if bound := (q.NumVertices() - 1) * cfg.No; res.BufferHighWater > bound {
+		t.Errorf("buffer high-water %d exceeds bound %d", res.BufferHighWater, bound)
+	}
+}

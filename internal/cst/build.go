@@ -1,0 +1,175 @@
+package cst
+
+import (
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// Build constructs the CST for (q, G) over the BFS tree t, following
+// Algorithm 1: top-down candidate construction, bottom-up refinement, then
+// adding edges between non-tree candidate neighbours. The soundness
+// constraint — every data vertex participating in an embedding of q stays in
+// its candidate set — holds because each pass only removes vertices that
+// cannot appear in any embedding.
+func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
+	c := &CST{
+		Query: q,
+		Tree:  t,
+		Cand:  make([][]graph.VertexID, q.NumVertices()),
+		adj:   make(map[edgeKey]*adjList),
+	}
+
+	// Line 2/4: compute candidates from local features (label, degree and
+	// neighbourhood label frequency).
+	for u := 0; u < q.NumVertices(); u++ {
+		c.Cand[u] = localCandidates(q, g, u)
+	}
+
+	// Membership tests use a generation-stamped array instead of hash
+	// sets: marking a candidate set costs one pass and queries are O(1)
+	// with no per-pass allocation — CST construction is on the host's
+	// critical path (the FPGA idles until the first partition arrives), so
+	// its constant factor matters.
+	stamp := make([]uint32, g.NumVertices())
+	var gen uint32
+	mark := func(vs []graph.VertexID) {
+		gen++
+		for _, v := range vs {
+			stamp[v] = gen
+		}
+	}
+	anyNeighborMarked := func(v graph.VertexID) bool {
+		for _, w := range g.Neighbors(v) {
+			if stamp[w] == gen {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Lines 3-7: top-down construction. A candidate of u survives only if
+	// it is adjacent to at least one candidate of u's tree parent.
+	topDown := func() {
+		for _, u := range t.BFSOrder {
+			if u == t.Root {
+				continue
+			}
+			mark(c.Cand[t.Parent[u]])
+			kept := c.Cand[u][:0]
+			for _, v := range c.Cand[u] {
+				if anyNeighborMarked(v) {
+					kept = append(kept, v)
+				}
+			}
+			c.Cand[u] = kept
+		}
+	}
+	topDown()
+
+	// Lines 8-14: bottom-up refinement. A candidate v of u is valid only if
+	// every tree child uc has at least one candidate adjacent to v.
+	for i := len(t.BFSOrder) - 1; i >= 0; i-- {
+		u := t.BFSOrder[i]
+		if len(t.Children[u]) == 0 {
+			continue
+		}
+		kept := c.Cand[u]
+		for _, uc := range t.Children[u] {
+			mark(c.Cand[uc])
+			out := kept[:0]
+			for _, v := range kept {
+				if anyNeighborMarked(v) {
+					out = append(out, v)
+				}
+			}
+			kept = out
+		}
+		c.Cand[u] = kept
+	}
+
+	// One more top-down pass: bottom-up refinement may have removed parent
+	// candidates, stranding children whose only parents vanished. The paper
+	// removes such candidates from adjacency lists (line 14); pruning them
+	// from C(u) as well is equivalent and keeps the CST smaller.
+	topDown()
+
+	// Build adjacency lists for tree edges and (lines 15-19) non-tree
+	// candidate neighbours, both directions.
+	for _, u := range t.BFSOrder {
+		if u != t.Root {
+			c.buildAdj(g, t.Parent[u], u)
+			c.buildAdj(g, u, t.Parent[u])
+		}
+	}
+	for _, e := range t.NonTreeEdges {
+		c.buildAdj(g, e[0], e[1])
+		c.buildAdj(g, e[1], e[0])
+	}
+	return c
+}
+
+// localCandidates returns the data vertices conforming with u's local
+// features: same label, at least u's degree, and at least u's per-label
+// neighbour counts (the NLF filter used by CFL/DAF/CECI).
+func localCandidates(q *graph.Query, g *graph.Graph, u graph.QueryVertex) []graph.VertexID {
+	nlf := q.NeighborLabelCounts(u)
+	var out []graph.VertexID
+	for _, v := range g.VerticesWithLabel(q.Label(u)) {
+		if g.Degree(v) < q.Degree(u) {
+			continue
+		}
+		ok := true
+		for l, need := range nlf {
+			if g.DegreeWithLabel(v, l) < need {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// buildAdj fills adj[{from,to}] by intersecting each from-candidate's data
+// adjacency with C(to). Both inputs are sorted, so a merge intersection
+// costs O(d_G(v) + |C(to)|) per candidate. When the query edge carries a
+// label, only data edges with a matching half-edge label survive — the
+// edge-labeled extension of Section II.
+func (c *CST) buildAdj(g *graph.Graph, from, to graph.QueryVertex) {
+	src, dst := c.Cand[from], c.Cand[to]
+	want := c.Query.EdgeLabel(from, to)
+	wantRev := c.Query.EdgeLabel(to, from)
+	a := &adjList{Offsets: make([]int32, len(src)+1)}
+	for i, v := range src {
+		adj := g.Neighbors(v)
+		elabels := g.EdgeLabels(v)
+		// Merge-intersect adj (sorted vertex ids) with dst (sorted ids),
+		// emitting dst *indices*.
+		ai, di := 0, 0
+		for ai < len(adj) && di < len(dst) {
+			switch {
+			case adj[ai] < dst[di]:
+				ai++
+			case adj[ai] > dst[di]:
+				di++
+			default:
+				// Both half-edge labels must match so that enumerating via
+				// either direction of this adjacency enforces the full
+				// (possibly direction-encoded) constraint.
+				ok := want == graph.WildcardEdgeLabel || elabels == nil || elabels[ai] == want
+				if ok && wantRev != graph.WildcardEdgeLabel && elabels != nil {
+					ok = g.HasEdgeLabeled(adj[ai], v, wantRev)
+				}
+				if ok {
+					a.Targets = append(a.Targets, CandIndex(di))
+				}
+				ai++
+				di++
+			}
+		}
+		a.Offsets[i+1] = int32(len(a.Targets))
+	}
+	c.adj[edgeKey{from, to}] = a
+}

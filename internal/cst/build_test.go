@@ -1,0 +1,318 @@
+package cst
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// fig1Query is the paper's Fig. 1(a) query: A(u0)-B(u1), A-C(u2), B-C(u1-u2),
+// C-D(u2-u3).
+func fig1Query() *graph.Query {
+	return graph.MustQuery("fig1", []graph.Label{0, 1, 2, 3},
+		[][2]graph.QueryVertex{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+}
+
+// fig1Data reconstructs the paper's Fig. 1(b) data graph (0-based: v1→0 …
+// v12→11; labels A=0 B=1 C=2 D=3 E=4). It is built so that Algorithm 1
+// yields exactly the CST of Fig. 3(b).
+func fig1Data() *graph.Graph {
+	labels := []graph.Label{0, 0, 2, 1, 2, 1, 2, 3, 3, 3, 4, 4}
+	edges := [][2]graph.VertexID{
+		{0, 3}, {0, 2}, {0, 6}, // v1-v4, v1-v3, v1-v7
+		{3, 2},         // v4-v3
+		{2, 8},         // v3-v9
+		{1, 5}, {1, 4}, // v2-v6, v2-v5
+		{5, 4}, {5, 6}, // v6-v5, v6-v7
+		{4, 9}, {6, 9}, // v5-v10, v7-v10
+		{5, 7},           // v6-v8
+		{6, 10}, {8, 11}, // v7-v11, v9-v12
+	}
+	g, err := graph.FromEdgeList(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func fig1CST(t *testing.T) *CST {
+	t.Helper()
+	q, g := fig1Query(), fig1Data()
+	tr := order.BuildBFSTree(q, 0)
+	c := Build(q, g, tr)
+	if err := c.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return c
+}
+
+func vertsOf(c *CST, u graph.QueryVertex) []graph.VertexID {
+	return append([]graph.VertexID(nil), c.Cand[u]...)
+}
+
+func TestBuildMatchesPaperExample2(t *testing.T) {
+	c := fig1CST(t)
+	want := map[graph.QueryVertex][]graph.VertexID{
+		0: {0, 1},    // C(u0) = {v1, v2}
+		1: {3, 5},    // C(u1) = {v4, v6}
+		2: {2, 4, 6}, // C(u2) = {v3, v5, v7}
+		3: {8, 9},    // C(u3) = {v9, v10}
+	}
+	for u, w := range want {
+		got := vertsOf(c, u)
+		if len(got) != len(w) {
+			t.Fatalf("C(u%d) = %v, want %v", u, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("C(u%d) = %v, want %v", u, got, w)
+			}
+		}
+	}
+	// N^{u1}_{u2}(v6) = {v5, v7}: v6 is candidate index 1 of u1.
+	i6 := c.CandIndexOf(1, 5)
+	var nbr []graph.VertexID
+	for _, j := range c.Adjacency(1, 2, i6) {
+		nbr = append(nbr, c.Vertex(2, j))
+	}
+	if len(nbr) != 2 || nbr[0] != 4 || nbr[1] != 6 {
+		t.Errorf("N^u1_u2(v6) = %v, want [v5 v7] = [4 6]", nbr)
+	}
+	// N^{u2}_{u3}(v3) = {v9}.
+	i3 := c.CandIndexOf(2, 2)
+	nbr = nil
+	for _, j := range c.Adjacency(2, 3, i3) {
+		nbr = append(nbr, c.Vertex(3, j))
+	}
+	if len(nbr) != 1 || nbr[0] != 8 {
+		t.Errorf("N^u2_u3(v3) = %v, want [v9] = [8]", nbr)
+	}
+}
+
+func TestEnumerateFindsPaperEmbeddings(t *testing.T) {
+	c := fig1CST(t)
+	o := order.Order{0, 1, 2, 3}
+	got := CollectAll(c, o)
+	if len(got) != 2 {
+		t.Fatalf("found %d embeddings, want 2: %v", len(got), got)
+	}
+	keys := map[string]bool{}
+	for _, e := range got {
+		if err := graph.VerifyEmbedding(c.Query, fig1Data(), e); err != nil {
+			t.Errorf("invalid embedding %v: %v", e, err)
+		}
+		keys[e.Key()] = true
+	}
+	// Paper's embeddings: (v1,v4,v3,v9) and (v2,v6,v5,v10) — 0-based below.
+	for _, want := range []graph.Embedding{{0, 3, 2, 8}, {1, 5, 4, 9}} {
+		if !keys[want.Key()] {
+			t.Errorf("missing paper embedding %v", want)
+		}
+	}
+}
+
+func TestCandIndexOf(t *testing.T) {
+	c := fig1CST(t)
+	if i := c.CandIndexOf(2, 4); i < 0 || c.Vertex(2, i) != 4 {
+		t.Errorf("CandIndexOf(u2, v5) = %d", i)
+	}
+	if i := c.CandIndexOf(2, 7); i != -1 {
+		t.Errorf("CandIndexOf non-candidate = %d, want -1", i)
+	}
+}
+
+func TestCSTStats(t *testing.T) {
+	c := fig1CST(t)
+	s := c.ComputeStats()
+	if s.CandTotal != 9 {
+		t.Errorf("CandTotal = %d, want 9", s.CandTotal)
+	}
+	if s.SizeBytes <= 0 || s.SizeBytes != c.SizeBytes() {
+		t.Errorf("SizeBytes = %d", s.SizeBytes)
+	}
+	if s.MaxDegree < 1 || s.MaxDegree > 3 {
+		t.Errorf("MaxDegree = %d", s.MaxDegree)
+	}
+	if c.IsEmpty() {
+		t.Error("IsEmpty on non-empty CST")
+	}
+}
+
+// bruteForce enumerates embeddings directly on the data graph by
+// label-aware backtracking, with no auxiliary structure at all. It is the
+// ground truth the CST pipeline must agree with.
+func bruteForce(q *graph.Query, g *graph.Graph) map[string]bool {
+	out := make(map[string]bool)
+	n := q.NumVertices()
+	mapping := make(graph.Embedding, n)
+	used := make(map[graph.VertexID]bool)
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			out[mapping.Key()] = true
+			return
+		}
+	cand:
+		for _, v := range g.VerticesWithLabel(q.Label(u)) {
+			if used[v] {
+				continue
+			}
+			for _, w := range q.Neighbors(u) {
+				if w < u && !g.HasEdge(mapping[w], v) {
+					continue cand
+				}
+			}
+			mapping[u] = v
+			used[v] = true
+			rec(u + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+func embeddingSet(es []graph.Embedding) map[string]bool {
+	m := make(map[string]bool, len(es))
+	for _, e := range es {
+		m[e.Key()] = true
+	}
+	return m
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSoundnessProperty is Theorem 1: enumerating the CST yields exactly
+// the brute-force embedding set, on random graphs and random queries.
+func TestSoundnessProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomUniform(graph.GenConfig{
+			NumVertices: 60 + rng.Intn(120),
+			NumLabels:   2 + rng.Intn(3),
+			AvgDegree:   2 + rng.Float64()*4,
+			Seed:        seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(4), rng.Intn(3), g.NumLabels(), rng)
+		tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+		c := Build(q, g, tr)
+		if err := c.Validate(g); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		o := order.PathBased(tr, c)
+		if err := o.Validate(tr); err != nil {
+			t.Logf("seed %d: bad order: %v", seed, err)
+			return false
+		}
+		got := embeddingSet(CollectAll(c, o))
+		want := bruteForce(q, g)
+		if !setsEqual(got, want) {
+			t.Logf("seed %d: CST found %d embeddings, brute force %d", seed, len(got), len(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSoundnessContainment checks the paper's soundness constraint
+// directly: if an embedding maps u to v, then v ∈ C(u).
+func TestSoundnessContainment(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomPowerLaw(graph.GenConfig{
+			NumVertices: 150, NumLabels: 3, AvgDegree: 4, Seed: seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(3), rng.Intn(2), 3, rng)
+		tr := order.BuildBFSTree(q, 0)
+		c := Build(q, g, tr)
+		for key := range bruteForce(q, g) {
+			// Decode key back into vertex ids (5 bytes per vertex).
+			for u := 0; u < q.NumVertices(); u++ {
+				v := graph.VertexID(key[u*5]) | graph.VertexID(key[u*5+1])<<8 |
+					graph.VertexID(key[u*5+2])<<16 | graph.VertexID(key[u*5+3])<<24
+				if c.CandIndexOf(u, v) < 0 {
+					t.Logf("seed %d: embedding vertex %d missing from C(u%d)", seed, v, u)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnumerateOrderInvariance: the embedding *set* must not depend on the
+// matching order used.
+func TestEnumerateOrderInvariance(t *testing.T) {
+	q, g := fig1Query(), fig1Data()
+	tr := order.BuildBFSTree(q, 0)
+	c := Build(q, g, tr)
+	ref := embeddingSet(CollectAll(c, order.Order{0, 1, 2, 3}))
+	for _, o := range order.AllConnected(tr, 0) {
+		got := embeddingSet(CollectAll(c, o))
+		if !setsEqual(got, ref) {
+			t.Errorf("order %v changed the embedding set", o)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	c := fig1CST(t)
+	calls := 0
+	n := Enumerate(c, order.Order{0, 1, 2, 3}, func(graph.Embedding) bool {
+		calls++
+		return false // stop after the first
+	})
+	if calls != 1 || n != 1 {
+		t.Errorf("early stop: calls=%d n=%d, want 1/1", calls, n)
+	}
+}
+
+func TestBuildEmptyCandidates(t *testing.T) {
+	// A query label absent from the data graph must give an empty CST and
+	// zero embeddings, not a crash.
+	q := graph.MustQuery("missing", []graph.Label{9, 9}, [][2]graph.QueryVertex{{0, 1}})
+	g := fig1Data()
+	tr := order.BuildBFSTree(q, 0)
+	c := Build(q, g, tr)
+	if !c.IsEmpty() {
+		t.Error("expected empty CST")
+	}
+	if n := Count(c, order.Order{0, 1}); n != 0 {
+		t.Errorf("Count = %d, want 0", n)
+	}
+}
+
+func TestAvgBranch(t *testing.T) {
+	c := fig1CST(t)
+	// u0→u1: v1→{v4}, v2→{v6}: 2 entries / 2 candidates = 1.0.
+	if b := c.AvgBranch(0, 1); b != 1.0 {
+		t.Errorf("AvgBranch(0,1) = %v, want 1.0", b)
+	}
+	// Sorted candidates must stay sorted after build.
+	for u := 0; u < c.Query.NumVertices(); u++ {
+		if !sort.SliceIsSorted(c.Cand[u], func(i, j int) bool { return c.Cand[u][i] < c.Cand[u][j] }) {
+			t.Errorf("C(u%d) unsorted", u)
+		}
+	}
+}

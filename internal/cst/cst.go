@@ -1,0 +1,213 @@
+// Package cst implements the paper's candidate search tree (CST), the
+// auxiliary data structure at the centre of the CPU–FPGA co-design
+// (Section V). A CST is a graph isomorphic to the query q whose vertices
+// carry candidate sets C(u) and whose edges carry candidate-level adjacency
+// lists N^u_u'(v). Because the CST keeps *all* edge information of q
+// (including non-tree edges), it is a complete search space: all embeddings
+// of q in G can be computed by traversing only the CST (Theorem 1), which is
+// what makes partitioning (Algorithm 2) and BRAM-only matching possible.
+package cst
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// CandIndex is an index into a candidate set C(u). The kernel operates
+// entirely on candidate indices; data-vertex ids are recovered only when an
+// embedding is reported.
+type CandIndex = int32
+
+// edgeKey identifies a directed candidate-adjacency relation (From → To)
+// for a query edge {From, To}.
+type edgeKey struct {
+	From, To graph.QueryVertex
+}
+
+// adjList is a CSR adjacency over candidate indices: the neighbours of
+// candidate i of the source vertex are Targets[Offsets[i]:Offsets[i+1]],
+// each a candidate index of the destination vertex, sorted ascending.
+type adjList struct {
+	Offsets []int32
+	Targets []CandIndex
+}
+
+func (a *adjList) neighbors(i CandIndex) []CandIndex {
+	return a.Targets[a.Offsets[i]:a.Offsets[i+1]]
+}
+
+func (a *adjList) degree(i CandIndex) int {
+	return int(a.Offsets[i+1] - a.Offsets[i])
+}
+
+func (a *adjList) has(i, j CandIndex) bool {
+	t := a.neighbors(i)
+	k := sort.Search(len(t), func(k int) bool { return t[k] >= j })
+	return k < len(t) && t[k] == j
+}
+
+// CST is a candidate search tree for (q, G). Adjacency is stored for both
+// directions of every query edge (tree and non-tree) so that top-down,
+// bottom-up and validation passes are all O(1)-indexed.
+type CST struct {
+	Query *graph.Query
+	Tree  *order.Tree
+	// Cand[u] lists the candidate data vertices of query vertex u, sorted.
+	Cand [][]graph.VertexID
+	adj  map[edgeKey]*adjList
+
+	// Size and degree statistics are queried on every partition decision,
+	// so they are memoised; a CST is immutable once built.
+	statsOnce sync.Once
+	sizeBytes int64
+	maxDeg    int
+}
+
+// Candidates returns C(u) as data-vertex ids (sorted, aliasing storage).
+func (c *CST) Candidates(u graph.QueryVertex) []graph.VertexID { return c.Cand[u] }
+
+// CandCount returns |C(u)| (order.Estimator).
+func (c *CST) CandCount(u graph.QueryVertex) int { return len(c.Cand[u]) }
+
+// AvgBranch returns the average adjacency-list length from candidates of up
+// towards uc (order.Estimator).
+func (c *CST) AvgBranch(up, uc graph.QueryVertex) float64 {
+	a := c.adj[edgeKey{up, uc}]
+	if a == nil || len(c.Cand[up]) == 0 {
+		return 0
+	}
+	return float64(len(a.Targets)) / float64(len(c.Cand[up]))
+}
+
+// Vertex returns the data vertex of candidate i of u.
+func (c *CST) Vertex(u graph.QueryVertex, i CandIndex) graph.VertexID {
+	return c.Cand[u][i]
+}
+
+// Adjacency returns N^{from}_{to}(i): candidate indices of `to` adjacent to
+// candidate i of `from`. {from,to} must be a query edge.
+func (c *CST) Adjacency(from, to graph.QueryVertex, i CandIndex) []CandIndex {
+	return c.adj[edgeKey{from, to}].neighbors(i)
+}
+
+// HasCandEdge reports whether candidates i of `from` and j of `to` are
+// adjacent in the CST. This is the O(1) edge-existence check the FPGA's
+// Edge Validator performs (Algorithm 7); in software it binary-searches.
+func (c *CST) HasCandEdge(from, to graph.QueryVertex, i, j CandIndex) bool {
+	return c.adj[edgeKey{from, to}].has(i, j)
+}
+
+// CandIndexOf returns the candidate index of data vertex v within C(u), or
+// -1 when v is not a candidate of u.
+func (c *CST) CandIndexOf(u graph.QueryVertex, v graph.VertexID) CandIndex {
+	cands := c.Cand[u]
+	i := sort.Search(len(cands), func(i int) bool { return cands[i] >= v })
+	if i < len(cands) && cands[i] == v {
+		return CandIndex(i)
+	}
+	return -1
+}
+
+// SizeBytes returns |CST|: 4 bytes per candidate entry plus the CSR
+// adjacency arrays, the quantity the δS partition threshold bounds.
+func (c *CST) SizeBytes() int64 {
+	c.computeCachedStats()
+	return c.sizeBytes
+}
+
+// MaxCandDegree returns D_CST, the longest candidate adjacency list in any
+// direction; the δD threshold bounds it because the FPGA's array-partition
+// ports cap the width of an O(1) membership probe.
+func (c *CST) MaxCandDegree() int {
+	c.computeCachedStats()
+	return c.maxDeg
+}
+
+func (c *CST) computeCachedStats() {
+	c.statsOnce.Do(func() {
+		for _, cands := range c.Cand {
+			c.sizeBytes += int64(len(cands)) * 4
+		}
+		for _, a := range c.adj {
+			c.sizeBytes += int64(len(a.Offsets))*4 + int64(len(a.Targets))*4
+			for i := 0; i+1 < len(a.Offsets); i++ {
+				if d := a.degree(CandIndex(i)); d > c.maxDeg {
+					c.maxDeg = d
+				}
+			}
+		}
+	})
+}
+
+// IsEmpty reports whether any candidate set is empty, in which case the CST
+// contains no embeddings at all.
+func (c *CST) IsEmpty() bool {
+	for _, cands := range c.Cand {
+		if len(cands) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the CST's structural invariants: sorted candidate sets,
+// within-range adjacency targets, symmetric adjacency for both edge
+// directions, and adjacency only between genuine data-graph edges.
+func (c *CST) Validate(g *graph.Graph) error {
+	for u, cands := range c.Cand {
+		for i := 1; i < len(cands); i++ {
+			if cands[i-1] >= cands[i] {
+				return fmt.Errorf("cst: C(%d) not strictly sorted", u)
+			}
+		}
+	}
+	for key, a := range c.adj {
+		if len(a.Offsets) != len(c.Cand[key.From])+1 {
+			return fmt.Errorf("cst: adj %v offsets length %d, want %d", key, len(a.Offsets), len(c.Cand[key.From])+1)
+		}
+		rev := c.adj[edgeKey{key.To, key.From}]
+		if rev == nil {
+			return fmt.Errorf("cst: missing reverse adjacency for %v", key)
+		}
+		for i := 0; i < len(c.Cand[key.From]); i++ {
+			for _, j := range a.neighbors(CandIndex(i)) {
+				if int(j) >= len(c.Cand[key.To]) {
+					return fmt.Errorf("cst: adj %v target %d out of range", key, j)
+				}
+				if g != nil && !g.HasEdge(c.Cand[key.From][i], c.Cand[key.To][j]) {
+					return fmt.Errorf("cst: adj %v claims edge (%d,%d) absent from G",
+						key, c.Cand[key.From][i], c.Cand[key.To][j])
+				}
+				if !rev.has(j, CandIndex(i)) {
+					return fmt.Errorf("cst: adj %v entry (%d,%d) not mirrored", key, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a CST for reporting.
+type Stats struct {
+	CandTotal  int
+	AdjEntries int
+	SizeBytes  int64
+	MaxDegree  int
+}
+
+// ComputeStats gathers Stats.
+func (c *CST) ComputeStats() Stats {
+	s := Stats{SizeBytes: c.SizeBytes(), MaxDegree: c.MaxCandDegree()}
+	for _, cands := range c.Cand {
+		s.CandTotal += len(cands)
+	}
+	for _, a := range c.adj {
+		s.AdjEntries += len(a.Targets)
+	}
+	s.AdjEntries /= 2 // both directions stored
+	return s
+}

@@ -1,0 +1,166 @@
+package cst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// labeledPath builds a data graph with two A-B edges, one labelled
+// "knows"(1) and one labelled "follows"(2).
+func labeledPairs() *graph.Graph {
+	b := graph.NewBuilder(4, 2)
+	b.AddVertex(0) // A
+	b.AddVertex(1) // B
+	b.AddVertex(0) // A
+	b.AddVertex(1) // B
+	b.AddEdgeLabeled(0, 1, 1)
+	b.AddEdgeLabeled(2, 3, 2)
+	return b.MustBuild()
+}
+
+func TestCSTRespectsEdgeLabels(t *testing.T) {
+	g := labeledPairs()
+	q := graph.MustQuery("lq", []graph.Label{0, 1}, [][2]graph.QueryVertex{{0, 1}})
+	if err := q.SetEdgeLabel(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr := order.BuildBFSTree(q, 0)
+	c := Build(q, g, tr)
+	got := CollectAll(c, order.Order{0, 1})
+	if len(got) != 1 {
+		t.Fatalf("found %d embeddings, want 1 (only the label-1 edge)", len(got))
+	}
+	if got[0][0] != 0 || got[0][1] != 1 {
+		t.Errorf("embedding %v, want [0 1]", got[0])
+	}
+	// Unlabeled query matches both edges.
+	q2 := graph.MustQuery("uq", []graph.Label{0, 1}, [][2]graph.QueryVertex{{0, 1}})
+	c2 := Build(q2, g, order.BuildBFSTree(q2, 0))
+	if n := Count(c2, order.Order{0, 1}); n != 2 {
+		t.Errorf("unlabeled query found %d, want 2", n)
+	}
+}
+
+func TestCSTRespectsArcLabels(t *testing.T) {
+	// Directed encoding: data edge 0→1 labelled 7 forward, 8 backward.
+	b := graph.NewBuilder(2, 1)
+	b.AddVertex(0)
+	b.AddVertex(1)
+	b.AddEdgeArcs(0, 1, 7, 8)
+	g := b.MustBuild()
+
+	match := graph.MustQuery("m", []graph.Label{0, 1}, [][2]graph.QueryVertex{{0, 1}})
+	if err := match.SetEdgeArcLabels(0, 1, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	c := Build(match, g, order.BuildBFSTree(match, 0))
+	if n := Count(c, order.Order{0, 1}); n != 1 {
+		t.Errorf("direction-consistent query found %d, want 1", n)
+	}
+
+	// Reversed direction must not match.
+	rev := graph.MustQuery("r", []graph.Label{0, 1}, [][2]graph.QueryVertex{{0, 1}})
+	if err := rev.SetEdgeArcLabels(0, 1, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	c2 := Build(rev, g, order.BuildBFSTree(rev, 0))
+	if n := Count(c2, order.Order{0, 1}); n != 0 {
+		t.Errorf("direction-reversed query found %d, want 0", n)
+	}
+}
+
+// randomEdgeLabeled builds a random graph with random edge labels in
+// {1,2,3} by re-adding every edge of a generated graph with a label.
+func randomEdgeLabeled(seed int64, rng *rand.Rand) *graph.Graph {
+	base := graph.RandomUniform(graph.GenConfig{
+		NumVertices: 60 + rng.Intn(60),
+		NumLabels:   2,
+		AvgDegree:   3 + rng.Float64()*3,
+		Seed:        seed,
+	})
+	b := graph.NewBuilder(base.NumVertices(), base.NumEdges())
+	for v := 0; v < base.NumVertices(); v++ {
+		b.AddVertex(base.Label(graph.VertexID(v)))
+	}
+	for v := 0; v < base.NumVertices(); v++ {
+		for _, w := range base.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < w {
+				b.AddEdgeLabeled(graph.VertexID(v), w, graph.EdgeLabel(1+rng.Intn(3)))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestEdgeLabelSoundnessProperty: on random edge-labeled inputs, the CST
+// pipeline agrees with brute-force enumeration that checks edge labels.
+func TestEdgeLabelSoundnessProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomEdgeLabeled(seed, rng)
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(3), rng.Intn(2), 2, rng)
+		// Label a random subset of query edges.
+		for u := 0; u < q.NumVertices(); u++ {
+			for _, w := range q.Neighbors(u) {
+				if u < w && rng.Float64() < 0.5 {
+					if err := q.SetEdgeLabel(u, w, graph.EdgeLabel(1+rng.Intn(3))); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		tr := order.BuildBFSTree(q, 0)
+		c := Build(q, g, tr)
+		o := order.PathBased(tr, c)
+		got := CollectAll(c, o)
+		for _, e := range got {
+			if err := graph.VerifyEmbedding(q, g, e); err != nil {
+				t.Logf("seed %d: invalid: %v", seed, err)
+				return false
+			}
+		}
+		// Brute force with label checks.
+		want := 0
+		n := q.NumVertices()
+		mapping := make(graph.Embedding, n)
+		used := map[graph.VertexID]bool{}
+		var rec func(u int)
+		rec = func(u int) {
+			if u == n {
+				want++
+				return
+			}
+		cand:
+			for _, v := range g.VerticesWithLabel(q.Label(u)) {
+				if used[v] {
+					continue
+				}
+				for _, w := range q.Neighbors(u) {
+					if w < u {
+						if !g.HasEdgeLabeled(mapping[w], v, q.EdgeLabel(w, u)) ||
+							!g.HasEdgeLabeled(v, mapping[w], q.EdgeLabel(u, w)) {
+							continue cand
+						}
+					}
+				}
+				mapping[u] = v
+				used[v] = true
+				rec(u + 1)
+				used[v] = false
+			}
+		}
+		rec(0)
+		if len(got) != want {
+			t.Logf("seed %d: CST %d vs brute %d", seed, len(got), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

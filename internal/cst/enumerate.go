@@ -1,0 +1,110 @@
+package cst
+
+import (
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// Enumerate backtracks over the CST following matching order o and invokes
+// emit for every embedding of q in G contained in this CST. If emit returns
+// false, enumeration stops early. It returns the number of embeddings
+// emitted. This is the CPU-side matcher the scheduler uses for the host's
+// share of work (Section V-C) and the reference oracle the kernel tests
+// compare against.
+//
+// Enumerate only reads the CST — Theorem 1's claim that the CST is a
+// complete search space — so running it per partition and unioning results
+// is equivalent to running it on the unpartitioned CST.
+func Enumerate(c *CST, o order.Order, emit func(graph.Embedding) bool) int64 {
+	n := c.Query.NumVertices()
+	pos := o.PositionOf()
+
+	// checks[i] lists, for the vertex matched at position i, the earlier
+	// query neighbours (other than the tree parent) whose CST edge must be
+	// validated — exactly the kernel's edge-validation tasks.
+	checks := make([][]graph.QueryVertex, n)
+	for i, u := range o {
+		for _, un := range c.Query.Neighbors(u) {
+			if un == c.Tree.Parent[u] {
+				continue // implied by candidate generation
+			}
+			if pos[un] < i {
+				checks[i] = append(checks[i], un)
+			}
+		}
+	}
+
+	mappedIdx := make([]CandIndex, n)       // candidate index per query vertex
+	mappedVert := make([]graph.VertexID, n) // data vertex per query vertex
+	var count int64
+	stopped := false
+
+	var rec func(depth int)
+	rec = func(depth int) {
+		if stopped {
+			return
+		}
+		if depth == n {
+			count++
+			if emit != nil {
+				e := make(graph.Embedding, n)
+				copy(e, mappedVert)
+				if !emit(e) {
+					stopped = true
+				}
+			}
+			return
+		}
+		u := o[depth]
+		var cands []CandIndex
+		if depth == 0 {
+			for i := range c.Cand[u] {
+				cands = append(cands, CandIndex(i))
+			}
+		} else {
+			up := c.Tree.Parent[u]
+			cands = c.Adjacency(up, u, mappedIdx[up])
+		}
+	next:
+		for _, ci := range cands {
+			v := c.Cand[u][ci]
+			for d := 0; d < depth; d++ { // visited validation
+				if mappedVert[o[d]] == v {
+					continue next
+				}
+			}
+			for _, un := range checks[depth] { // edge validation
+				if !c.HasCandEdge(u, un, ci, mappedIdx[un]) {
+					continue next
+				}
+			}
+			mappedIdx[u] = ci
+			mappedVert[u] = v
+			rec(depth + 1)
+			if stopped {
+				return
+			}
+		}
+	}
+	if !c.IsEmpty() {
+		rec(0)
+	}
+	return count
+}
+
+// Count returns the number of embeddings in the CST without materialising
+// them.
+func Count(c *CST, o order.Order) int64 {
+	return Enumerate(c, o, nil)
+}
+
+// CollectAll enumerates and returns every embedding; tests and small
+// examples use it. Avoid on large search spaces.
+func CollectAll(c *CST, o order.Order) []graph.Embedding {
+	var out []graph.Embedding
+	Enumerate(c, o, func(e graph.Embedding) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,267 @@
+package cst
+
+import (
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// PartitionConfig carries the partition thresholds of Section V-B.
+type PartitionConfig struct {
+	// MaxSizeBytes is δS, the BRAM budget a partition must fit in.
+	MaxSizeBytes int64
+	// MaxCandDegree is δD, the longest candidate adjacency list the FPGA's
+	// partitioned-array ports can probe in one cycle (Port_max).
+	MaxCandDegree int
+	// FixedK, when > 0, overrides the greedy partition factor with a fixed
+	// k — the Fig. 8 k-determination experiment.
+	FixedK int
+	// Steal, when non-nil, is offered every CST that still violates a
+	// threshold before it is split further. Returning true takes ownership
+	// of the CST (the caller will process it elsewhere — FAST-SHARE hands
+	// such pieces to the CPU, "reducing the cost of partitioning" as
+	// Section VII-B explains) and stops its recursion.
+	Steal func(*CST) bool
+}
+
+// DefaultPartitionConfig mirrors the Alveo U200 deployment: 35 MB of BRAM
+// (we budget half of it for the CST, the rest holds the partial-results
+// buffer) and 512 access ports.
+func DefaultPartitionConfig() PartitionConfig {
+	return PartitionConfig{
+		MaxSizeBytes:  16 << 20,
+		MaxCandDegree: 512,
+	}
+}
+
+// Fits reports whether c satisfies both thresholds.
+func (cfg PartitionConfig) Fits(c *CST) bool {
+	return c.SizeBytes() <= cfg.MaxSizeBytes && c.MaxCandDegree() <= cfg.MaxCandDegree
+}
+
+// Partition splits c into pieces that each satisfy cfg, following
+// Algorithm 2: walk the matching order; at vertex u = O[index], choose the
+// partition factor k (greedy: the violation ratio; or cfg.FixedK), split
+// C(u) into k even chunks, restrict the CST to each chunk, and recurse when
+// a piece still violates a threshold. Pieces are passed to process in the
+// order they become valid, which is how the scheduler overlaps partitioning
+// with FPGA execution. The partitions' search spaces are disjoint and their
+// union is exactly c's search space (tested property).
+func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) int {
+	count := 0
+	var rec func(cur *CST, index int)
+	rec = func(cur *CST, index int) {
+		if cfg.Fits(cur) || index >= len(o) {
+			// index can run off the end when every C(u) is a singleton and
+			// the CST still violates a threshold; it cannot be split
+			// further, so it is processed as-is (the kernel falls back to
+			// a multi-cycle probe for over-long lists).
+			process(cur)
+			count++
+			return
+		}
+		if cfg.Steal != nil && cfg.Steal(cur) {
+			count++
+			return
+		}
+		u := o[index]
+		k := cfg.partitionFactor(cur)
+		if k > len(cur.Cand[u]) {
+			k = len(cur.Cand[u])
+		}
+		if k <= 1 {
+			// Cannot split at u; move to the next order position.
+			rec(cur, index+1)
+			return
+		}
+		for i := 0; i < k; i++ {
+			chunk := evenChunk(len(cur.Cand[u]), k, i)
+			part := restrict(cur, u, chunk)
+			if part.IsEmpty() {
+				continue // restriction stranded a branch: no embeddings here
+			}
+			switch {
+			case cfg.Fits(part):
+				process(part)
+				count++
+			case len(part.Cand[u]) == 1:
+				rec(part, index+1)
+			default:
+				rec(part, index)
+			}
+		}
+	}
+	rec(c, 0)
+	return count
+}
+
+// partitionFactor implements line 2 of Algorithm 2: the larger of the two
+// violation ratios, rounded up.
+func (cfg PartitionConfig) partitionFactor(c *CST) int {
+	if cfg.FixedK > 0 {
+		return cfg.FixedK
+	}
+	k := 1
+	if cfg.MaxSizeBytes > 0 {
+		if r := ceilDiv64(c.SizeBytes(), cfg.MaxSizeBytes); int(r) > k {
+			k = int(r)
+		}
+	}
+	if cfg.MaxCandDegree > 0 {
+		if r := (c.MaxCandDegree() + cfg.MaxCandDegree - 1) / cfg.MaxCandDegree; r > k {
+			k = r
+		}
+	}
+	return k
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// evenChunk returns the half-open index range [lo,hi) of the i-th of k even
+// chunks of n items.
+func evenChunk(n, k, i int) [2]int {
+	base, rem := n/k, n%k
+	lo := i*base + min(i, rem)
+	hi := lo + base
+	if i < rem {
+		hi++
+	}
+	return [2]int{lo, hi}
+}
+
+// restrict builds a new CST from cur with C(u) limited to the given index
+// chunk. Vertices preceding u in the order keep all candidates (lines 7-8 of
+// Algorithm 2); vertices in u's tree subtree keep only candidates that can
+// reach the chunk through tree edges (lines 9-12) — every other vertex
+// trivially reaches the chunk through the unrestricted prefix. Adjacency
+// lists are rebuilt against the kept candidates (line 13).
+func restrict(cur *CST, u graph.QueryVertex, chunk [2]int) *CST {
+	t := cur.Tree
+	n := cur.Query.NumVertices()
+
+	// kept[w] marks which candidate indices of w survive; nil means all of
+	// them (vertices outside u's subtree are never restricted, so they
+	// carry no per-candidate bookkeeping at all).
+	kept := make([][]bool, n)
+	keptList := make([][]CandIndex, n) // kept indices, discovery order
+	inSubtree := subtreeOf(t, u)
+	for w := 0; w < n; w++ {
+		if inSubtree[w] {
+			kept[w] = make([]bool, len(cur.Cand[w]))
+		}
+	}
+	for i := chunk[0]; i < chunk[1]; i++ {
+		kept[u][i] = true
+		keptList[u] = append(keptList[u], CandIndex(i))
+	}
+	// Top-down reachability through tree edges inside u's subtree. Only
+	// the kept parent candidates are walked, so a piece costs work
+	// proportional to its own size rather than the whole CST — this is
+	// what keeps recursive partitioning of large CSTs near-linear.
+	for _, w := range t.BFSOrder {
+		if !inSubtree[w] || w == u {
+			continue
+		}
+		wp := t.Parent[w] // wp is in the subtree too (only u's parent is outside)
+		for _, pi := range keptList[wp] {
+			for _, ci := range cur.Adjacency(wp, w, pi) {
+				if !kept[w][ci] {
+					kept[w][ci] = true
+					keptList[w] = append(keptList[w], ci)
+				}
+			}
+		}
+	}
+
+	// Materialise the restricted CST: remap candidate indices, then filter
+	// every adjacency list through the remap. Vertices outside u's subtree
+	// keep their candidate sets verbatim, so any adjacency list between
+	// two unchanged vertices is shared with the parent CST rather than
+	// copied — CSTs are immutable after construction, and this turns the
+	// recursive partitioning of a large CST from quadratic copying into
+	// work proportional to the restricted subtrees only.
+	part := &CST{
+		Query: cur.Query,
+		Tree:  t,
+		Cand:  make([][]graph.VertexID, n),
+		adj:   make(map[edgeKey]*adjList),
+	}
+	changed := make([]bool, n)
+	remap := make([][]CandIndex, n) // old index -> new index or -1
+	for w := 0; w < n; w++ {
+		allKept := kept[w] == nil
+		if !allKept {
+			allKept = true
+			for i := range kept[w] {
+				if !kept[w][i] {
+					allKept = false
+					break
+				}
+			}
+		}
+		if allKept {
+			part.Cand[w] = cur.Cand[w]
+			continue
+		}
+		changed[w] = true
+		remap[w] = make([]CandIndex, len(cur.Cand[w]))
+		for i := range remap[w] {
+			remap[w][i] = -1
+		}
+		for i, v := range cur.Cand[w] {
+			if kept[w][i] {
+				remap[w][i] = CandIndex(len(part.Cand[w]))
+				part.Cand[w] = append(part.Cand[w], v)
+			}
+		}
+	}
+	for key, a := range cur.adj {
+		if !changed[key.From] && !changed[key.To] {
+			part.adj[key] = a // share: both endpoints untouched
+			continue
+		}
+		na := &adjList{Offsets: make([]int32, len(part.Cand[key.From])+1)}
+		for i := range cur.Cand[key.From] {
+			ni := CandIndex(i)
+			if changed[key.From] {
+				ni = remap[key.From][i]
+				if ni < 0 {
+					continue
+				}
+			}
+			for _, j := range a.neighbors(CandIndex(i)) {
+				nj := j
+				if changed[key.To] {
+					nj = remap[key.To][j]
+					if nj < 0 {
+						continue
+					}
+				}
+				na.Targets = append(na.Targets, nj)
+			}
+			na.Offsets[ni+1] = int32(len(na.Targets))
+		}
+		part.adj[key] = na
+	}
+	return part
+}
+
+// subtreeOf marks u and all its tree descendants.
+func subtreeOf(t *order.Tree, u graph.QueryVertex) []bool {
+	in := make([]bool, t.Query.NumVertices())
+	in[u] = true
+	// BFSOrder lists parents before children, so one pass suffices.
+	for _, w := range t.BFSOrder {
+		if w != t.Root && in[t.Parent[w]] {
+			in[w] = true
+		}
+	}
+	in[u] = true
+	return in
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

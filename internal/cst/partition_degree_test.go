@@ -1,0 +1,110 @@
+package cst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// TestPartitionBoundsCandDegree: with only the δD threshold active, every
+// partition's maximum candidate degree must not exceed it (unless candidate
+// sets degenerate to singletons) — the Port_max constraint of Section VI-A.
+func TestPartitionBoundsCandDegree(t *testing.T) {
+	g := graph.RandomPowerLaw(graph.GenConfig{NumVertices: 600, NumLabels: 2, AvgDegree: 8, Seed: 17})
+	rng := rand.New(rand.NewSource(17))
+	q := graph.RandomConnectedQuery("rq", 3, 1, 2, rng)
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := Build(q, g, tr)
+	if c.MaxCandDegree() <= 4 {
+		t.Skipf("CST max degree %d too small", c.MaxCandDegree())
+	}
+	o := order.PathBased(tr, c)
+	cfg := PartitionConfig{MaxSizeBytes: 1 << 40, MaxCandDegree: 4}
+	violations := 0
+	parts := Partition(c, o, cfg, func(p *CST) {
+		if p.MaxCandDegree() > 4 {
+			allSingleton := true
+			for u := 0; u < p.Query.NumVertices(); u++ {
+				if len(p.Cand[u]) > 1 {
+					allSingleton = false
+				}
+			}
+			if !allSingleton {
+				violations++
+			}
+		}
+	})
+	if parts < 2 {
+		t.Fatalf("expected splitting, got %d partitions", parts)
+	}
+	if violations > 0 {
+		t.Errorf("%d partitions violate δD with splittable candidate sets", violations)
+	}
+}
+
+// TestPartitionDegreeCompleteness: δD-driven partitioning conserves
+// embeddings just like δS-driven partitioning.
+func TestPartitionDegreeCompleteness(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomPowerLaw(graph.GenConfig{
+			NumVertices: 150, NumLabels: 2, AvgDegree: 6, Seed: seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(3), rng.Intn(2), 2, rng)
+		tr := order.BuildBFSTree(q, 0)
+		c := Build(q, g, tr)
+		o := order.PathBased(tr, c)
+		full := embeddingSet(CollectAll(c, o))
+		cfg := PartitionConfig{MaxSizeBytes: 1 << 40, MaxCandDegree: 2}
+		union := make(map[string]bool)
+		ok := true
+		Partition(c, o, cfg, func(p *CST) {
+			for _, e := range CollectAll(p, o) {
+				if union[e.Key()] {
+					ok = false
+				}
+				union[e.Key()] = true
+			}
+		})
+		return ok && setsEqual(union, full)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionEmptyPartsSkipped: restrictions that strand every candidate
+// of some vertex must be dropped, not processed.
+func TestPartitionEmptyPartsSkipped(t *testing.T) {
+	c := fig4CST()
+	o := order.Order{0, 1, 2, 3}
+	cfg := PartitionConfig{MaxSizeBytes: 64, MaxCandDegree: 1}
+	Partition(c, o, cfg, func(p *CST) {
+		if p.IsEmpty() {
+			t.Error("empty partition processed")
+		}
+	})
+}
+
+// TestSubtreeOf covers the subtree marker used by restriction.
+func TestSubtreeOf(t *testing.T) {
+	q := graph.MustQuery("t", []graph.Label{0, 1, 2, 3, 4},
+		[][2]graph.QueryVertex{{0, 1}, {0, 2}, {1, 3}, {1, 4}})
+	tr := order.BuildBFSTree(q, 0)
+	in := subtreeOf(tr, 1)
+	want := map[graph.QueryVertex]bool{1: true, 3: true, 4: true}
+	for u := 0; u < 5; u++ {
+		if in[u] != want[u] {
+			t.Errorf("subtreeOf(1)[%d] = %v", u, in[u])
+		}
+	}
+	root := subtreeOf(tr, 0)
+	for u := 0; u < 5; u++ {
+		if !root[u] {
+			t.Errorf("subtreeOf(root) misses %d", u)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package cst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// makeSyntheticCST builds a CST directly from explicit candidate sets and
+// tree adjacency, for paper-exact tests of the workload DP and partitioner
+// (Fig. 4 does not correspond to the Fig. 1 data graph).
+//
+// cands[u] lists data vertices; adjOut maps "from,to" pairs to per-candidate
+// target index lists.
+func makeSyntheticCST(q *graph.Query, tr *order.Tree, cands [][]graph.VertexID, adjPairs map[[2]graph.QueryVertex][][]CandIndex) *CST {
+	c := &CST{Query: q, Tree: tr, Cand: cands, adj: make(map[edgeKey]*adjList)}
+	for pair, lists := range adjPairs {
+		a := &adjList{Offsets: make([]int32, len(cands[pair[0]])+1)}
+		for i, targets := range lists {
+			a.Targets = append(a.Targets, targets...)
+			a.Offsets[i+1] = int32(len(a.Targets))
+		}
+		c.adj[edgeKey{pair[0], pair[1]}] = a
+		// Mirror.
+		rev := &adjList{Offsets: make([]int32, len(cands[pair[1]])+1)}
+		buckets := make([][]CandIndex, len(cands[pair[1]]))
+		for i, targets := range lists {
+			for _, j := range targets {
+				buckets[j] = append(buckets[j], CandIndex(i))
+			}
+		}
+		for j, b := range buckets {
+			rev.Targets = append(rev.Targets, b...)
+			rev.Offsets[j+1] = int32(len(rev.Targets))
+		}
+		c.adj[edgeKey{pair[1], pair[0]}] = rev
+	}
+	return c
+}
+
+// fig4CST reproduces the CST of Fig. 4(a): tree u0→{u1,u2}, u1→u3;
+// candidates C(u0)={v1,v2}, C(u1)={v3,v4,v5}, C(u2)={v6,v7,v8},
+// C(u3)={v9,v10}; adjacency per Example 3/4.
+func fig4CST() *CST {
+	// Query shaped so its BFS tree from u0 is u0→{u1,u2}, u1→u3.
+	q := graph.MustQuery("fig4", []graph.Label{0, 1, 2, 3},
+		[][2]graph.QueryVertex{{0, 1}, {0, 2}, {1, 3}})
+	tr := order.BuildBFSTree(q, 0)
+	cands := [][]graph.VertexID{
+		{1, 2},    // C(u0): v1 v2
+		{3, 4, 5}, // C(u1): v3 v4 v5
+		{6, 7, 8}, // C(u2): v6 v7 v8
+		{9, 10},   // C(u3): v9 v10
+	}
+	adj := map[[2]graph.QueryVertex][][]CandIndex{
+		{0, 1}: {{0, 2}, {0, 1}},   // v1→{v3,v5}, v2→{v3,v4}
+		{0, 2}: {{0, 2}, {1}},      // v1→{v6,v8}, v2→{v7}
+		{1, 3}: {{0}, {0, 1}, {1}}, // v3→{v9}, v4→{v9,v10}, v5→{v10}
+	}
+	return makeSyntheticCST(q, tr, cands, adj)
+}
+
+func TestWorkloadMatchesPaperExample4(t *testing.T) {
+	c := fig4CST()
+	table := PerCandidateWorkload(c)
+	// Leaves: c_{u3}(v9)=c_{u3}(v10)=1, c_{u2}(*)=1.
+	for _, v := range table[3] {
+		if v != 1 {
+			t.Errorf("u3 leaf workload %v, want 1", table[3])
+		}
+	}
+	for _, v := range table[2] {
+		if v != 1 {
+			t.Errorf("u2 leaf workload %v, want 1", table[2])
+		}
+	}
+	// c_{u1} = [1, 2, 1] (v3, v4, v5).
+	wantU1 := []float64{1, 2, 1}
+	for i, w := range wantU1 {
+		if table[1][i] != w {
+			t.Errorf("c_u1[%d] = %v, want %v", i, table[1][i], w)
+		}
+	}
+	// c_{u0}(v1) = 4, c_{u0}(v2) = 3; W = 7.
+	if table[0][0] != 4 || table[0][1] != 3 {
+		t.Errorf("c_u0 = %v, want [4 3]", table[0])
+	}
+	if w := EstimateWorkload(c); w != 7 {
+		t.Errorf("W_CST = %v, want 7", w)
+	}
+}
+
+func TestWorkloadAgreesWithBruteTreeCount(t *testing.T) {
+	c := fig4CST()
+	if got, want := CountTreeEmbeddings(c), int64(7); got != want {
+		t.Errorf("CountTreeEmbeddings = %d, want %d", got, want)
+	}
+}
+
+// Property: on real CSTs built from random graphs, the DP equals the
+// explicit tree-mapping count.
+func TestWorkloadDPEqualsEnumerationProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomUniform(graph.GenConfig{
+			NumVertices: 40 + rng.Intn(60),
+			NumLabels:   2 + rng.Intn(3),
+			AvgDegree:   2 + rng.Float64()*3,
+			Seed:        seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(3), rng.Intn(2), g.NumLabels(), rng)
+		tr := order.BuildBFSTree(q, 0)
+		c := Build(q, g, tr)
+		dp := EstimateWorkload(c)
+		brute := float64(CountTreeEmbeddings(c))
+		return math.Abs(dp-brute) < 1e-6*(1+brute)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Workload is an upper bound on the true embedding count (false positives
+// are ignored, never true positives).
+func TestWorkloadUpperBoundsEmbeddings(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomUniform(graph.GenConfig{
+			NumVertices: 80, NumLabels: 2, AvgDegree: 4, Seed: seed,
+		})
+		q := graph.RandomConnectedQuery("rq", 3, rng.Intn(2), 2, rng)
+		tr := order.BuildBFSTree(q, 0)
+		c := Build(q, g, tr)
+		o := order.PathBased(tr, c)
+		return EstimateWorkload(c) >= float64(Count(c, o))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderCSV(t *testing.T) {
+	tab := Table{
+		ID:      "x",
+		Columns: []string{"a", "b"},
+	}
+	tab.AddRow("1", "hello, world") // comma must be quoted
+	tab.AddRow("2", "plain")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"hello, world"`) {
+		t.Errorf("comma cell not quoted: %q", lines[1])
+	}
+}

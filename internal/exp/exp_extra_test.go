@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// microConfig is even smaller than tinyConfig, for the experiments that
+// touch DG60.
+func microConfig() Config {
+	return Config{
+		BasePersons:  25,
+		Seed:         42,
+		Timeout:      3 * time.Second,
+		GPUMemBudget: 64 << 20,
+		BRAMBytes:    32 << 10,
+		BatchSize:    64,
+	}
+}
+
+func TestFig9StructureAndShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := microConfig()
+	cfg.Queries = []string{"q2", "q4"}
+	tables, err := Run("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	// 2 queries × 4 datasets.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("fig9 rows = %d, want 8", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 4 {
+			t.Fatalf("fig9 row %v", row)
+		}
+		if !strings.HasSuffix(row[3], "%") {
+			t.Errorf("S_CST/S_G cell %q not a percentage", row[3])
+		}
+	}
+}
+
+func TestFig10Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := microConfig()
+	cfg.Queries = []string{"q2"}
+	tables, err := Run("fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 4 { // 1 query × 4 datasets
+		t.Fatalf("fig10 rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig14StructureAndConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := microConfig()
+	cfg.Queries = []string{"q2", "q5"}
+	tables, err := Run("fig14", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 { // DG01, DG03, DG10
+		t.Fatalf("fig14 tables = %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != 7 { // FAST + 6 competitors
+			t.Errorf("%s: %d algorithm rows, want 7", tab.ID, len(tab.Rows))
+		}
+		if tab.Rows[0][0] != "FAST" {
+			t.Errorf("%s: first row %q", tab.ID, tab.Rows[0][0])
+		}
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if cell == "" {
+					t.Errorf("%s: empty cell in row %v", tab.ID, row)
+				}
+			}
+		}
+	}
+}
+
+func TestFig16And17Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := microConfig()
+	cfg.Queries = []string{"q2"}
+	t16, err := Run("fig16", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t16[0].Rows) != 4 { // 4 datasets × 1 query
+		t.Errorf("fig16 rows = %d", len(t16[0].Rows))
+	}
+	t17, err := Run("fig17", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t17[0].Rows) != 5 { // 5 fractions × 1 query
+		t.Errorf("fig17 rows = %d", len(t17[0].Rows))
+	}
+	// The 100% sample must be the full DG60: its embedding count equals
+	// fig16's DG60 row.
+	var fig16DG60, fig17Full string
+	for _, row := range t16[0].Rows {
+		if row[0] == "DG60" {
+			fig16DG60 = row[2]
+		}
+	}
+	for _, row := range t17[0].Rows {
+		if row[0] == "100%" {
+			fig17Full = row[2]
+		}
+	}
+	if fig16DG60 != fig17Full {
+		t.Errorf("DG60 counts disagree: fig16 %s vs fig17 %s", fig16DG60, fig17Full)
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := DefaultConfig()
+	if c.BasePersons != d.BasePersons || c.Timeout != d.Timeout || c.BRAMBytes != d.BRAMBytes {
+		t.Errorf("withDefaults: %+v", c)
+	}
+	// Partial overrides survive.
+	c2 := Config{BasePersons: 7}.withDefaults()
+	if c2.BasePersons != 7 || c2.Seed != d.Seed {
+		t.Errorf("partial override: %+v", c2)
+	}
+}
+
+func TestDatasetCacheReuse(t *testing.T) {
+	cfg := microConfig()
+	g1, err := cfg.dataset("DG01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := cfg.dataset("DG01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("dataset cache miss for identical config")
+	}
+	if _, err := cfg.dataset("DG99"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestQueryFilterErrors(t *testing.T) {
+	cfg := microConfig()
+	cfg.Queries = []string{"q42"}
+	if _, err := Run("fig7", cfg); err == nil {
+		t.Error("unknown query accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps experiment tests fast.
+func tinyConfig() Config {
+	return Config{
+		BasePersons:  60,
+		Seed:         42,
+		Timeout:      5 * time.Second,
+		GPUMemBudget: 64 << 20,
+		BRAMBytes:    64 << 10,
+		BatchSize:    128,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17",
+		"ablation-no", "ablation-cycles",
+	}
+	reg := Registry()
+	for _, name := range want {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+	if len(Names()) != len(want) {
+		t.Errorf("registry has %d entries, want %d: %v", len(Names()), len(want), Names())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", tinyConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333333", "4")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "long-column", "333333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.5" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := secs(2 * time.Second); got != "2.0" {
+		t.Errorf("secs = %q", got)
+	}
+	if got := ratio(5.25); got != "5.2x" && got != "5.3x" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := pct(0.5); got != "50%" {
+		t.Errorf("pct = %q", got)
+	}
+}
+
+// Smoke-run the cheap experiments end to end at tiny scale; the expensive
+// ones (fig14, fig16, fig17) are exercised by the benchmark suite.
+func TestSmallExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := tinyConfig()
+	for _, name := range []string{"table3", "fig7", "fig8", "fig11", "fig12", "ablation-no", "ablation-cycles"} {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s: no tables", name)
+		}
+		for _, tab := range tables {
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s/%s: empty table", name, tab.ID)
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if buf.Len() == 0 {
+				t.Errorf("%s/%s: empty render", name, tab.ID)
+			}
+		}
+	}
+}
+
+func TestFig13AndFig15Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := tinyConfig()
+	cfg.Queries = []string{"q2", "q4"}
+	for _, name := range []string{"fig13", "fig15"} {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tables[0].Rows) == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+	}
+}

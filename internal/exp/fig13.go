@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+
+	"fastmatch/internal/core"
+	"fastmatch/internal/host"
+)
+
+func init() { register("fig13", runFig13) }
+
+// runFig13 regenerates Fig. 13: the effect of the CPU-share threshold δ on
+// end-to-end time, per dataset, averaged over the benchmark queries. The
+// paper sees the largest improvement around δ = 0.1 and degradation beyond
+// ≈0.15 where the CPU becomes the bottleneck.
+func runFig13(cfg Config) ([]Table, error) {
+	queries, err := cfg.queries([]string{"q2", "q4", "q5", "q7", "q8"})
+	if err != nil {
+		return nil, err
+	}
+	deltas := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+	t := Table{
+		ID:      "fig13",
+		Title:   "Average acceleration over δ=0 varying CPU share δ (FAST-SHARE)",
+		Columns: []string{"dataset", "δ", "avg accel", "CPU share obs."},
+		Notes:   []string{"accel = total(δ=0) / total(δ); >1.0x means the CPU share helped"},
+	}
+	for _, ds := range []string{"DG01", "DG03", "DG10"} {
+		g, err := cfg.dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		base := make(map[string]float64, len(queries))
+		for _, q := range queries {
+			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0))
+			if err != nil {
+				return nil, err
+			}
+			base[q.Name()] = float64(rep.Total)
+		}
+		for _, d := range deltas {
+			var sumAccel, sumShare float64
+			for _, q := range queries {
+				rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, d))
+				if err != nil {
+					return nil, err
+				}
+				sumAccel += base[q.Name()] / float64(rep.Total)
+				if tot := rep.CPUWorkload + rep.FPGAWorkload; tot > 0 {
+					sumShare += rep.CPUWorkload / tot
+				}
+			}
+			n := float64(len(queries))
+			t.AddRow(ds, fmt.Sprintf("%.2f", d), ratio(sumAccel/n), pct(sumShare/n))
+		}
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/internal/baseline"
+	"fastmatch/internal/core"
+	"fastmatch/internal/host"
+)
+
+func init() { register("fig14", runFig14) }
+
+// runFig14 regenerates Fig. 14, the headline comparison: FAST against the
+// GPU-style joins (GSI, GpSM) and the CPU algorithms (DAF, CFL, CECI,
+// CECI-8) on every query over DG01/DG03/DG10. Cells are seconds; OOM marks
+// a device-memory failure (join algorithms under the GPU budget), INF a
+// timeout. The paper's shape: FAST wins everywhere (24.6× average), the
+// gap to CPU algorithms widens with graph size, and the GPU joins start
+// OOMing as data grows.
+func runFig14(cfg Config) ([]Table, error) {
+	queries, err := cfg.queries(allQueryNames)
+	if err != nil {
+		return nil, err
+	}
+	type algo struct {
+		name string
+		run  func(q *graph.Query, g *graph.Graph) (time.Duration, int64, error)
+	}
+	baselineAlgo := func(name string, threads int, budget int64) algo {
+		fn := baseline.Registry()[name]
+		if threads > 1 {
+			fn = baseline.Parallel(fn, threads)
+		}
+		return algo{name: displayName(name, threads), run: func(q *graph.Query, g *graph.Graph) (time.Duration, int64, error) {
+			start := time.Now()
+			res, err := fn(q, g, baseline.Options{Timeout: cfg.Timeout, MemoryBudget: budget})
+			return time.Since(start), res.Count, err
+		}}
+	}
+	algos := []algo{
+		{name: "FAST", run: func(q *graph.Query, g *graph.Graph) (time.Duration, int64, error) {
+			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0.1))
+			return rep.Total, rep.Embeddings, err
+		}},
+		baselineAlgo("GSI", 1, cfg.GPUMemBudget),
+		baselineAlgo("GpSM", 1, cfg.GPUMemBudget),
+		baselineAlgo("DAF", 1, 0),
+		baselineAlgo("CFL", 1, 0),
+		baselineAlgo("CECI", 1, 0),
+		baselineAlgo("CECI", 8, 0),
+	}
+
+	var tables []Table
+	for _, ds := range []string{"DG01", "DG03", "DG10"} {
+		g, err := cfg.dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:      "fig14-" + ds,
+			Title:   "Elapsed time (s) of FAST and competitors on " + ds,
+			Columns: append([]string{"algorithm"}, queryNames(queries)...),
+			Notes: []string{
+				fmt.Sprintf("timeout %v → INF; GPU budget %d MB → OOM", cfg.Timeout, cfg.GPUMemBudget>>20),
+			},
+		}
+		counts := make(map[string]int64)
+		for _, a := range algos {
+			row := []string{a.name}
+			for _, q := range queries {
+				elapsed, n, err := a.run(q, g)
+				switch {
+				case errors.Is(err, baseline.ErrOOM):
+					row = append(row, "OOM")
+				case errors.Is(err, baseline.ErrTimeout):
+					row = append(row, "INF")
+				case err != nil:
+					return nil, fmt.Errorf("%s on %s/%s: %v", a.name, ds, q.Name(), err)
+				default:
+					if want, seen := counts[q.Name()]; seen && want != n {
+						return nil, fmt.Errorf("%s on %s/%s: count %d, others found %d",
+							a.name, ds, q.Name(), n, want)
+					}
+					counts[q.Name()] = n
+					row = append(row, secs(elapsed))
+				}
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func displayName(name string, threads int) string {
+	if threads > 1 {
+		return fmt.Sprintf("%s-%d", name, threads)
+	}
+	return name
+}
+
+func queryNames(qs []*graph.Query) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.Name()
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+
+	"fastmatch/graph"
+	"fastmatch/internal/core"
+	"fastmatch/internal/host"
+)
+
+func init() {
+	register("fig16", runFig16)
+	register("fig17", runFig17)
+}
+
+// runFig16 regenerates Fig. 16, the scalability test varying the scale
+// factor x of DGx up to the largest dataset (the paper's billion-scale
+// DG60, which only FAST completes): FAST's elapsed time against the number
+// of embeddings. The paper observes elapsed time growing linearly with the
+// embedding count.
+func runFig16(cfg Config) ([]Table, error) {
+	queries, err := cfg.queries([]string{"q0", "q1", "q2", "q3", "q5", "q6", "q7", "q8"})
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "fig16",
+		Title:   "Scalability of FAST varying scale factor (elapsed vs #embeddings)",
+		Columns: []string{"dataset", "query", "#emb", "elapsed (ms)", "ns/emb"},
+	}
+	for _, ds := range []string{"DG01", "DG03", "DG10", "DG60"} {
+		g, err := cfg.dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0.1))
+			if err != nil {
+				return nil, err
+			}
+			perEmb := "-"
+			if rep.Embeddings > 0 {
+				perEmb = fmt.Sprintf("%.1f", float64(rep.Total.Nanoseconds())/float64(rep.Embeddings))
+			}
+			t.AddRow(ds, q.Name(), count(rep.Embeddings), ms(rep.Total), perEmb)
+		}
+	}
+	return []Table{t}, nil
+}
+
+// runFig17 regenerates Fig. 17: keep all vertices of the largest dataset
+// and sample 20–100% of its edges uniformly; FAST's time per embedding
+// should stay roughly flat (small samples pay relatively more index and
+// transfer overhead, as the paper notes for q5/q6/q8 at 20%).
+func runFig17(cfg Config) ([]Table, error) {
+	queries, err := cfg.queries([]string{"q1", "q2", "q3", "q5", "q6", "q7", "q8"})
+	if err != nil {
+		return nil, err
+	}
+	full, err := cfg.dataset("DG60")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "fig17",
+		Title:   "Scalability of FAST varying |E(G)| (uniform edge samples of DG60)",
+		Columns: []string{"sample", "query", "#emb", "elapsed (ms)", "ns/emb"},
+	}
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		g := graph.SampleEdges(full, frac, cfg.Seed)
+		for _, q := range queries {
+			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0.1))
+			if err != nil {
+				return nil, err
+			}
+			perEmb := "-"
+			if rep.Embeddings > 0 {
+				perEmb = fmt.Sprintf("%.1f", float64(rep.Total.Nanoseconds())/float64(rep.Embeddings))
+			}
+			t.AddRow(pct(frac), q.Name(), count(rep.Embeddings), ms(rep.Total), perEmb)
+		}
+	}
+	return []Table{t}, nil
+}

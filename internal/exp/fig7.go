@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+
+	"fastmatch/internal/core"
+	"fastmatch/internal/host"
+)
+
+func init() {
+	register("fig7", runFig7)
+	register("fig11", runFig11)
+	register("fig12", runFig12)
+}
+
+// compareVariants runs two kernel variants over the Fig. 7/11/12 query set
+// on one dataset and reports elapsed times plus the acceleration ratio
+// slow/fast per query.
+func compareVariants(cfg Config, id, title, dataset string, slow, fast core.Variant) ([]Table, error) {
+	g, err := cfg.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := cfg.queries([]string{"q2", "q3", "q5", "q6", "q7", "q8"})
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"query", slow.String() + " (ms)", fast.String() + " (ms)", "accel", "#emb"},
+		Notes:   []string{fmt.Sprintf("dataset %s; FPGA time = modelled kernel cycles at 300 MHz", dataset)},
+	}
+	var sumRatio float64
+	for _, q := range queries {
+		repSlow, err := host.Match(q, g, cfg.hostConfig(slow, 0))
+		if err != nil {
+			return nil, err
+		}
+		repFast, err := host.Match(q, g, cfg.hostConfig(fast, 0))
+		if err != nil {
+			return nil, err
+		}
+		if repSlow.Embeddings != repFast.Embeddings {
+			return nil, fmt.Errorf("%s: variants disagree on %s: %d vs %d",
+				id, q.Name(), repSlow.Embeddings, repFast.Embeddings)
+		}
+		r := float64(repSlow.FPGATime) / float64(repFast.FPGATime)
+		sumRatio += r
+		t.AddRow(q.Name(), ms(repSlow.FPGATime), ms(repFast.FPGATime), ratio(r), count(repFast.Embeddings))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("average acceleration %.2fx", sumRatio/float64(len(queries))))
+	return []Table{t}, nil
+}
+
+// runFig7 regenerates Fig. 7: FAST-DRAM vs FAST-BASIC — the necessity of
+// CST partitioning into BRAM. The paper sees ≈5× (the BRAM/DRAM latency
+// ratio) on DG10.
+func runFig7(cfg Config) ([]Table, error) {
+	return compareVariants(cfg, "fig7",
+		"FAST-DRAM vs FAST-BASIC (necessity of CST partition)",
+		"DG10", core.VariantDRAM, core.VariantBasic)
+}
+
+// runFig11 regenerates Fig. 11: FAST-BASIC vs FAST-TASK — task parallelism
+// buys up to 50% (Eq. 2 vs Eq. 3).
+func runFig11(cfg Config) ([]Table, error) {
+	return compareVariants(cfg, "fig11",
+		"FAST-BASIC vs FAST-TASK (task parallelism)",
+		"DG10", core.VariantBasic, core.VariantTask)
+}
+
+// runFig12 regenerates Fig. 12: FAST-TASK vs FAST-SEP — generator
+// separation buys up to 33% more (Eq. 3 vs Eq. 4).
+func runFig12(cfg Config) ([]Table, error) {
+	return compareVariants(cfg, "fig12",
+		"FAST-TASK vs FAST-SEP (task generator separation)",
+		"DG10", core.VariantTask, core.VariantSep)
+}

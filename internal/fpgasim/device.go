@@ -1,0 +1,95 @@
+package fpgasim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Device models one FPGA card: a cycle counter, a BRAM allocator and a DRAM
+// staging area. The host scheduler owns one Device per card (the multi-FPGA
+// extension of Section VII-E hands CSTs to the device with the least
+// accumulated work).
+type Device struct {
+	ID  int
+	Cfg Config
+
+	cycles    int64
+	busy      time.Duration // accumulated kernel busy time
+	bramUsed  int64
+	dramUsed  int64
+	transfers int64 // bytes shipped over PCIe
+	kernels   int   // CST partitions processed
+}
+
+// NewDevice creates a Device with the given configuration.
+func NewDevice(id int, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{ID: id, Cfg: cfg}, nil
+}
+
+// AllocBRAM reserves on-chip memory, failing when the budget is exhausted —
+// exactly the condition CST partitioning exists to avoid.
+func (d *Device) AllocBRAM(bytes int64) error {
+	if d.bramUsed+bytes > d.Cfg.BRAMBytes {
+		return fmt.Errorf("fpgasim: BRAM overflow: %d + %d > %d", d.bramUsed, bytes, d.Cfg.BRAMBytes)
+	}
+	d.bramUsed += bytes
+	return nil
+}
+
+// FreeBRAM releases on-chip memory.
+func (d *Device) FreeBRAM(bytes int64) {
+	d.bramUsed -= bytes
+	if d.bramUsed < 0 {
+		d.bramUsed = 0
+	}
+}
+
+// BRAMUsed returns current on-chip occupancy.
+func (d *Device) BRAMUsed() int64 { return d.bramUsed }
+
+// StageDRAM accounts a CST partition arriving in card DRAM over PCIe and
+// returns the host-side transfer duration.
+func (d *Device) StageDRAM(bytes int64) (time.Duration, error) {
+	if d.dramUsed+bytes > d.Cfg.DRAMBytes {
+		return 0, fmt.Errorf("fpgasim: DRAM overflow: %d + %d > %d", d.dramUsed, bytes, d.Cfg.DRAMBytes)
+	}
+	d.dramUsed += bytes
+	d.transfers += bytes
+	return d.Cfg.PCIeDuration(bytes), nil
+}
+
+// ReleaseDRAM frees staged bytes after a kernel run retires.
+func (d *Device) ReleaseDRAM(bytes int64) {
+	d.dramUsed -= bytes
+	if d.dramUsed < 0 {
+		d.dramUsed = 0
+	}
+}
+
+// RunKernel charges a kernel execution of the given cycle count.
+func (d *Device) RunKernel(cycles int64) {
+	d.cycles += cycles
+	d.busy += d.Cfg.CyclesToDuration(cycles)
+	d.kernels++
+}
+
+// Cycles returns total charged cycles.
+func (d *Device) Cycles() int64 { return d.cycles }
+
+// Busy returns the device's accumulated busy time.
+func (d *Device) Busy() time.Duration { return d.busy }
+
+// Kernels returns how many CST partitions this device has processed.
+func (d *Device) Kernels() int { return d.kernels }
+
+// TransferredBytes returns the total PCIe traffic.
+func (d *Device) TransferredBytes() int64 { return d.transfers }
+
+// String summarises the device state.
+func (d *Device) String() string {
+	return fmt.Sprintf("Device{%d kernels=%d cycles=%d busy=%v pcie=%dB}",
+		d.ID, d.kernels, d.cycles, d.busy, d.transfers)
+}

@@ -1,0 +1,76 @@
+package fpgasim
+
+import "fmt"
+
+// FIFO is a bounded first-in-first-out queue modelling the stream buffers
+// inserted between modules by the task-parallelism optimisation
+// (Section VI-C). It records its high-water mark so tests can confirm the
+// kernel's buffer-bound argument and reports can size hardware FIFOs.
+type FIFO[T any] struct {
+	name      string
+	buf       []T
+	head      int
+	capacity  int
+	highWater int
+	pushes    int64
+	pops      int64
+}
+
+// NewFIFO creates a FIFO with the given capacity (0 means unbounded, used
+// only by tests).
+func NewFIFO[T any](name string, capacity int) *FIFO[T] {
+	return &FIFO[T]{name: name, capacity: capacity}
+}
+
+// Push appends an item; it fails when the FIFO is full, which in hardware
+// would stall the producer.
+func (f *FIFO[T]) Push(item T) error {
+	if f.capacity > 0 && f.Len() >= f.capacity {
+		return fmt.Errorf("fifo %s: full at capacity %d", f.name, f.capacity)
+	}
+	f.buf = append(f.buf, item)
+	if n := f.Len(); n > f.highWater {
+		f.highWater = n
+	}
+	f.pushes++
+	return nil
+}
+
+// Peek returns the oldest item without removing it; ok is false when empty.
+func (f *FIFO[T]) Peek() (item T, ok bool) {
+	if f.Len() == 0 {
+		var zero T
+		return zero, false
+	}
+	return f.buf[f.head], true
+}
+
+// Pop removes and returns the oldest item; ok is false when empty.
+func (f *FIFO[T]) Pop() (item T, ok bool) {
+	if f.Len() == 0 {
+		var zero T
+		return zero, false
+	}
+	item = f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero // release references
+	f.head++
+	f.pops++
+	if f.head == len(f.buf) { // reclaim storage once drained
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (f *FIFO[T]) Len() int { return len(f.buf) - f.head }
+
+// Empty reports whether the FIFO holds no items.
+func (f *FIFO[T]) Empty() bool { return f.Len() == 0 }
+
+// HighWater returns the maximum occupancy observed.
+func (f *FIFO[T]) HighWater() int { return f.highWater }
+
+// Throughput returns total pushes and pops.
+func (f *FIFO[T]) Throughput() (pushes, pops int64) { return f.pushes, f.pops }

@@ -1,0 +1,213 @@
+package fpgasim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadValues(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.ClockMHz = 0 },
+		func(c *Config) { c.BRAMLatency = 0 },
+		func(c *Config) { c.DRAMLatency = 0 }, // < BRAMLatency
+		func(c *Config) { c.BRAMBytes = 0 },
+		func(c *Config) { c.PortMax = 0 },
+		func(c *Config) { c.No = 0 },
+		func(c *Config) { c.DRAMBurstBytes = 0 },
+		func(c *Config) { c.PCIeGBps = 0 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCyclesToDuration(t *testing.T) {
+	cfg := DefaultConfig() // 300 MHz → 300e6 cycles per second
+	if got := cfg.CyclesToDuration(300_000_000); got != time.Second {
+		t.Errorf("300M cycles = %v, want 1s", got)
+	}
+	if got := cfg.CyclesToDuration(300); got != time.Microsecond {
+		t.Errorf("300 cycles = %v, want 1µs", got)
+	}
+}
+
+func TestLoadCyclesAndPCIe(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.LoadCycles(0); got != 0 {
+		t.Errorf("LoadCycles(0) = %d", got)
+	}
+	if got := cfg.LoadCycles(64); got != 1 {
+		t.Errorf("LoadCycles(64) = %d, want 1", got)
+	}
+	if got := cfg.LoadCycles(65); got != 2 {
+		t.Errorf("LoadCycles(65) = %d, want 2", got)
+	}
+	// 16 GB/s → 16 bytes per ns.
+	if got := cfg.PCIeDuration(16_000_000_000); got != time.Second {
+		t.Errorf("PCIe 16GB = %v, want 1s", got)
+	}
+}
+
+func TestEdgeProbeII(t *testing.T) {
+	cfg := DefaultConfig()
+	if ii := cfg.EdgeProbeII(10); ii != 1 {
+		t.Errorf("II(10) = %d, want 1", ii)
+	}
+	if ii := cfg.EdgeProbeII(cfg.PortMax); ii != 1 {
+		t.Errorf("II(PortMax) = %d, want 1", ii)
+	}
+	if ii := cfg.EdgeProbeII(cfg.PortMax + 1); ii != 2 {
+		t.Errorf("II(PortMax+1) = %d, want 2", ii)
+	}
+}
+
+func TestModuleCycles(t *testing.T) {
+	m := Module{Name: "gen", Depth: 3, II: 1}
+	if got := m.Cycles(0); got != 0 {
+		t.Errorf("idle module cost %d", got)
+	}
+	if got := m.Cycles(10); got != 13 {
+		t.Errorf("Cycles(10) = %d, want 13", got)
+	}
+	slow := Module{Name: "dram", Depth: 3, II: 8}
+	if got := slow.Cycles(10); got != 83 {
+		t.Errorf("DRAM Cycles(10) = %d, want 83", got)
+	}
+}
+
+func TestSerialAndConcurrent(t *testing.T) {
+	if got := Serial(1, 2, 3); got != 6 {
+		t.Errorf("Serial = %d", got)
+	}
+	if got := Concurrent(1, 5, 3); got != 5 {
+		t.Errorf("Concurrent = %d", got)
+	}
+	if got := Concurrent(); got != 0 {
+		t.Errorf("Concurrent() = %d", got)
+	}
+}
+
+// Property: concurrent composition never exceeds serial composition — the
+// basis of the paper's ≤50%/≤33% improvement caps.
+func TestConcurrentLeqSerialProperty(t *testing.T) {
+	check := func(a, b, c uint16) bool {
+		x, y, z := int64(a), int64(b), int64(c)
+		return Concurrent(x, y, z) <= Serial(x, y, z)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	f := NewFIFO[int]("tv", 2)
+	if !f.Empty() {
+		t.Error("new FIFO not empty")
+	}
+	if err := f.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Push(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Push(3); err == nil {
+		t.Error("push into full FIFO succeeded")
+	}
+	if v, ok := f.Pop(); !ok || v != 1 {
+		t.Errorf("Pop = %d,%v", v, ok)
+	}
+	if v, ok := f.Pop(); !ok || v != 2 {
+		t.Errorf("Pop = %d,%v", v, ok)
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("pop from empty FIFO succeeded")
+	}
+	if f.HighWater() != 2 {
+		t.Errorf("HighWater = %d, want 2", f.HighWater())
+	}
+	pushes, pops := f.Throughput()
+	if pushes != 2 || pops != 2 {
+		t.Errorf("Throughput = %d,%d", pushes, pops)
+	}
+}
+
+func TestFIFOOrderProperty(t *testing.T) {
+	check := func(items []int32) bool {
+		f := NewFIFO[int32]("x", 0)
+		for _, it := range items {
+			if err := f.Push(it); err != nil {
+				return false
+			}
+		}
+		for _, want := range items {
+			got, ok := f.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return f.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("gen", 10)
+	c.Add("edge", 5)
+	c.Add("gen", 1)
+	if c.Total() != 16 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	pm := c.PerModule()
+	if pm["gen"] != 11 || pm["edge"] != 5 {
+		t.Errorf("PerModule = %v", pm)
+	}
+}
+
+func TestDeviceResourceAccounting(t *testing.T) {
+	d, err := NewDevice(0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AllocBRAM(d.Cfg.BRAMBytes); err != nil {
+		t.Fatalf("full BRAM alloc failed: %v", err)
+	}
+	if err := d.AllocBRAM(1); err == nil {
+		t.Error("BRAM overflow accepted")
+	}
+	d.FreeBRAM(d.Cfg.BRAMBytes)
+	if d.BRAMUsed() != 0 {
+		t.Errorf("BRAMUsed = %d", d.BRAMUsed())
+	}
+	if _, err := d.StageDRAM(d.Cfg.DRAMBytes + 1); err == nil {
+		t.Error("DRAM overflow accepted")
+	}
+	dur, err := d.StageDRAM(1 << 20)
+	if err != nil || dur <= 0 {
+		t.Errorf("StageDRAM: %v, %v", dur, err)
+	}
+	d.ReleaseDRAM(1 << 20)
+	d.RunKernel(3000)
+	if d.Cycles() != 3000 || d.Kernels() != 1 || d.Busy() <= 0 {
+		t.Errorf("kernel accounting: %v", d)
+	}
+	if d.TransferredBytes() != 1<<20 {
+		t.Errorf("TransferredBytes = %d", d.TransferredBytes())
+	}
+	if _, err := NewDevice(0, Config{}); err == nil {
+		t.Error("NewDevice accepted zero config")
+	}
+}

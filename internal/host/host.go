@@ -1,0 +1,313 @@
+// Package host implements the CPU side of the co-designed framework
+// (Section IV/V): it builds the CST, partitions it under the device's BRAM
+// and port budgets, estimates per-partition workloads, splits work between
+// the CPU and one or more simulated FPGA cards under the δ threshold
+// (Algorithm 3), offloads partitions over PCIe, runs the FAST kernel on
+// each, enumerates the CPU share with the backtracking matcher, and merges
+// results into an end-to-end report.
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/internal/core"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/order"
+)
+
+// OrderStrategy names a matching-order policy.
+type OrderStrategy string
+
+// Matching-order strategies (Fig. 15 compares them).
+const (
+	OrderPath OrderStrategy = "path" // the paper's default
+	OrderCFL  OrderStrategy = "cfl"
+	OrderDAF  OrderStrategy = "daf"
+	OrderCECI OrderStrategy = "ceci"
+)
+
+// Config drives one end-to-end match.
+type Config struct {
+	// Device is the FPGA card model; NumFPGAs > 1 enables the multi-FPGA
+	// extension (Section VII-E). Default: one card, fpgasim.DefaultConfig.
+	Device   fpgasim.Config
+	NumFPGAs int
+	// Variant selects the kernel implementation (default FAST-SEP, the
+	// paper's final configuration before CPU sharing).
+	Variant core.Variant
+	// Delta is δ, the ceiling on the CPU's share of total estimated
+	// workload (Algorithm 3); 0 sends everything to the FPGA. The paper
+	// finds 0.1 the sweet spot (Fig. 13).
+	Delta float64
+	// Strategy picks the matching order; ExplicitOrder overrides it when
+	// non-nil (used by the Fig. 15 order sweep).
+	Strategy      OrderStrategy
+	ExplicitOrder order.Order
+	// Partition overrides the partition thresholds; zero values derive
+	// δS from the device's BRAM budget minus the results buffer, and δD
+	// from PortMax.
+	Partition cst.PartitionConfig
+	// Collect materialises embeddings in the report.
+	Collect bool
+}
+
+func (c Config) withDefaults(q *graph.Query) Config {
+	if c.Device.ClockMHz == 0 {
+		c.Device = fpgasim.DefaultConfig()
+	}
+	if c.NumFPGAs < 1 {
+		c.NumFPGAs = 1
+	}
+	if c.Strategy == "" {
+		c.Strategy = OrderPath
+	}
+	if c.Partition.MaxSizeBytes == 0 {
+		buffer := int64(q.NumVertices()-1) * int64(c.Device.No) * int64(q.NumVertices()*4+4)
+		c.Partition.MaxSizeBytes = c.Device.BRAMBytes - buffer
+		if c.Partition.MaxSizeBytes < 1024 {
+			c.Partition.MaxSizeBytes = 1024
+		}
+	}
+	if c.Partition.MaxCandDegree == 0 {
+		c.Partition.MaxCandDegree = c.Device.PortMax
+	}
+	return c
+}
+
+// Report is the end-to-end outcome of a match.
+type Report struct {
+	Query      string
+	Embeddings int64
+	Collected  []graph.Embedding
+
+	// Phase timings. BuildTime and PartitionTime are measured host wall
+	// time; TransferTime is the modelled PCIe cost; FPGATime is the
+	// slowest card's kernel busy time; CPUShareTime is measured wall time
+	// of the host's share. Total composes them the way the pipeline runs:
+	// build, then partition, then max(card completion, CPU share) since
+	// the CPU processes its cached share while cards drain theirs.
+	BuildTime     time.Duration
+	PartitionTime time.Duration
+	TransferTime  time.Duration
+	FPGATime      time.Duration
+	CPUShareTime  time.Duration
+	Total         time.Duration
+
+	// Workload split (Algorithm 3's W_C and W_F).
+	CPUWorkload, FPGAWorkload float64
+	CPUPartitions             int
+	NumPartitions             int
+
+	// Aggregated kernel statistics across all partitions.
+	KernelCycles    int64
+	KernelPartials  int64 // N
+	KernelEdgeTasks int64 // M
+	KernelRounds    int64
+	CSTBytes        int64 // total across partitions
+	DataBytes       int64 // data graph size, for Fig. 9's S_CST/S_G
+	MaxBufferUse    int
+	Devices         int
+}
+
+// SpeedupOver returns how many times faster this run was than a reference
+// duration.
+func (r Report) SpeedupOver(ref time.Duration) float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(ref) / float64(r.Total)
+}
+
+// Match runs the full CPU–FPGA pipeline for q over g.
+func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults(q)
+	if err := cfg.Device.Validate(); err != nil {
+		return Report{}, err
+	}
+	if cfg.Delta < 0 || cfg.Delta >= 1 {
+		return Report{}, fmt.Errorf("host: delta %v outside [0,1)", cfg.Delta)
+	}
+
+	rep := Report{Query: q.Name(), DataBytes: g.SizeBytes(), Devices: cfg.NumFPGAs}
+
+	// Phase 1: CST construction (Algorithm 1) on the host.
+	buildStart := time.Now()
+	root := order.SelectRoot(q, g)
+	tree := order.BuildBFSTree(q, root)
+	c := cst.Build(q, g, tree)
+	o := cfg.ExplicitOrder
+	if o == nil {
+		switch cfg.Strategy {
+		case OrderCFL:
+			o = order.CFLLike(tree, c)
+		case OrderDAF:
+			o = order.DAFLike(tree, c)
+		case OrderCECI:
+			o = order.CECILike(tree, c)
+		default:
+			o = order.PathBased(tree, c)
+		}
+	}
+	if err := o.Validate(tree); err != nil {
+		return Report{}, fmt.Errorf("host: %v", err)
+	}
+	rep.BuildTime = time.Since(buildStart)
+	if c.IsEmpty() {
+		rep.Total = rep.BuildTime
+		return rep, nil
+	}
+
+	// Devices.
+	devices := make([]*fpgasim.Device, cfg.NumFPGAs)
+	transfer := make([]time.Duration, cfg.NumFPGAs)
+	for i := range devices {
+		d, err := fpgasim.NewDevice(i, cfg.Device)
+		if err != nil {
+			return Report{}, err
+		}
+		devices[i] = d
+	}
+
+	// Phase 2+3: partition (Algorithm 2) and schedule (Algorithm 3).
+	// Partitions stream out of the partitioner; each is either cached for
+	// the CPU or offloaded immediately to the least-loaded card.
+	var (
+		cpuQueue []*cst.CST
+		kernErr  error
+	)
+	sched := scheduler{delta: cfg.Delta}
+	// FAST-SHARE's partitioning shortcut (Section VII-B): a CST that still
+	// violates the BRAM/port thresholds may go straight to the CPU —
+	// which has no such constraints — instead of being split further,
+	// saving the recursive partitioning cost. The δ budget gates it.
+	if cfg.Delta > 0 {
+		cfg.Partition.Steal = func(p *cst.CST) bool {
+			if !sched.tryCPU(cst.EstimateWorkload(p)) {
+				return false
+			}
+			cpuQueue = append(cpuQueue, p)
+			rep.CPUPartitions++
+			rep.CSTBytes += p.SizeBytes()
+			return true
+		}
+	}
+	lastResume := time.Now()
+	rep.NumPartitions = cst.Partition(c, o, cfg.Partition, func(p *cst.CST) {
+		rep.PartitionTime += time.Since(lastResume)
+		defer func() { lastResume = time.Now() }()
+		if kernErr != nil {
+			return
+		}
+		w := cst.EstimateWorkload(p)
+		rep.CSTBytes += p.SizeBytes()
+		if sched.assignToCPU(w) {
+			cpuQueue = append(cpuQueue, p)
+			rep.CPUPartitions++
+			return
+		}
+		// Offload to the card with the least accumulated work.
+		best := 0
+		for i := 1; i < len(devices); i++ {
+			if devices[i].Busy()+transfer[i] < devices[best].Busy()+transfer[best] {
+				best = i
+			}
+		}
+		dev := devices[best]
+		dur, err := dev.StageDRAM(p.SizeBytes())
+		if err != nil {
+			kernErr = err
+			return
+		}
+		transfer[best] += dur
+		res, err := core.Run(p, o, core.Options{
+			Variant: cfg.Variant,
+			Config:  cfg.Device,
+			Collect: cfg.Collect,
+		})
+		if err != nil {
+			kernErr = err
+			return
+		}
+		dev.RunKernel(res.Cycles)
+		dev.ReleaseDRAM(p.SizeBytes())
+		rep.Embeddings += res.Count
+		rep.KernelCycles += res.Cycles
+		rep.KernelPartials += res.Partials
+		rep.KernelEdgeTasks += res.EdgeTasks
+		rep.KernelRounds += res.Rounds
+		if res.BufferHighWater > rep.MaxBufferUse {
+			rep.MaxBufferUse = res.BufferHighWater
+		}
+		if cfg.Collect {
+			rep.Collected = append(rep.Collected, res.Embeddings...)
+		}
+	})
+	rep.PartitionTime += time.Since(lastResume)
+	if kernErr != nil {
+		return Report{}, kernErr
+	}
+
+	// Phase 5: the CPU processes its cached share with the backtracking
+	// matcher once partitioning finishes (Section V-C).
+	cpuStart := time.Now()
+	for _, p := range cpuQueue {
+		n := cst.Enumerate(p, o, func(e graph.Embedding) bool {
+			if cfg.Collect {
+				rep.Collected = append(rep.Collected, e)
+			}
+			return true
+		})
+		rep.Embeddings += n
+	}
+	rep.CPUShareTime = time.Since(cpuStart)
+
+	// Completion: cards run concurrently with each other and with the
+	// CPU's share.
+	for i, d := range devices {
+		if t := transfer[i] + d.Busy(); t > rep.FPGATime {
+			rep.FPGATime = t
+		}
+		rep.TransferTime += transfer[i]
+	}
+	rep.CPUWorkload, rep.FPGAWorkload = sched.wc, sched.wf
+	concurrent := rep.FPGATime
+	if rep.CPUShareTime > concurrent {
+		concurrent = rep.CPUShareTime
+	}
+	rep.Total = rep.BuildTime + rep.PartitionTime + concurrent
+	return rep, nil
+}
+
+// scheduler is Algorithm 3's running-total state.
+type scheduler struct {
+	delta  float64
+	wc, wf float64
+}
+
+// assignToCPU implements the δ test for a finished partition: the CST goes
+// to the CPU only while the CPU's share (including it) stays below δ of the
+// total; otherwise its workload is committed to the FPGA side.
+func (s *scheduler) assignToCPU(w float64) bool {
+	if s.tryCPU(w) {
+		return true
+	}
+	s.wf += w
+	return false
+}
+
+// tryCPU is the non-committing δ test used for the partitioning shortcut:
+// a rejected CST will be split further and its pieces accounted when they
+// are scheduled, so nothing is added to W_F here.
+func (s *scheduler) tryCPU(w float64) bool {
+	if s.delta <= 0 {
+		return false
+	}
+	if s.wc+w < s.delta*(s.wc+s.wf+w) {
+		s.wc += w
+		return true
+	}
+	return false
+}

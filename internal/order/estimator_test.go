@@ -1,0 +1,108 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/graph"
+)
+
+func TestLabelDegreeEstimator(t *testing.T) {
+	q := fig1Query()
+	g := fig1Data()
+	est := LabelDegreeEstimator{Q: q, G: g}
+	// u3 has label D(3), degree 1; data has three D vertices with degree ≥1.
+	if got := est.CandCount(3); got != 3 {
+		t.Errorf("CandCount(u3) = %d, want 3", got)
+	}
+	// Branching estimates are positive and bounded by the average degree.
+	b := est.AvgBranch(0, 1)
+	if b <= 0 || b > g.AvgDegree() {
+		t.Errorf("AvgBranch = %v", b)
+	}
+}
+
+func TestLabelDegreeEstimatorEmptyGraph(t *testing.T) {
+	q := fig1Query()
+	empty := graph.NewBuilder(0, 0).MustBuild()
+	est := LabelDegreeEstimator{Q: q, G: empty}
+	if est.CandCount(0) != 0 {
+		t.Error("candidates on empty graph")
+	}
+	if est.AvgBranch(0, 1) != 0 {
+		t.Error("branching on empty graph")
+	}
+}
+
+// TestPathBasedCheapPathsFirst: with a designed estimator, the path-based
+// order must expand the cheaper root-to-leaf path before the expensive one
+// (CFL's "postpone Cartesian products" rationale).
+func TestPathBasedCheapPathsFirst(t *testing.T) {
+	// Star with two leaves: u0-u1, u0-u2.
+	q := graph.MustQuery("star", []graph.Label{0, 1, 2},
+		[][2]graph.QueryVertex{{0, 1}, {0, 2}})
+	tr := BuildBFSTree(q, 0)
+	cheap2 := fixedEstimator{cand: []int{5, 100, 2}, branch: map[[2]graph.QueryVertex]float64{
+		{0, 1}: 50, {0, 2}: 1,
+	}}
+	o := PathBased(tr, cheap2)
+	if o[1] != 2 {
+		t.Errorf("order %v: expensive leaf expanded first", o)
+	}
+}
+
+type fixedEstimator struct {
+	cand   []int
+	branch map[[2]graph.QueryVertex]float64
+}
+
+func (f fixedEstimator) CandCount(u graph.QueryVertex) int { return f.cand[u] }
+func (f fixedEstimator) AvgBranch(a, b graph.QueryVertex) float64 {
+	return f.branch[[2]graph.QueryVertex{a, b}]
+}
+
+// TestGreedyOrdersRespectTreeProperty: all strategy outputs are valid for
+// random queries under a random estimator.
+func TestGreedyOrdersRespectTreeProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := graph.RandomConnectedQuery("rq", 2+rng.Intn(6), rng.Intn(4), 3, rng)
+		tr := BuildBFSTree(q, rng.Intn(q.NumVertices()))
+		est := randomEstimator{rng: rand.New(rand.NewSource(seed + 1)), n: q.NumVertices()}
+		for _, o := range []Order{
+			PathBased(tr, est), CFLLike(tr, est), DAFLike(tr, est), CECILike(tr, est),
+		} {
+			if o.Validate(tr) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+type randomEstimator struct {
+	rng *rand.Rand
+	n   int
+}
+
+func (r randomEstimator) CandCount(u graph.QueryVertex) int { return 1 + (u*2654435761)%97 }
+func (r randomEstimator) AvgBranch(a, b graph.QueryVertex) float64 {
+	return float64(1+((a*31+b)*2654435761)%17) / 3
+}
+
+// TestCECILikeIsBFSBiased: the CECI order lists vertices level by level.
+func TestCECILikeIsBFSBiased(t *testing.T) {
+	q := fig1Query()
+	g := fig1Data()
+	tr := BuildBFSTree(q, 0)
+	o := CECILike(tr, LabelDegreeEstimator{Q: q, G: g})
+	for i := 1; i < len(o); i++ {
+		if tr.Level[o[i]] < tr.Level[o[i-1]] {
+			t.Errorf("order %v goes up a level at position %d", o, i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package ldbc
+
+import (
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/internal/baseline"
+)
+
+// TestSchemaRelationsExist: spot-check the generator emits every relation
+// shape the queries need (persons located in cities, cities in countries,
+// comments replying to posts with creators, tags typed by tag classes).
+func TestSchemaRelationsExist(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 2, Seed: 11})
+	relations := []struct {
+		name string
+		a, b graph.Label
+	}{
+		{"person-city", Person, City},
+		{"city-country", City, Country},
+		{"country-continent", Country, Continent},
+		{"person-university", Person, University},
+		{"company-country", Company, Country},
+		{"post-person", Post, Person},
+		{"post-forum", Post, Forum},
+		{"comment-post", Comment, Post},
+		{"comment-person", Comment, Person},
+		{"post-tag", Post, Tag},
+		{"tag-tagclass", Tag, TagClass},
+		{"person-person", Person, Person},
+	}
+	for _, rel := range relations {
+		found := false
+	scan:
+		for _, v := range g.VerticesWithLabel(rel.a) {
+			for _, w := range g.Neighbors(v) {
+				if g.Label(w) == rel.b {
+					found = true
+					break scan
+				}
+			}
+		}
+		if !found {
+			t.Errorf("relation %s missing from generated graph", rel.name)
+		}
+	}
+}
+
+// TestEveryPersonHasCity: structural guarantee queries q4–q8 rely on.
+func TestEveryPersonHasCity(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 1, Seed: 4})
+	for _, p := range g.VerticesWithLabel(Person) {
+		if g.DegreeWithLabel(p, City) == 0 {
+			t.Fatalf("person %d has no city", p)
+		}
+	}
+	for _, c := range g.VerticesWithLabel(City) {
+		if g.DegreeWithLabel(c, Country) == 0 {
+			t.Fatalf("city %d has no country", c)
+		}
+	}
+	for _, c := range g.VerticesWithLabel(Comment) {
+		if g.DegreeWithLabel(c, Post) == 0 || g.DegreeWithLabel(c, Person) == 0 {
+			t.Fatalf("comment %d missing post or creator", c)
+		}
+	}
+}
+
+// TestQuerySelectivityOrdering: structurally stricter queries cannot have
+// more embeddings: q6 (triangle in one city) ⊆ projections of q5's
+// triangles, so count(q6) ≤ count(q5) × maxCityMultiplicity is loose;
+// directly, adding constraints to the same vertex set reduces counts.
+func TestQuerySelectivityOrdering(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 2, Seed: 42})
+	countOf := func(name string) int64 {
+		q, err := QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := baseline.Backtrack(q, g, baseline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Count
+	}
+	// q6 adds two more person–city edges to q5's shape (all three persons
+	// in the same city): strictly more constrained per embedding of the
+	// underlying triangle, so q6 ≤ q5 on any graph.
+	if c5, c6 := countOf("q5"), countOf("q6"); c6 > c5 {
+		t.Errorf("q6 (%d) > q5 (%d): constraint ordering violated", c6, c5)
+	}
+	// q3 = q2 plus a pendant tag: each q3 embedding projects to a q2
+	// embedding, with multiplicity ≥ 0; both must be nonzero here.
+	if c2, c3 := countOf("q2"), countOf("q3"); c2 == 0 || c3 == 0 {
+		t.Errorf("q2=%d q3=%d: expected both nonzero", c2, c3)
+	}
+}
+
+// TestZipfSkew: popular cities exist (the head of the Zipf distribution is
+// much larger than the tail), which drives workload imbalance — the reason
+// the paper needs workload estimation.
+func TestZipfSkew(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 4, Seed: 13})
+	var maxCity, minCity int
+	first := true
+	for _, c := range g.VerticesWithLabel(City) {
+		d := g.DegreeWithLabel(c, Person)
+		if first || d > maxCity {
+			maxCity = d
+		}
+		if first || d < minCity {
+			minCity = d
+		}
+		first = false
+	}
+	if maxCity < 4*(minCity+1) {
+		t.Errorf("city population skew too flat: max %d vs min %d", maxCity, minCity)
+	}
+}
+
+// TestKnowsDegreeKnob: the KnowsDegree knob scales the person-person
+// density.
+func TestKnowsDegreeKnob(t *testing.T) {
+	sparse := Generate(Config{ScaleFactor: 1, Seed: 9, KnowsDegree: 4})
+	dense := Generate(Config{ScaleFactor: 1, Seed: 9, KnowsDegree: 16})
+	countKnows := func(g *graph.Graph) int {
+		n := 0
+		for _, p := range g.VerticesWithLabel(Person) {
+			n += g.DegreeWithLabel(p, Person)
+		}
+		return n
+	}
+	if countKnows(dense) <= countKnows(sparse) {
+		t.Error("KnowsDegree knob has no effect")
+	}
+}

@@ -1,0 +1,143 @@
+package ldbc
+
+import (
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/internal/baseline"
+)
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	cfg := Config{ScaleFactor: 1, Seed: 7}
+	g := Generate(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	g2 := Generate(cfg)
+	if g.NumVertices() != g2.NumVertices() || g.NumEdges() != g2.NumEdges() {
+		t.Errorf("same seed, different graphs: %v vs %v", g, g2)
+	}
+	g3 := Generate(Config{ScaleFactor: 1, Seed: 8})
+	if g.NumEdges() == g3.NumEdges() {
+		t.Log("warning: different seeds gave identical edge counts (possible, unlikely)")
+	}
+}
+
+func TestGenerateUsesAll11Labels(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 1, Seed: 1})
+	if g.NumLabels() != NumLabels {
+		t.Errorf("NumLabels = %d, want %d", g.NumLabels(), NumLabels)
+	}
+	for l := 0; l < NumLabels; l++ {
+		if g.LabelFrequency(graph.Label(l)) == 0 {
+			t.Errorf("label %s unused", LabelNames[l])
+		}
+	}
+	s := graph.ComputeStats("DG-test", g)
+	if s.NumLabels != 11 {
+		t.Errorf("stats labels = %d, want 11 (Table III)", s.NumLabels)
+	}
+}
+
+func TestScaleFactorGrowsLinearly(t *testing.T) {
+	g1 := Generate(Config{ScaleFactor: 1, Seed: 5})
+	g3 := Generate(Config{ScaleFactor: 3, Seed: 5})
+	ratioV := float64(g3.NumVertices()) / float64(g1.NumVertices())
+	if ratioV < 2.2 || ratioV > 3.8 {
+		t.Errorf("vertex ratio DG03/DG01 = %.2f, want ≈3", ratioV)
+	}
+	ratioE := float64(g3.NumEdges()) / float64(g1.NumEdges())
+	if ratioE < 2.2 || ratioE > 3.8 {
+		t.Errorf("edge ratio = %.2f, want ≈3", ratioE)
+	}
+}
+
+func TestKnowsIsHeavyTailed(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 4, Seed: 9})
+	// Person degrees should have a heavy tail: max person degree several
+	// times the average (Table III shows D_G ≫ d̄_G).
+	var sum, max int
+	persons := g.VerticesWithLabel(Person)
+	for _, v := range persons {
+		d := g.Degree(v)
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(sum) / float64(len(persons))
+	if float64(max) < 4*avg {
+		t.Errorf("person degree max %d vs avg %.1f: tail not heavy", max, avg)
+	}
+}
+
+func TestDatasetPresets(t *testing.T) {
+	var prev float64
+	for _, name := range DatasetNames() {
+		cfg, err := Dataset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.ScaleFactor <= prev {
+			t.Errorf("%s scale %v not increasing", name, cfg.ScaleFactor)
+		}
+		prev = cfg.ScaleFactor
+	}
+	if _, err := Dataset("DG99"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestQueriesWellFormed(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 9 {
+		t.Fatalf("got %d queries, want 9", len(qs))
+	}
+	for i, q := range qs {
+		wantName := "q" + string(rune('0'+i))
+		if q.Name() != wantName {
+			t.Errorf("query %d named %q", i, q.Name())
+		}
+	}
+	// Structural spot checks against Fig. 6's shapes.
+	q2, _ := QueryByName("q2")
+	if q2.NumVertices() != 4 || q2.NumEdges() != 4 {
+		t.Errorf("q2 is not a 4-cycle: %v", q2)
+	}
+	q6, _ := QueryByName("q6")
+	if q6.NumEdges() != 7 {
+		t.Errorf("q6 has %d edges, want 7", q6.NumEdges())
+	}
+	q7, _ := QueryByName("q7")
+	if q7.NumVertices() != 7 {
+		t.Errorf("q7 has %d vertices, want 7", q7.NumVertices())
+	}
+	if _, err := QueryByName("q9"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+// TestQueriesHaveEmbeddings: on a moderate graph, every benchmark query must
+// produce at least one match — otherwise the Fig. 14 comparison degenerates.
+func TestQueriesHaveEmbeddings(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 4, Seed: 42})
+	for _, q := range Queries() {
+		res, err := baseline.Backtrack(q, g, baseline.Options{Limit: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		if res.Count == 0 {
+			t.Errorf("%s has no embeddings on SF4", q.Name())
+		}
+	}
+}
+
+func TestTinyScaleFactorStillValid(t *testing.T) {
+	g := Generate(Config{ScaleFactor: 0.01, Seed: 3})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() == 0 {
+		t.Error("empty graph")
+	}
+}

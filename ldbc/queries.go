@@ -1,0 +1,55 @@
+package ldbc
+
+import (
+	"fmt"
+
+	"fastmatch/graph"
+)
+
+// Queries returns q0–q8, adapted from the LDBC-SNB complex tasks the way the
+// paper does (Fig. 6, following Lai et al.'s selection): node types become
+// vertex labels, multi-hop edges are removed, and each query stays a
+// connected, simple, labelled pattern.
+//
+//	q0: Person–Post–Comment–Tag–TagClass            (5-vertex path; content chain)
+//	q1: TagClass–Tag–Post–Person–Person             (5-vertex path; tagged posts of friends)
+//	q2: Person₁–Person₂–Post–Comment–Person₁        (4-cycle; friend replies to friend's post)
+//	q3: q2's cycle + Comment–Tag pendant            (5 vertices; tagged reply between friends)
+//	q4: Person₁–Person₂, Personᵢ–Cityᵢ–Country      (5-cycle; friends in two cities of one country)
+//	q5: Person triangle + Person–City–Country       (triangle with geography tail)
+//	q6: Person triangle all in one City–Country     (dense: 7 edges on 5 vertices)
+//	q7: Person 4-cycle, two Cities, one Country     (7 vertices; largest query)
+//	q8: Person triangle spanning two Cities–Country (6 vertices, 7 edges)
+func Queries() []*graph.Query {
+	P, Ci, Cy, Po, Cm, Tg, TC := Person, City, Country, Post, Comment, Tag, TagClass
+	return []*graph.Query{
+		graph.MustQuery("q0", []graph.Label{P, Po, Cm, Tg, TC},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}}),
+		graph.MustQuery("q1", []graph.Label{TC, Tg, Po, P, P},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}}),
+		graph.MustQuery("q2", []graph.Label{P, P, Po, Cm},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		graph.MustQuery("q3", []graph.Label{P, P, Po, Cm, Tg},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4}}),
+		graph.MustQuery("q4", []graph.Label{P, P, Ci, Ci, Cy},
+			[][2]graph.QueryVertex{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 4}}),
+		graph.MustQuery("q5", []graph.Label{P, P, P, Ci, Cy},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}}),
+		graph.MustQuery("q6", []graph.Label{P, P, P, Ci, Cy},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}, {3, 4}}),
+		graph.MustQuery("q7", []graph.Label{P, P, P, P, Ci, Ci, Cy},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {2, 5}, {4, 6}, {5, 6}}),
+		graph.MustQuery("q8", []graph.Label{P, P, P, Ci, Ci, Cy},
+			[][2]graph.QueryVertex{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 4}, {3, 5}, {4, 5}}),
+	}
+}
+
+// QueryByName returns the named benchmark query ("q0" … "q8").
+func QueryByName(name string) (*graph.Query, error) {
+	for _, q := range Queries() {
+		if q.Name() == name {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("ldbc: unknown query %q (want q0…q8)", name)
+}
