@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	fast "fastmatch"
+	"fastmatch/ldbc"
+)
+
+// benchConfig carries the -bench flags.
+type benchConfig struct {
+	ScaleFactor float64
+	BasePersons int
+	Seed        int64
+	Reps        int    // measured repetitions per cell after the warm-up call
+	Workers     string // comma-separated pool sizes
+	Variants    string // comma-separated kernel variants, or "all"
+	Queries     string // comma-separated query filter
+	Out         string // JSON output path ("" = stdout)
+}
+
+// benchRun is one (query, variant, workers) cell of the sweep. plan_ns is
+// the cold first call (plan construction included); wall_ns is the minimum
+// measured host wall-clock over the warm calls that follow — the
+// serving-path number the -workers sweep is expected to improve — while
+// model_ns is the pipeline's modelled end-to-end total, which on the
+// bench's single-card configuration is workers-invariant.
+type benchRun struct {
+	Query         string  `json:"query"`
+	Variant       string  `json:"variant"`
+	Workers       int     `json:"workers"`
+	Count         int64   `json:"count"`
+	PlanNS        int64   `json:"plan_ns"`
+	WallNS        int64   `json:"wall_ns"`
+	ModelNS       int64   `json:"model_ns"`
+	BuildNS       int64   `json:"build_ns"`
+	PartitionNS   int64   `json:"partition_ns"`
+	CPUShareNS    int64   `json:"cpu_share_ns"`
+	Partitions    int     `json:"partitions"`
+	CPUPartitions int     `json:"cpu_partitions"`
+	KernelCycles  int64   `json:"kernel_cycles"`
+	CSTBytes      int64   `json:"cst_bytes"`
+	SpeedupVsW1   float64 `json:"speedup_vs_w1,omitempty"`
+}
+
+// benchOutput is the JSON document -bench emits, shaped for BENCH_*.json
+// trajectory tracking: one stable header plus a flat runs array.
+type benchOutput struct {
+	Bench       string     `json:"bench"`
+	ScaleFactor float64    `json:"scale_factor"`
+	BasePersons int        `json:"base_persons"`
+	Seed        int64      `json:"seed"`
+	Timestamp   string     `json:"timestamp"`
+	Runs        []benchRun `json:"runs"`
+}
+
+func runBench(cfg benchConfig) error {
+	if cfg.BasePersons <= 0 {
+		// Bench default is larger than the experiments' 200: the pool only
+		// has something to chew on when kernel work dominates per-call
+		// overheads.
+		cfg.BasePersons = 400
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	workerList, err := parseWorkers(cfg.Workers)
+	if err != nil {
+		return err
+	}
+	variantList, err := parseVariants(cfg.Variants)
+	if err != nil {
+		return err
+	}
+	queryNames := []string{"q1", "q2", "q3", "q4", "q5"}
+	if cfg.Queries != "" {
+		queryNames = strings.Split(cfg.Queries, ",")
+	}
+
+	g := ldbc.Generate(ldbc.Config{
+		ScaleFactor: cfg.ScaleFactor,
+		BasePersons: cfg.BasePersons,
+		Seed:        cfg.Seed,
+	})
+
+	out := benchOutput{
+		Bench:       "fastmatch",
+		ScaleFactor: cfg.ScaleFactor,
+		BasePersons: cfg.BasePersons,
+		Seed:        cfg.Seed,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, v := range variantList {
+		for _, w := range workerList {
+			// One engine per pool size: the sweep measures the pool, and a
+			// fresh plan cache per (variant, workers) keeps the first query
+			// of every cell paying the same planning cost.
+			dev := fast.DefaultDevice()
+			// Shrink the modelled card the way internal/exp does, so CSTs
+			// partition at bench scale and the pool has work to fan out.
+			dev.BRAMBytes = 32 << 10
+			dev.BatchSize = 32
+			eng, err := fast.NewEngine(g, &fast.Options{Variant: v, Device: dev, Workers: w})
+			if err != nil {
+				return err
+			}
+			for _, name := range queryNames {
+				q, err := ldbc.QueryByName(strings.TrimSpace(name))
+				if err != nil {
+					return err
+				}
+				// Cold call: plans, builds the CST, fills the cache.
+				coldStart := time.Now()
+				if _, err := eng.Match(q); err != nil {
+					return err
+				}
+				cold := time.Since(coldStart)
+				// Warm calls: the serving path the engine exists for. The
+				// minimum over reps is the least noise-sensitive estimator
+				// for short wall-clock benchmarks.
+				var res *fast.Result
+				wall := time.Duration(1<<62 - 1)
+				for r := 0; r < cfg.Reps; r++ {
+					start := time.Now()
+					res, err = eng.Match(q)
+					if err != nil {
+						return err
+					}
+					if el := time.Since(start); el < wall {
+						wall = el
+					}
+				}
+				run := benchRun{
+					Query:         q.Name(),
+					Variant:       string(v),
+					Workers:       w,
+					Count:         res.Count,
+					PlanNS:        cold.Nanoseconds(),
+					WallNS:        wall.Nanoseconds(),
+					ModelNS:       res.Total.Nanoseconds(),
+					BuildNS:       res.BuildTime.Nanoseconds(),
+					PartitionNS:   res.PartitionTime.Nanoseconds(),
+					CPUShareNS:    res.CPUShareTime.Nanoseconds(),
+					Partitions:    res.Partitions,
+					CPUPartitions: res.CPUPartitions,
+					KernelCycles:  res.KernelCycles,
+					CSTBytes:      res.CSTBytes,
+				}
+				out.Runs = append(out.Runs, run)
+			}
+		}
+	}
+
+	// Speedups, computed after the sweep so -workers ordering is
+	// irrelevant: emitted for every workers>1 run whose (query, variant)
+	// has a workers=1 cell anywhere in the sweep, and only for those.
+	baseWall := make(map[string]int64)
+	for _, r := range out.Runs {
+		if r.Workers == 1 {
+			baseWall[r.Query+"/"+r.Variant] = r.WallNS
+		}
+	}
+	for i := range out.Runs {
+		r := &out.Runs[i]
+		if base := baseWall[r.Query+"/"+r.Variant]; r.Workers != 1 && base > 0 && r.WallNS > 0 {
+			r.SpeedupVsW1 = float64(base) / float64(r.WallNS)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if cfg.Out != "" {
+		f, err := os.Create(cfg.Out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseVariants(s string) ([]fast.Variant, error) {
+	if s == "all" {
+		return fast.AllVariants(), nil
+	}
+	known := make(map[fast.Variant]bool)
+	for _, v := range fast.AllVariants() {
+		known[v] = true
+	}
+	var out []fast.Variant
+	for _, part := range strings.Split(s, ",") {
+		v := fast.Variant(strings.TrimSpace(part))
+		if !known[v] {
+			return nil, fmt.Errorf("unknown variant %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

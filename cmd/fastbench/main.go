@@ -1,13 +1,20 @@
-// Command fastbench regenerates the paper's tables and figures.
+// Command fastbench regenerates the paper's tables and figures, and runs
+// the machine-readable matching benchmark that feeds BENCH_*.json
+// trajectory tracking.
 //
 // Usage:
 //
 //	fastbench -list
 //	fastbench -exp fig14
 //	fastbench -exp all -base 200 -timeout 10s -out results.txt
+//	fastbench -bench -workers 1,2,4 -variants sep,share -json bench.json
 //
 // Each experiment prints one or more aligned text tables; EXPERIMENTS.md
 // maps them back to the paper's figures and records the expected shapes.
+// -bench instead sweeps kernel variants × worker-pool sizes over the LDBC
+// queries through fast.Engine and emits one JSON document with per-run
+// counts and timings (wall_ns is measured host wall-clock; model_ns the
+// pipeline's modelled total).
 package main
 
 import (
@@ -32,8 +39,33 @@ func main() {
 		queries = flag.String("queries", "", "comma-separated query filter (e.g. q2,q5)")
 		out     = flag.String("out", "", "write results to file instead of stdout")
 		format  = flag.String("format", "text", "output format: text or csv")
+
+		bench    = flag.Bool("bench", false, "run the JSON matching benchmark instead of an experiment")
+		reps     = flag.Int("reps", 0, "measured repetitions per bench cell after warm-up (default 5)")
+		workers  = flag.String("workers", "1", "comma-separated worker-pool sizes to sweep (bench mode)")
+		variants = flag.String("variants", "share", "comma-separated kernel variants to sweep, or 'all' (bench mode)")
+		sf       = flag.Float64("sf", 1, "LDBC scale factor (bench mode)")
+		jsonOut  = flag.String("json", "", "write bench JSON to file instead of stdout (bench mode)")
 	)
 	flag.Parse()
+
+	if *bench {
+		cfg := benchConfig{
+			ScaleFactor: *sf,
+			BasePersons: *base,
+			Seed:        *seed,
+			Reps:        *reps,
+			Workers:     *workers,
+			Variants:    *variants,
+			Queries:     *queries,
+			Out:         *jsonOut,
+		}
+		if err := runBench(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "fastbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, n := range exp.Names() {

@@ -1,0 +1,193 @@
+package fast
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"fastmatch/graph"
+	"fastmatch/internal/host"
+)
+
+// Engine is the reusable, concurrent entry point for serving matching
+// traffic against one data graph. Where the one-shot Match plans every call
+// from scratch and runs partitions sequentially, an Engine
+//
+//   - owns a bounded worker pool that fans each query's CST partitions out
+//     across goroutines (the software analogue of the paper's multi-PE
+//     parallelism) and is shared by every concurrent Match/MatchBatch call,
+//     so simultaneous queries cannot oversubscribe the host; and
+//   - keeps a query-plan cache (root, BFS tree, matching order and CST,
+//     keyed by a structural fingerprint of the query), so repeated queries
+//     skip Phase 1 entirely — the dominant host-side cost for small
+//     result sets.
+//
+// An Engine is safe for concurrent use. Counts are deterministic: the same
+// query returns the same Result.Count regardless of Workers or of how many
+// goroutines call in at once.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+	cfg  host.Config
+	pool chan struct{}
+
+	mu    sync.Mutex
+	plans map[string]*planEntry
+	hits  int64
+	miss  int64
+}
+
+// planEntry is a singleflight slot: concurrent first requests for the same
+// fingerprint share one host.Prepare instead of each rebuilding the CST —
+// Phase 1 is the dominant host-side cost the cache exists to avoid.
+type planEntry struct {
+	once sync.Once
+	plan *host.Plan
+	err  error
+}
+
+// NewEngine creates an Engine over g. opts follows Match's semantics, with
+// one difference: Workers defaults to runtime.NumCPU() instead of 1,
+// because an Engine exists to exploit parallelism. A nil opts means
+// VariantShare on the default device.
+func NewEngine(g *graph.Graph, opts *Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("fast: NewEngine: nil graph")
+	}
+	if opts == nil {
+		opts = &Options{Variant: VariantShare}
+	}
+	o := *opts
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	cfg, err := o.hostConfig()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:     g,
+		opts:  o,
+		cfg:   cfg,
+		plans: make(map[string]*planEntry),
+	}
+	if o.Workers > 1 {
+		e.pool = make(chan struct{}, o.Workers)
+		e.cfg.Pool = e.pool
+	}
+	return e, nil
+}
+
+// Match finds all embeddings of q in the engine's graph, reusing the cached
+// plan when q (by structural fingerprint) has been matched before.
+func (e *Engine) Match(q *graph.Query) (*Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("fast: Engine.Match: nil query")
+	}
+	key := fingerprint(q)
+	e.mu.Lock()
+	ent, ok := e.plans[key]
+	if ok {
+		e.hits++
+	} else {
+		ent = &planEntry{}
+		e.plans[key] = ent
+		e.miss++
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.plan, ent.err = host.Prepare(q, e.g, e.cfg)
+	})
+	if ent.err != nil {
+		// Drop the failed slot so a later call can retry planning.
+		e.mu.Lock()
+		if e.plans[key] == ent {
+			delete(e.plans, key)
+		}
+		e.mu.Unlock()
+		return nil, ent.err
+	}
+	cfg := e.cfg
+	cfg.Plan = ent.plan
+	rep, err := host.Match(q, e.g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromReport(rep), nil
+}
+
+// MatchBatch runs every query concurrently — each on its own producer
+// goroutine, all sharing the engine's worker pool — and returns results
+// aligned with qs. Every query runs to completion regardless of other
+// queries' failures; on failure the lowest-index error is returned
+// alongside the (partially nil) results.
+func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
+	results := make([]*Result, len(qs))
+	errs := make([]error, len(qs))
+	// Bound in-flight queries: the shared pool already bounds kernel
+	// compute at Workers, so query-level concurrency beyond a handful only
+	// buys buffered partition memory (each in-flight Match keeps its own
+	// worker goroutines and channel buffers). The cap keeps the batch's
+	// footprint linear in Workers instead of quadratic.
+	inflight := min(e.opts.Workers, 8)
+	if inflight < 1 {
+		inflight = 1
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	for i, q := range qs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q *graph.Query) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Match(q)
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			name := "<nil>"
+			if qs[i] != nil {
+				name = qs[i].Name()
+			}
+			return results, fmt.Errorf("fast: MatchBatch query %d (%s): %w", i, name, err)
+		}
+	}
+	return results, nil
+}
+
+// PlanCacheStats reports plan-cache hits and misses since the engine was
+// created.
+func (e *Engine) PlanCacheStats() (hits, misses int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.miss
+}
+
+// CachedPlans returns the number of distinct query plans currently cached.
+func (e *Engine) CachedPlans() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.plans)
+}
+
+// Workers returns the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// fingerprint canonically encodes a query's structure — vertex labels,
+// adjacency and edge labels (the name is deliberately excluded, so two
+// structurally identical queries share one plan). Query graphs are tiny, so
+// a plain string key is cheap and collision-free.
+func fingerprint(q *graph.Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d", q.NumVertices())
+	for u := 0; u < q.NumVertices(); u++ {
+		fmt.Fprintf(&b, "|%d:", q.Label(u))
+		for _, v := range q.Neighbors(u) {
+			fmt.Fprintf(&b, "%d/%d,", v, q.EdgeLabel(u, v))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package fast
+
+import (
+	"sync"
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+func engineTestGraph() *graph.Graph {
+	return ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 120, Seed: 7})
+}
+
+// engineTestOptions shrinks the modelled card so CSTs actually partition
+// and the worker pool has work to fan out.
+func engineTestOptions(workers int) *Options {
+	dev := DefaultDevice()
+	dev.BRAMBytes = 256 << 10
+	dev.BatchSize = 256
+	return &Options{Variant: VariantShare, Device: dev, Workers: workers}
+}
+
+// TestEngineMatchesOneShot: Engine.Match must agree with the one-shot Match
+// on every LDBC query, both on the first (planning) call and on the cached
+// repeat.
+func TestEngineMatchesOneShot(t *testing.T) {
+	g := engineTestGraph()
+	eng, err := NewEngine(g, engineTestOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Match(q, g, engineTestOptions(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := eng.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repeat, err := eng.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Count != want.Count || repeat.Count != want.Count {
+			t.Errorf("%s: engine counts %d/%d, want %d", name, first.Count, repeat.Count, want.Count)
+		}
+	}
+	hits, misses := eng.PlanCacheStats()
+	if misses != 5 || hits != 5 {
+		t.Errorf("plan cache hits/misses = %d/%d, want 5/5", hits, misses)
+	}
+	if eng.CachedPlans() != 5 {
+		t.Errorf("CachedPlans = %d, want 5", eng.CachedPlans())
+	}
+}
+
+// TestEngineConcurrentMatchStress: N goroutines hammering the same engine
+// with a mix of queries must all observe the sequential counts — the
+// "serving traffic" scenario, run under -race in CI.
+func TestEngineConcurrentMatchStress(t *testing.T) {
+	g := engineTestGraph()
+	eng, err := NewEngine(g, engineTestOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"q1", "q2", "q3"}
+	want := make(map[string]int64, len(names))
+	for _, name := range names {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Match(q, g, engineTestOptions(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = res.Count
+	}
+
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := names[(i+r)%len(names)]
+				q, err := ldbc.QueryByName(name)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				res, err := eng.Match(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.Count != want[name] {
+					t.Errorf("goroutine %d round %d: %s count %d, want %d", i, r, name, res.Count, want[name])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if eng.CachedPlans() != len(names) {
+		t.Errorf("CachedPlans = %d, want %d", eng.CachedPlans(), len(names))
+	}
+}
+
+// TestEngineMatchBatch: results stay aligned with the input order and each
+// matches its one-shot count; plans are cached across the batch's repeats.
+func TestEngineMatchBatch(t *testing.T) {
+	g := engineTestGraph()
+	eng, err := NewEngine(g, engineTestOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"q1", "q2", "q3", "q1", "q2", "q3"}
+	qs := make([]*graph.Query, len(names))
+	for i, name := range names {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	results, err := eng.MatchBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results, want %d", len(results), len(qs))
+	}
+	for i, res := range results {
+		want, err := Match(qs[i], g, engineTestOptions(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want.Count {
+			t.Errorf("batch[%d] (%s): count %d, want %d", i, names[i], res.Count, want.Count)
+		}
+	}
+	if eng.CachedPlans() != 3 {
+		t.Errorf("CachedPlans = %d, want 3", eng.CachedPlans())
+	}
+}
+
+// TestEngineDefaults: nil options and zero workers fall back to NumCPU, and
+// a nil graph is rejected.
+func TestEngineDefaults(t *testing.T) {
+	if _, err := NewEngine(nil, nil); err == nil {
+		t.Error("NewEngine(nil, nil) succeeded, want error")
+	}
+	eng, err := NewEngine(engineTestGraph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Workers() < 1 {
+		t.Errorf("Workers = %d, want >= 1", eng.Workers())
+	}
+}

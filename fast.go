@@ -12,6 +12,21 @@
 //	q, _ := ldbc.QueryByName("q2")
 //	res, err := fast.Match(q, g, nil)
 //	fmt.Println(res.Count, res.Total)
+//
+// # Concurrency
+//
+// Match with Options.Workers > 1 fans the scheduler's FPGA-side partition
+// queue out across that many goroutines while the CPU δ-share is
+// enumerated concurrently, mirroring the paper's multi-PE parallelism and
+// CPU–FPGA co-processing; counts are identical to the sequential run. For
+// serving traffic — repeated and simultaneous queries against one graph —
+// construct an Engine: it shares one bounded worker pool across all
+// concurrent calls and caches query plans (matching order + CST) keyed by
+// query fingerprint, so replanning is skipped:
+//
+//	eng, _ := fast.NewEngine(g, &fast.Options{Workers: 8})
+//	results, err := eng.MatchBatch(queries) // concurrent, pool-shared
+//	res, err := eng.Match(q)                // plan-cache hit on repeats
 package fast
 
 import (
@@ -131,6 +146,34 @@ type Options struct {
 	Order string
 	// CollectEmbeddings materialises matches in Result.Embeddings.
 	CollectEmbeddings bool
+	// Workers > 1 runs CST partitions across that many goroutines with the
+	// CPU δ-share processed concurrently; 0 or 1 keeps the sequential
+	// pipeline. Counts do not depend on Workers.
+	Workers int
+}
+
+// hostConfig translates Options into the internal pipeline configuration.
+func (o *Options) hostConfig() (host.Config, error) {
+	variant, delta, err := o.Variant.toCore()
+	if err != nil {
+		return host.Config{}, err
+	}
+	if o.Delta > 0 {
+		delta = o.Delta
+	}
+	cfg := host.Config{
+		Device:   o.Device.toSim(),
+		NumFPGAs: o.NumFPGAs,
+		Variant:  variant,
+		Delta:    delta,
+		Strategy: host.OrderStrategy(o.Order),
+		Collect:  o.CollectEmbeddings,
+		Workers:  o.Workers,
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = host.OrderPath
+	}
+	return cfg, nil
 }
 
 // Result reports one end-to-end match.
@@ -158,28 +201,19 @@ func Match(q *graph.Query, g *graph.Graph, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{Variant: VariantShare}
 	}
-	variant, delta, err := opts.Variant.toCore()
+	cfg, err := opts.hostConfig()
 	if err != nil {
 		return nil, err
-	}
-	if opts.Delta > 0 {
-		delta = opts.Delta
-	}
-	cfg := host.Config{
-		Device:   opts.Device.toSim(),
-		NumFPGAs: opts.NumFPGAs,
-		Variant:  variant,
-		Delta:    delta,
-		Strategy: host.OrderStrategy(opts.Order),
-		Collect:  opts.CollectEmbeddings,
-	}
-	if cfg.Strategy == "" {
-		cfg.Strategy = host.OrderPath
 	}
 	rep, err := host.Match(q, g, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return resultFromReport(rep), nil
+}
+
+// resultFromReport converts the internal report to the public Result.
+func resultFromReport(rep host.Report) *Result {
 	return &Result{
 		Count:         rep.Embeddings,
 		Embeddings:    rep.Collected,
@@ -194,7 +228,7 @@ func Match(q *graph.Query, g *graph.Graph, opts *Options) (*Result, error) {
 		KernelCycles:  rep.KernelCycles,
 		CSTBytes:      rep.CSTBytes,
 		DataBytes:     rep.DataBytes,
-	}, nil
+	}
 }
 
 // Count returns only the number of embeddings of q in g, using the default

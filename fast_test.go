@@ -175,10 +175,3 @@ func TestDeviceConfigKnobs(t *testing.T) {
 		t.Errorf("10× clock slowdown gave FPGA-time ratio %.1f", ratio)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

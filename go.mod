@@ -1,0 +1,3 @@
+module fastmatch
+
+go 1.22

@@ -1,0 +1,75 @@
+package cst
+
+import (
+	"sync"
+
+	"fastmatch/internal/order"
+)
+
+// PartitionParallel is Partition with a parallel consumption mode: the
+// recursive splitter (Algorithm 2) runs on the caller's goroutine exactly as
+// in Partition, but finished pieces are handed to a bounded pool of
+// `workers` goroutines instead of being processed inline — the software
+// analogue of the paper's multi-PE intra-query parallelism, where many CST
+// partitions occupy processing elements concurrently while the partitioner
+// keeps producing. process receives the worker index (0 ≤ worker <
+// workers) so callers can keep per-worker partial results and merge them
+// after the return, avoiding shared counters; process must otherwise be
+// safe for concurrent calls. cfg.Steal, when set, is still invoked
+// synchronously on the caller's goroutine.
+//
+// The partition pieces, their count (the return value) and the split
+// decisions are byte-identical to Partition's — only the goroutine that
+// consumes each piece differs. workers <= 1 degrades to the sequential
+// Partition.
+//
+// This is the self-contained parallel consumption mode, and the reference
+// the race-detector parity tests pin down. host.Match's Workers mode
+// deliberately does NOT build on it: Algorithm 3's δ routing must run on
+// the producer goroutine in emission order to stay deterministic, while
+// process here runs on the workers — any change to partition-consumption
+// semantics must keep the two in agreement (the shared contract is exactly
+// the paragraph above).
+func PartitionParallel(c *CST, o order.Order, cfg PartitionConfig, workers int, process func(worker int, p *CST)) int {
+	if workers <= 1 {
+		return Partition(c, o, cfg, func(p *CST) { process(0, p) })
+	}
+	ch := make(chan *CST, workers*2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := range ch {
+				process(w, p)
+			}
+		}(w)
+	}
+	n := Partition(c, o, cfg, func(p *CST) { ch <- p })
+	close(ch)
+	wg.Wait()
+	return n
+}
+
+// EnumerateParallel partitions c under cfg and counts the embeddings of
+// every piece across `workers` goroutines, merging per-worker counters at
+// the end. Because partitions have disjoint search spaces whose union is
+// exactly c's (the Partition property Theorem 1 rests on), the total equals
+// Count(c, o) and is deterministic regardless of workers. cfg.Steal is
+// ignored: a stolen piece would leave this function's count, breaking that
+// guarantee — callers that split work elsewhere want PartitionParallel.
+func EnumerateParallel(c *CST, o order.Order, cfg PartitionConfig, workers int) int64 {
+	cfg.Steal = nil
+	if workers < 1 {
+		workers = 1
+	}
+	counts := make([]int64, workers)
+	PartitionParallel(c, o, cfg, workers, func(w int, p *CST) {
+		counts[w] += Enumerate(p, o, nil)
+	})
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

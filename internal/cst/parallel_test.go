@@ -1,0 +1,123 @@
+package cst
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fastmatch/internal/order"
+	"fastmatch/ldbc"
+)
+
+// ldbcCST builds the CST and path order for one benchmark query over a
+// small LDBC-like graph, plus a partition config tight enough to force a
+// real multi-partition workload.
+func ldbcCST(t *testing.T, name string) (*CST, order.Order, PartitionConfig) {
+	t.Helper()
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 120, Seed: 7})
+	q, err := ldbc.QueryByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := Build(q, g, tr)
+	o := order.PathBased(tr, c)
+	cfg := PartitionConfig{MaxSizeBytes: c.SizeBytes()/6 + 64, MaxCandDegree: 16}
+	return c, o, cfg
+}
+
+// TestEnumerateParallelMatchesSequential: the per-worker counters of
+// EnumerateParallel must merge to exactly the sequential totals — both the
+// unpartitioned Count and the partition-by-partition sum — on the LDBC
+// queries, for any pool size. Run under -race this also proves the pieces
+// are consumed without shared-state races.
+func TestEnumerateParallelMatchesSequential(t *testing.T) {
+	for _, name := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		c, o, cfg := ldbcCST(t, name)
+		want := Count(c, o)
+		var seqSum int64
+		seqParts := Partition(c, o, cfg, func(p *CST) { seqSum += Enumerate(p, o, nil) })
+		if seqSum != want {
+			t.Fatalf("%s: partitioned sequential sum %d, want %d", name, seqSum, want)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			if got := EnumerateParallel(c, o, cfg, workers); got != want {
+				t.Errorf("%s workers=%d: EnumerateParallel = %d, want %d", name, workers, got, want)
+			}
+		}
+		if seqParts < 2 {
+			t.Errorf("%s: only %d partitions — config not tight enough to exercise the pool", name, seqParts)
+		}
+	}
+}
+
+// TestPartitionParallelDeterministic: the pieces PartitionParallel produces
+// are byte-identical to Partition's — same count, and the same multiset of
+// per-piece embedding counts — regardless of which worker consumes which.
+func TestPartitionParallelDeterministic(t *testing.T) {
+	c, o, cfg := ldbcCST(t, "q2")
+	var seq []int64
+	seqN := Partition(c, o, cfg, func(p *CST) { seq = append(seq, Enumerate(p, o, nil)) })
+
+	const workers = 4
+	perWorker := make([][]int64, workers)
+	parN := PartitionParallel(c, o, cfg, workers, func(w int, p *CST) {
+		perWorker[w] = append(perWorker[w], Enumerate(p, o, nil))
+	})
+	if parN != seqN {
+		t.Fatalf("parallel produced %d pieces, sequential %d", parN, seqN)
+	}
+	var par []int64
+	for _, counts := range perWorker {
+		par = append(par, counts...)
+	}
+	sortI64 := func(s []int64) { sort.Slice(s, func(i, j int) bool { return s[i] < s[j] }) }
+	sortI64(seq)
+	sortI64(par)
+	if len(par) != len(seq) {
+		t.Fatalf("got %d processed pieces, want %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i] != seq[i] {
+			t.Fatalf("per-piece count multiset differs at %d: %d vs %d", i, par[i], seq[i])
+		}
+	}
+}
+
+// TestPartitionParallelPoolBounds: worker indices stay in range and no more
+// than `workers` process calls are ever in flight.
+func TestPartitionParallelPoolBounds(t *testing.T) {
+	c, o, cfg := ldbcCST(t, "q3")
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	PartitionParallel(c, o, cfg, workers, func(w int, p *CST) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range", w)
+		}
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		Enumerate(p, o, nil)
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent process calls, pool bound is %d", p, workers)
+	}
+}
+
+// TestPartitionParallelSinglePiece: more workers than pieces degrades
+// gracefully (the unsplit CST comes back through worker 0's channel read or
+// any other — totals still match).
+func TestPartitionParallelSinglePiece(t *testing.T) {
+	c, o, _ := ldbcCST(t, "q1")
+	loose := PartitionConfig{MaxSizeBytes: 1 << 40, MaxCandDegree: 1 << 30}
+	want := Count(c, o)
+	if got := EnumerateParallel(c, o, loose, 8); got != want {
+		t.Errorf("single-piece parallel count %d, want %d", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package cst
 
 import (
 	"fastmatch/graph"
+	"fastmatch/internal/mathutil"
 	"fastmatch/internal/order"
 )
 
@@ -102,19 +103,17 @@ func (cfg PartitionConfig) partitionFactor(c *CST) int {
 	}
 	k := 1
 	if cfg.MaxSizeBytes > 0 {
-		if r := ceilDiv64(c.SizeBytes(), cfg.MaxSizeBytes); int(r) > k {
+		if r := mathutil.CeilDiv(c.SizeBytes(), cfg.MaxSizeBytes); int(r) > k {
 			k = int(r)
 		}
 	}
 	if cfg.MaxCandDegree > 0 {
-		if r := (c.MaxCandDegree() + cfg.MaxCandDegree - 1) / cfg.MaxCandDegree; r > k {
+		if r := mathutil.CeilDiv(c.MaxCandDegree(), cfg.MaxCandDegree); r > k {
 			k = r
 		}
 	}
 	return k
 }
-
-func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
 
 // evenChunk returns the half-open index range [lo,hi) of the i-th of k even
 // chunks of n items.
@@ -257,11 +256,4 @@ func subtreeOf(t *order.Tree, u graph.QueryVertex) []bool {
 	}
 	in[u] = true
 	return in
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -82,9 +82,9 @@ func runAblationCycles(cfg Config) ([]Table, error) {
 			case core.VariantBasic:
 				eq = 4*n + 2*m
 			case core.VariantTask:
-				eq = 2*n + maxI64(n, m)
+				eq = 2*n + max(n, m)
 			case core.VariantSep:
-				eq = n + maxI64(n, m)
+				eq = n + max(n, m)
 			}
 			ratioCell := "-"
 			if eq > 0 {
@@ -96,11 +96,4 @@ func runAblationCycles(cfg Config) ([]Table, error) {
 		}
 	}
 	return []Table{t}, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

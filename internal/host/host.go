@@ -4,11 +4,16 @@
 // the CPU and one or more simulated FPGA cards under the δ threshold
 // (Algorithm 3), offloads partitions over PCIe, runs the FAST kernel on
 // each, enumerates the CPU share with the backtracking matcher, and merges
-// results into an end-to-end report.
+// results into an end-to-end report. With Config.Workers > 1 the FPGA-side
+// partition queue fans out across a bounded goroutine pool while the CPU
+// δ-share drains concurrently — the software analogue of the paper's
+// multi-PE parallelism and CPU–FPGA co-processing (Fig. 13).
 package host
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastmatch/graph"
@@ -52,6 +57,27 @@ type Config struct {
 	Partition cst.PartitionConfig
 	// Collect materialises embeddings in the report.
 	Collect bool
+	// Workers > 1 fans the FPGA-bound partition queue out across that many
+	// goroutines while the CPU δ-share is enumerated concurrently; 0 or 1
+	// keeps the original streaming-sequential pipeline. Embedding counts,
+	// partition counts, the δ split and the aggregated kernel statistics
+	// are identical either way. The modelled single-card FPGATime and
+	// TransferTime are also workers-invariant; PartitionTime and
+	// CPUShareTime are measured wall times and vary only with machine
+	// noise. With NumFPGAs > 1 the partition→card assignment depends on
+	// completion timing, so per-card modelled times may differ run to run.
+	Workers int
+	// Pool, when non-nil, is a shared token bucket: each worker holds one
+	// token per FPGA-bound partition it processes, bounding the total
+	// concurrent kernel work across simultaneous Match calls that share
+	// the channel (fast.Engine hands every Match the same Pool).
+	Pool chan struct{}
+	// Plan supplies a precomputed matching plan (root, BFS tree, order,
+	// CST). Callers that repeat a query against the same graph — the
+	// serving scenario — cache the Plan from Prepare and skip Phase 1
+	// entirely. The Plan must have been prepared for the same (q, g, cfg
+	// order settings); Match does not re-verify that.
+	Plan *Plan
 }
 
 func (c Config) withDefaults(q *graph.Query) Config {
@@ -77,6 +103,44 @@ func (c Config) withDefaults(q *graph.Query) Config {
 	return c
 }
 
+// Plan is the output of Phase 1: everything Match derives from (q, g)
+// before partitioning starts. A Plan is immutable after Prepare and safe to
+// share between concurrent Match calls — the CST is read-only during
+// matching, which is what makes the plan cache sound.
+type Plan struct {
+	Root  graph.QueryVertex
+	Tree  *order.Tree
+	Order order.Order
+	CST   *cst.CST
+}
+
+// Prepare runs Phase 1 (root selection, BFS tree, CST construction —
+// Algorithm 1 — and matching-order selection) and returns the reusable
+// plan. cfg contributes only the order settings (Strategy/ExplicitOrder).
+func Prepare(q *graph.Query, g *graph.Graph, cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults(q)
+	root := order.SelectRoot(q, g)
+	tree := order.BuildBFSTree(q, root)
+	c := cst.Build(q, g, tree)
+	o := cfg.ExplicitOrder
+	if o == nil {
+		switch cfg.Strategy {
+		case OrderCFL:
+			o = order.CFLLike(tree, c)
+		case OrderDAF:
+			o = order.DAFLike(tree, c)
+		case OrderCECI:
+			o = order.CECILike(tree, c)
+		default:
+			o = order.PathBased(tree, c)
+		}
+	}
+	if err := o.Validate(tree); err != nil {
+		return nil, fmt.Errorf("host: %v", err)
+	}
+	return &Plan{Root: root, Tree: tree, Order: o, CST: c}, nil
+}
+
 // Report is the end-to-end outcome of a match.
 type Report struct {
 	Query      string
@@ -88,7 +152,11 @@ type Report struct {
 	// slowest card's kernel busy time; CPUShareTime is measured wall time
 	// of the host's share. Total composes them the way the pipeline runs:
 	// build, then partition, then max(card completion, CPU share) since
-	// the CPU processes its cached share while cards drain theirs.
+	// the CPU processes its cached share while cards drain theirs. With
+	// Workers > 1 partitioning additionally overlaps kernel execution
+	// (PartitionTime still counts only the partitioner's own work, not
+	// waits on busy workers), so real host wall-clock runs ahead of the
+	// modelled Total.
 	BuildTime     time.Duration
 	PartitionTime time.Duration
 	TransferTime  time.Duration
@@ -133,27 +201,18 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 
 	rep := Report{Query: q.Name(), DataBytes: g.SizeBytes(), Devices: cfg.NumFPGAs}
 
-	// Phase 1: CST construction (Algorithm 1) on the host.
+	// Phase 1: CST construction (Algorithm 1) on the host — or a plan
+	// cache hit, which reduces this phase to nothing.
 	buildStart := time.Now()
-	root := order.SelectRoot(q, g)
-	tree := order.BuildBFSTree(q, root)
-	c := cst.Build(q, g, tree)
-	o := cfg.ExplicitOrder
-	if o == nil {
-		switch cfg.Strategy {
-		case OrderCFL:
-			o = order.CFLLike(tree, c)
-		case OrderDAF:
-			o = order.DAFLike(tree, c)
-		case OrderCECI:
-			o = order.CECILike(tree, c)
-		default:
-			o = order.PathBased(tree, c)
+	plan := cfg.Plan
+	if plan == nil {
+		var err error
+		plan, err = Prepare(q, g, cfg)
+		if err != nil {
+			return Report{}, err
 		}
 	}
-	if err := o.Validate(tree); err != nil {
-		return Report{}, fmt.Errorf("host: %v", err)
-	}
+	c, o := plan.CST, plan.Order
 	rep.BuildTime = time.Since(buildStart)
 	if c.IsEmpty() {
 		rep.Total = rep.BuildTime
@@ -171,6 +230,37 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 		devices[i] = d
 	}
 
+	// Phases 2–5: partition, schedule, execute.
+	var err error
+	if cfg.Workers > 1 {
+		err = matchParallel(cfg, &rep, c, o, devices, transfer)
+	} else {
+		err = matchSequential(cfg, &rep, c, o, devices, transfer)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Completion: cards run concurrently with each other and with the
+	// CPU's share.
+	for i, d := range devices {
+		if t := transfer[i] + d.Busy(); t > rep.FPGATime {
+			rep.FPGATime = t
+		}
+		rep.TransferTime += transfer[i]
+	}
+	concurrent := rep.FPGATime
+	if rep.CPUShareTime > concurrent {
+		concurrent = rep.CPUShareTime
+	}
+	rep.Total = rep.BuildTime + rep.PartitionTime + concurrent
+	return rep, nil
+}
+
+// matchSequential is the original streaming pipeline: partitions are
+// processed inline as the partitioner emits them, and the CPU share runs
+// after partitioning finishes.
+func matchSequential(cfg Config, rep *Report, c *cst.CST, o order.Order, devices []*fpgasim.Device, transfer []time.Duration) error {
 	// Phase 2+3: partition (Algorithm 2) and schedule (Algorithm 3).
 	// Partitions stream out of the partitioner; each is either cached for
 	// the CPU or offloaded immediately to the least-loaded card.
@@ -247,7 +337,7 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 	})
 	rep.PartitionTime += time.Since(lastResume)
 	if kernErr != nil {
-		return Report{}, kernErr
+		return kernErr
 	}
 
 	// Phase 5: the CPU processes its cached share with the backtracking
@@ -263,22 +353,253 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 		rep.Embeddings += n
 	}
 	rep.CPUShareTime = time.Since(cpuStart)
+	rep.CPUWorkload, rep.FPGAWorkload = sched.wc, sched.wf
+	return nil
+}
 
-	// Completion: cards run concurrently with each other and with the
-	// CPU's share.
-	for i, d := range devices {
-		if t := transfer[i] + d.Busy(); t > rep.FPGATime {
-			rep.FPGATime = t
+// fpgaWorkerStats is one worker's private accumulator; merging them after
+// the pool drains keeps totals deterministic without shared counters.
+type fpgaWorkerStats struct {
+	embeddings int64
+	cycles     int64
+	partials   int64
+	edgeTasks  int64
+	rounds     int64
+	maxBuffer  int
+	collected  []graph.Embedding
+}
+
+// matchParallel runs phases 2–5 with the FPGA-bound partition queue fanned
+// out across cfg.Workers goroutines while the CPU δ-share drains on its own
+// goroutine, all overlapping the partitioner — the paper's CPU–FPGA
+// co-processing. Scheduling decisions (Algorithm 3) stay on the producer
+// goroutine and see partitions in the exact order the sequential pipeline
+// does, so the δ split, partition counts and embedding totals are identical
+// to matchSequential's.
+func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices []*fpgasim.Device, transfer []time.Duration) error {
+	var (
+		devMu   sync.Mutex
+		stop    atomic.Bool
+		errOnce sync.Once
+		kernErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { kernErr = err })
+		stop.Store(true)
+	}
+
+	// Modest buffers: enough to decouple the producer from worker jitter,
+	// capped so the resident partition CSTs a Match can hold (buffers plus
+	// one dequeued per worker) stay small — backpressure on the producer
+	// is free, its waits are excluded from PartitionTime.
+	buf := min(cfg.Workers*2, 8)
+	fpgaCh := make(chan *cst.CST, buf)
+	cpuCh := make(chan *cst.CST, buf)
+
+	// FPGA pool: each worker claims a card under devMu, runs the kernel
+	// model outside it, and accumulates into private stats. After an
+	// error workers keep draining the channel (without processing) so the
+	// producer can never block forever.
+	//
+	// Staging: unlike the sequential path — which releases each
+	// partition's DRAM before staging the next — up to Workers partitions
+	// are resident concurrently. A partition that finds no card with room
+	// waits on devCond for an in-flight one to release (guaranteed
+	// progress: inflight > 0 means a release is coming) and only fails
+	// when it would not fit an idle card, exactly when the sequential
+	// pipeline fails too.
+	devCond := sync.NewCond(&devMu)
+	inflight := 0
+	stage := func(p *cst.CST) (*fpgasim.Device, error) {
+		devMu.Lock()
+		defer devMu.Unlock()
+		for {
+			// Try cards in ascending accumulated-load order via a
+			// selection scan — alloc-free under the contended lock, and
+			// NumFPGAs is tiny (the bitmask caps it at 64 cards, far
+			// beyond any modelled deployment).
+			var tried uint64
+			var lastErr error
+			for t := 0; t < len(devices) && t < 64; t++ {
+				best := -1
+				for i := range devices {
+					if i >= 64 || tried&(1<<uint(i)) != 0 {
+						continue
+					}
+					if best < 0 || devices[i].Busy()+transfer[i] < devices[best].Busy()+transfer[best] {
+						best = i
+					}
+				}
+				tried |= 1 << uint(best)
+				dur, err := devices[best].StageDRAM(p.SizeBytes())
+				if err == nil {
+					transfer[best] += dur
+					inflight++
+					return devices[best], nil
+				}
+				lastErr = err
+			}
+			if inflight == 0 {
+				return nil, lastErr
+			}
+			devCond.Wait()
 		}
-		rep.TransferTime += transfer[i]
+	}
+	release := func(dev *fpgasim.Device, p *cst.CST, cycles int64) {
+		devMu.Lock()
+		if cycles > 0 {
+			dev.RunKernel(cycles)
+		}
+		dev.ReleaseDRAM(p.SizeBytes())
+		inflight--
+		devCond.Broadcast()
+		devMu.Unlock()
+	}
+	stats := make([]fpgaWorkerStats, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(st *fpgaWorkerStats) {
+			defer wg.Done()
+			for p := range fpgaCh {
+				if stop.Load() {
+					continue
+				}
+				if cfg.Pool != nil {
+					cfg.Pool <- struct{}{}
+				}
+				dev, err := stage(p)
+				if err != nil {
+					if cfg.Pool != nil {
+						<-cfg.Pool
+					}
+					fail(err)
+					continue
+				}
+				res, err := core.Run(p, o, core.Options{
+					Variant: cfg.Variant,
+					Config:  cfg.Device,
+					Collect: cfg.Collect,
+				})
+				var cycles int64
+				if err == nil {
+					cycles = res.Cycles
+				}
+				release(dev, p, cycles)
+				if cfg.Pool != nil {
+					<-cfg.Pool
+				}
+				if err != nil {
+					fail(err)
+					continue
+				}
+				st.embeddings += res.Count
+				st.cycles += res.Cycles
+				st.partials += res.Partials
+				st.edgeTasks += res.EdgeTasks
+				st.rounds += res.Rounds
+				if res.BufferHighWater > st.maxBuffer {
+					st.maxBuffer = res.BufferHighWater
+				}
+				if cfg.Collect {
+					st.collected = append(st.collected, res.Embeddings...)
+				}
+			}
+		}(&stats[w])
+	}
+
+	// CPU δ-share consumer: enumerates its cached partitions while the
+	// FPGA pool and the partitioner are still running. CPUShareTime is the
+	// consumer's active enumeration time, matching the sequential report's
+	// "wall time of the host's share" semantics.
+	var (
+		cpuWG        sync.WaitGroup
+		cpuCount     int64
+		cpuCollected []graph.Embedding
+		cpuActive    time.Duration
+	)
+	cpuWG.Add(1)
+	go func() {
+		defer cpuWG.Done()
+		for p := range cpuCh {
+			if stop.Load() {
+				continue
+			}
+			start := time.Now()
+			cpuCount += cst.Enumerate(p, o, func(e graph.Embedding) bool {
+				if cfg.Collect {
+					cpuCollected = append(cpuCollected, e)
+				}
+				return true
+			})
+			cpuActive += time.Since(start)
+		}
+	}()
+
+	// Producer: Algorithms 2 and 3 on the caller's goroutine.
+	// PartitionTime accounts only the partitioner's own work — the resume
+	// points bracket every channel send so backpressure waits (which
+	// overlap kernel execution and are already counted in FPGATime /
+	// CPUShareTime) are not double-counted into Total, keeping the report
+	// comparable with the sequential pipeline's.
+	lastResume := time.Now()
+	send := func(ch chan *cst.CST, p *cst.CST) {
+		rep.PartitionTime += time.Since(lastResume)
+		ch <- p
+		lastResume = time.Now()
+	}
+	sched := scheduler{delta: cfg.Delta}
+	if cfg.Delta > 0 {
+		cfg.Partition.Steal = func(p *cst.CST) bool {
+			if !sched.tryCPU(cst.EstimateWorkload(p)) {
+				return false
+			}
+			rep.CPUPartitions++
+			rep.CSTBytes += p.SizeBytes()
+			send(cpuCh, p)
+			return true
+		}
+	}
+	rep.NumPartitions = cst.Partition(c, o, cfg.Partition, func(p *cst.CST) {
+		w := cst.EstimateWorkload(p)
+		rep.CSTBytes += p.SizeBytes()
+		if sched.assignToCPU(w) {
+			rep.CPUPartitions++
+			send(cpuCh, p)
+			return
+		}
+		send(fpgaCh, p)
+	})
+	rep.PartitionTime += time.Since(lastResume)
+	close(fpgaCh)
+	close(cpuCh)
+	wg.Wait()
+	cpuWG.Wait()
+	if kernErr != nil {
+		return kernErr
+	}
+
+	for i := range stats {
+		st := &stats[i]
+		rep.Embeddings += st.embeddings
+		rep.KernelCycles += st.cycles
+		rep.KernelPartials += st.partials
+		rep.KernelEdgeTasks += st.edgeTasks
+		rep.KernelRounds += st.rounds
+		if st.maxBuffer > rep.MaxBufferUse {
+			rep.MaxBufferUse = st.maxBuffer
+		}
+		if cfg.Collect {
+			rep.Collected = append(rep.Collected, st.collected...)
+		}
+	}
+	rep.Embeddings += cpuCount
+	rep.CPUShareTime = cpuActive
+	if cfg.Collect {
+		rep.Collected = append(rep.Collected, cpuCollected...)
 	}
 	rep.CPUWorkload, rep.FPGAWorkload = sched.wc, sched.wf
-	concurrent := rep.FPGATime
-	if rep.CPUShareTime > concurrent {
-		concurrent = rep.CPUShareTime
-	}
-	rep.Total = rep.BuildTime + rep.PartitionTime + concurrent
-	return rep, nil
+	return nil
 }
 
 // scheduler is Algorithm 3's running-total state.

@@ -1,0 +1,228 @@
+package host
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/internal/core"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/ldbc"
+)
+
+// parallelTestSetup returns a small LDBC-like graph and a host config whose
+// shrunken BRAM forces real partitioning (mirroring internal/exp's scaled
+// card) so the worker pool has something to fan out.
+func parallelTestSetup() (*graph.Graph, Config) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 120, Seed: 7})
+	dev := fpgasim.DefaultConfig()
+	dev.BRAMBytes = 256 << 10
+	dev.No = 256
+	return g, Config{
+		Device:    dev,
+		Variant:   core.VariantSep,
+		Delta:     0.1,
+		Partition: cst.PartitionConfig{MaxSizeBytes: 8 << 10, MaxCandDegree: 64},
+	}
+}
+
+// TestMatchWorkersCountsEqualSequential: for every LDBC query, Workers > 1
+// must reproduce the sequential pipeline byte-for-byte on everything the
+// scheduler decides — embedding totals, partition counts, the δ split and
+// the aggregated kernel statistics.
+func TestMatchWorkersCountsEqualSequential(t *testing.T) {
+	g, base := parallelTestSetup()
+	for _, name := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Match(q, g, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.NumPartitions < 2 {
+			t.Errorf("%s: only %d partitions — device not small enough to exercise the pool", name, seq.NumPartitions)
+		}
+		for _, workers := range []int{2, 4} {
+			cfg := base
+			cfg.Workers = workers
+			par, err := Match(q, g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Embeddings != seq.Embeddings {
+				t.Errorf("%s workers=%d: %d embeddings, want %d", name, workers, par.Embeddings, seq.Embeddings)
+			}
+			if par.NumPartitions != seq.NumPartitions || par.CPUPartitions != seq.CPUPartitions {
+				t.Errorf("%s workers=%d: partitions %d/%d cpu, want %d/%d",
+					name, workers, par.NumPartitions, par.CPUPartitions, seq.NumPartitions, seq.CPUPartitions)
+			}
+			if par.KernelCycles != seq.KernelCycles || par.KernelPartials != seq.KernelPartials ||
+				par.KernelEdgeTasks != seq.KernelEdgeTasks || par.KernelRounds != seq.KernelRounds {
+				t.Errorf("%s workers=%d: kernel stats diverge from sequential", name, workers)
+			}
+			if par.CSTBytes != seq.CSTBytes {
+				t.Errorf("%s workers=%d: CSTBytes %d, want %d", name, workers, par.CSTBytes, seq.CSTBytes)
+			}
+			if par.CPUWorkload != seq.CPUWorkload || par.FPGAWorkload != seq.FPGAWorkload {
+				t.Errorf("%s workers=%d: δ split (%v,%v), want (%v,%v)",
+					name, workers, par.CPUWorkload, par.FPGAWorkload, seq.CPUWorkload, seq.FPGAWorkload)
+			}
+		}
+	}
+}
+
+// TestMatchWorkersCollectSameSet: collected embeddings arrive in a
+// nondeterministic order under Workers > 1 but must form the same set.
+func TestMatchWorkersCollectSameSet(t *testing.T) {
+	g, base := parallelTestSetup()
+	q, err := ldbc.QueryByName("q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Collect = true
+	seq, err := Match(q, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Workers = 4
+	par, err := Match(q, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := func(es []graph.Embedding) []string {
+		out := make([]string, len(es))
+		for i, e := range es {
+			out[i] = e.Key()
+		}
+		sort.Strings(out)
+		return out
+	}
+	sk, pk := keys(seq.Collected), keys(par.Collected)
+	if len(sk) != len(pk) {
+		t.Fatalf("collected %d embeddings, want %d", len(pk), len(sk))
+	}
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Fatalf("embedding sets differ at %d", i)
+		}
+	}
+}
+
+// TestPreparePlanReuse: a cached Plan must produce identical results to
+// planning from scratch, including when shared by concurrent Match calls
+// over a common worker-pool token bucket (the Engine's usage).
+func TestPreparePlanReuse(t *testing.T) {
+	g, base := parallelTestSetup()
+	q, err := ldbc.QueryByName("q4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Match(q, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Prepare(q, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Plan = plan
+	cfg.Workers = 3
+	cfg.Pool = make(chan struct{}, 3)
+	const calls = 4
+	var wg sync.WaitGroup
+	reports := make([]Report, calls)
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = Match(q, g, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < calls; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if reports[i].Embeddings != want.Embeddings {
+			t.Errorf("call %d: %d embeddings, want %d", i, reports[i].Embeddings, want.Embeddings)
+		}
+		if reports[i].NumPartitions != want.NumPartitions {
+			t.Errorf("call %d: %d partitions, want %d", i, reports[i].NumPartitions, want.NumPartitions)
+		}
+	}
+}
+
+// TestMatchWorkersTightDRAM: when card DRAM has room for only one staged
+// partition, parallel workers must wait for in-flight releases rather than
+// fail — any workload that succeeds sequentially succeeds fanned out.
+func TestMatchWorkersTightDRAM(t *testing.T) {
+	g, base := parallelTestSetup()
+	base.Delta = 0 // keep the partition stream independent of scheduling
+	q, err := ldbc.QueryByName("q5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Prepare(q, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSize int64
+	parts := cst.Partition(plan.CST, plan.Order, base.Partition, func(p *cst.CST) {
+		if s := p.SizeBytes(); s > maxSize {
+			maxSize = s
+		}
+	})
+	if parts < 2 {
+		t.Fatalf("need multiple partitions, got %d", parts)
+	}
+	// Fits one staged partition, never two.
+	base.Device.DRAMBytes = maxSize + maxSize/2
+	seq, err := Match(q, g, base)
+	if err != nil {
+		t.Fatalf("sequential under tight DRAM: %v", err)
+	}
+	cfg := base
+	cfg.Workers = 4
+	par, err := Match(q, g, cfg)
+	if err != nil {
+		t.Fatalf("parallel under tight DRAM: %v", err)
+	}
+	if par.Embeddings != seq.Embeddings {
+		t.Errorf("tight DRAM: %d embeddings, want %d", par.Embeddings, seq.Embeddings)
+	}
+}
+
+// TestMatchWorkersMultiFPGA: the least-loaded-card selection under devMu
+// keeps multi-card runs correct when fanned out.
+func TestMatchWorkersMultiFPGA(t *testing.T) {
+	g, base := parallelTestSetup()
+	q, err := ldbc.QueryByName("q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Match(q, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.NumFPGAs = 3
+	cfg.Workers = 4
+	par, err := Match(q, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Embeddings != seq.Embeddings {
+		t.Errorf("multi-FPGA parallel: %d embeddings, want %d", par.Embeddings, seq.Embeddings)
+	}
+	if par.Devices != 3 {
+		t.Errorf("Devices = %d, want 3", par.Devices)
+	}
+}

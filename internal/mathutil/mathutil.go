@@ -1,0 +1,8 @@
+// Package mathutil holds the tiny arithmetic helpers shared across the
+// matching engine's packages. Plain min/max use the Go 1.21 builtins; only
+// what the builtins don't cover lives here, so packages stop hand-rolling
+// per-file copies.
+package mathutil
+
+// CeilDiv returns ⌈a/b⌉ for b > 0.
+func CeilDiv[T ~int | ~int32 | ~int64](a, b T) T { return (a + b - 1) / b }
