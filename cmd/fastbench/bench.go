@@ -19,6 +19,7 @@ type benchConfig struct {
 	Seed        int64
 	Reps        int    // measured repetitions per cell after the warm-up call
 	Workers     string // comma-separated pool sizes
+	PWorkers    int    // partition-producer pool size (0 = match the cell's workers)
 	Variants    string // comma-separated kernel variants, or "all"
 	Queries     string // comma-separated query filter
 	Out         string // JSON output path ("" = stdout)
@@ -34,6 +35,7 @@ type benchRun struct {
 	Query         string  `json:"query"`
 	Variant       string  `json:"variant"`
 	Workers       int     `json:"workers"`
+	PartWorkers   int     `json:"partition_workers"`
 	Count         int64   `json:"count"`
 	PlanNS        int64   `json:"plan_ns"`
 	WallNS        int64   `json:"wall_ns"`
@@ -109,7 +111,16 @@ func runBench(cfg benchConfig) error {
 			// partition at bench scale and the pool has work to fan out.
 			dev.BRAMBytes = 32 << 10
 			dev.BatchSize = 32
-			eng, err := fast.NewEngine(g, &fast.Options{Variant: v, Device: dev, Workers: w})
+			// PartitionWorkers: the engine defaults 0 to the pool size, so
+			// the sweep exercises the concurrent producer at every cell
+			// unless -pworkers pins it.
+			pw := cfg.PWorkers
+			if pw == 0 {
+				pw = w
+			}
+			eng, err := fast.NewEngine(g, &fast.Options{
+				Variant: v, Device: dev, Workers: w, PartitionWorkers: pw,
+			})
 			if err != nil {
 				return err
 			}
@@ -143,6 +154,7 @@ func runBench(cfg benchConfig) error {
 					Query:         q.Name(),
 					Variant:       string(v),
 					Workers:       w,
+					PartWorkers:   pw,
 					Count:         res.Count,
 					PlanNS:        cold.Nanoseconds(),
 					WallNS:        wall.Nanoseconds(),

@@ -8,6 +8,7 @@
 //	fastbench -exp fig14
 //	fastbench -exp all -base 200 -timeout 10s -out results.txt
 //	fastbench -bench -workers 1,2,4 -variants sep,share -json bench.json
+//	fastbench -bench -workers 4 -pworkers 1 -json serial-producer.json
 //
 // Each experiment prints one or more aligned text tables; EXPERIMENTS.md
 // maps them back to the paper's figures and records the expected shapes.
@@ -43,6 +44,7 @@ func main() {
 		bench    = flag.Bool("bench", false, "run the JSON matching benchmark instead of an experiment")
 		reps     = flag.Int("reps", 0, "measured repetitions per bench cell after warm-up (default 5)")
 		workers  = flag.String("workers", "1", "comma-separated worker-pool sizes to sweep (bench mode)")
+		pworkers = flag.Int("pworkers", 0, "partition-producer pool size; 0 matches each cell's -workers value (bench mode)")
 		variants = flag.String("variants", "share", "comma-separated kernel variants to sweep, or 'all' (bench mode)")
 		sf       = flag.Float64("sf", 1, "LDBC scale factor (bench mode)")
 		jsonOut  = flag.String("json", "", "write bench JSON to file instead of stdout (bench mode)")
@@ -56,6 +58,7 @@ func main() {
 			Seed:        *seed,
 			Reps:        *reps,
 			Workers:     *workers,
+			PWorkers:    *pworkers,
 			Variants:    *variants,
 			Queries:     *queries,
 			Out:         *jsonOut,

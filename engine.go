@@ -1,6 +1,7 @@
 package fast
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"strings"
@@ -10,6 +11,13 @@ import (
 	"fastmatch/internal/host"
 )
 
+// DefaultPlanCacheSize is the plan-cache entry cap an Engine uses when
+// Options.PlanCacheSize is 0. Plans are small (a matching order plus a CST
+// over the shared graph), but arbitrary traffic can present unboundedly many
+// query structures, so serving needs a ceiling; 128 comfortably covers the
+// benchmark workloads many times over.
+const DefaultPlanCacheSize = 128
+
 // Engine is the reusable, concurrent entry point for serving matching
 // traffic against one data graph. Where the one-shot Match plans every call
 // from scratch and runs partitions sequentially, an Engine
@@ -18,39 +26,47 @@ import (
 //     across goroutines (the software analogue of the paper's multi-PE
 //     parallelism) and is shared by every concurrent Match/MatchBatch call,
 //     so simultaneous queries cannot oversubscribe the host; and
-//   - keeps a query-plan cache (root, BFS tree, matching order and CST,
-//     keyed by a structural fingerprint of the query), so repeated queries
-//     skip Phase 1 entirely — the dominant host-side cost for small
-//     result sets.
+//   - keeps a bounded LRU query-plan cache (root, BFS tree, matching order
+//     and CST, keyed by a structural fingerprint of the query), so repeated
+//     queries skip Phase 1 entirely — the dominant host-side cost for small
+//     result sets — while arbitrary traffic cannot grow the cache without
+//     limit (Options.PlanCacheSize; evicted plans are re-planned on demand).
 //
 // An Engine is safe for concurrent use. Counts are deterministic: the same
-// query returns the same Result.Count regardless of Workers or of how many
-// goroutines call in at once.
+// query returns the same Result.Count regardless of Workers, of
+// PartitionWorkers, or of how many goroutines call in at once.
 type Engine struct {
 	g    *graph.Graph
 	opts Options
 	cfg  host.Config
 	pool chan struct{}
 
-	mu    sync.Mutex
-	plans map[string]*planEntry
-	hits  int64
-	miss  int64
+	mu        sync.Mutex
+	plans     map[string]*list.Element // values are *planEntry; list order is LRU
+	lru       *list.List               // front = most recently used
+	planCap   int                      // <= 0 means unbounded
+	hits      int64
+	miss      int64
+	evictions int64
 }
 
 // planEntry is a singleflight slot: concurrent first requests for the same
 // fingerprint share one host.Prepare instead of each rebuilding the CST —
-// Phase 1 is the dominant host-side cost the cache exists to avoid.
+// Phase 1 is the dominant host-side cost the cache exists to avoid. An
+// entry evicted while a holder is still preparing or matching stays valid
+// for that holder; it is merely no longer findable in the cache.
 type planEntry struct {
+	key  string
 	once sync.Once
 	plan *host.Plan
 	err  error
 }
 
 // NewEngine creates an Engine over g. opts follows Match's semantics, with
-// one difference: Workers defaults to runtime.NumCPU() instead of 1,
-// because an Engine exists to exploit parallelism. A nil opts means
-// VariantShare on the default device.
+// two differences: Workers defaults to runtime.NumCPU() instead of 1,
+// because an Engine exists to exploit parallelism, and PartitionWorkers
+// defaults to Workers so the partition producer scales with the kernel
+// fan-out it feeds. A nil opts means VariantShare on the default device.
 func NewEngine(g *graph.Graph, opts *Options) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("fast: NewEngine: nil graph")
@@ -62,15 +78,24 @@ func NewEngine(g *graph.Graph, opts *Options) (*Engine, error) {
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
 	}
+	if o.PartitionWorkers == 0 {
+		o.PartitionWorkers = o.Workers
+	}
 	cfg, err := o.hostConfig()
 	if err != nil {
 		return nil, err
 	}
+	planCap := o.PlanCacheSize
+	if planCap == 0 {
+		planCap = DefaultPlanCacheSize
+	}
 	e := &Engine{
-		g:     g,
-		opts:  o,
-		cfg:   cfg,
-		plans: make(map[string]*planEntry),
+		g:       g,
+		opts:    o,
+		cfg:     cfg,
+		plans:   make(map[string]*list.Element),
+		lru:     list.New(),
+		planCap: planCap,
 	}
 	if o.Workers > 1 {
 		e.pool = make(chan struct{}, o.Workers)
@@ -87,13 +112,23 @@ func (e *Engine) Match(q *graph.Query) (*Result, error) {
 	}
 	key := fingerprint(q)
 	e.mu.Lock()
-	ent, ok := e.plans[key]
-	if ok {
+	var ent *planEntry
+	if el, ok := e.plans[key]; ok {
 		e.hits++
+		e.lru.MoveToFront(el)
+		ent = el.Value.(*planEntry)
 	} else {
-		ent = &planEntry{}
-		e.plans[key] = ent
 		e.miss++
+		ent = &planEntry{key: key}
+		e.plans[key] = e.lru.PushFront(ent)
+		if e.planCap > 0 {
+			for e.lru.Len() > e.planCap {
+				oldest := e.lru.Back()
+				e.lru.Remove(oldest)
+				delete(e.plans, oldest.Value.(*planEntry).key)
+				e.evictions++
+			}
+		}
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
@@ -102,7 +137,8 @@ func (e *Engine) Match(q *graph.Query) (*Result, error) {
 	if ent.err != nil {
 		// Drop the failed slot so a later call can retry planning.
 		e.mu.Lock()
-		if e.plans[key] == ent {
+		if el, ok := e.plans[key]; ok && el.Value.(*planEntry) == ent {
+			e.lru.Remove(el)
 			delete(e.plans, key)
 		}
 		e.mu.Unlock()
@@ -159,14 +195,28 @@ func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
 }
 
 // PlanCacheStats reports plan-cache hits and misses since the engine was
-// created.
+// created. A query whose plan was evicted and re-planned counts as a miss
+// again, so hits+misses always equals the number of Match calls that reached
+// the cache.
 func (e *Engine) PlanCacheStats() (hits, misses int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.hits, e.miss
 }
 
-// CachedPlans returns the number of distinct query plans currently cached.
+// PlanCacheEvictions reports how many cached plans the LRU bound has evicted
+// since the engine was created.
+func (e *Engine) PlanCacheEvictions() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evictions
+}
+
+// PlanCacheCap returns the plan-cache entry bound (<= 0 means unbounded).
+func (e *Engine) PlanCacheCap() int { return e.planCap }
+
+// CachedPlans returns the number of distinct query plans currently cached;
+// it never exceeds PlanCacheCap when that bound is positive.
 func (e *Engine) CachedPlans() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -150,6 +150,18 @@ type Options struct {
 	// CPU δ-share processed concurrently; 0 or 1 keeps the sequential
 	// pipeline. Counts do not depend on Workers.
 	Workers int
+	// PartitionWorkers > 1 parallelises the partition producer itself
+	// (Algorithm 2's restrict-and-recurse steps run on a bounded task pool)
+	// so it no longer serialises in front of the Workers fan-out. Delivery
+	// stays in sequential order, so counts do not depend on it either. In
+	// Match, 0 or 1 keeps the sequential producer; NewEngine defaults 0 to
+	// Workers.
+	PartitionWorkers int
+	// PlanCacheSize bounds Engine's plan cache (distinct query structures):
+	// > 0 is an explicit entry cap, 0 means DefaultPlanCacheSize, and < 0
+	// keeps the cache unbounded. Least-recently-used plans are evicted and
+	// transparently re-planned if the query recurs. Match ignores it.
+	PlanCacheSize int
 }
 
 // hostConfig translates Options into the internal pipeline configuration.
@@ -162,13 +174,14 @@ func (o *Options) hostConfig() (host.Config, error) {
 		delta = o.Delta
 	}
 	cfg := host.Config{
-		Device:   o.Device.toSim(),
-		NumFPGAs: o.NumFPGAs,
-		Variant:  variant,
-		Delta:    delta,
-		Strategy: host.OrderStrategy(o.Order),
-		Collect:  o.CollectEmbeddings,
-		Workers:  o.Workers,
+		Device:           o.Device.toSim(),
+		NumFPGAs:         o.NumFPGAs,
+		Variant:          variant,
+		Delta:            delta,
+		Strategy:         host.OrderStrategy(o.Order),
+		Collect:          o.CollectEmbeddings,
+		Workers:          o.Workers,
+		PartitionWorkers: o.PartitionWorkers,
 	}
 	if cfg.Strategy == "" {
 		cfg.Strategy = host.OrderPath

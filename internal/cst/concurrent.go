@@ -1,0 +1,303 @@
+package cst
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fastmatch/internal/order"
+)
+
+// ConcurrentOptions configures PartitionConcurrent.
+type ConcurrentOptions struct {
+	// Workers is the size of the bounded task pool the restrict-and-recurse
+	// steps run on; <= 1 degrades to the sequential Partition.
+	Workers int
+	// Ordered replays the exact sequential schedule: process calls and
+	// cfg.Steal offers happen on the caller's goroutine, in the order and
+	// with the arguments Partition would use, while the restrict work for
+	// upcoming pieces runs ahead on the pool. Without Ordered, pieces are
+	// streamed to process from the worker goroutines as soon as they become
+	// valid, in nondeterministic order.
+	Ordered bool
+}
+
+// PartitionConcurrent is Partition with the producer itself parallelised:
+// Algorithm 2's recursion is unrolled into a bounded task pool in which every
+// restrict-and-recurse step on a still-violating piece is an independently
+// schedulable task, so on a multi-core host the partitioner no longer
+// serialises in front of the kernel fan-out (the Amdahl bottleneck the
+// ROADMAP names once kernels drain in parallel). The produced pieces are
+// identical to Partition's — restrict is deterministic and the split tree
+// does not depend on execution order — only the goroutine and (in unordered
+// mode) the order of delivery differ.
+//
+// In unordered mode process is invoked concurrently from the pool goroutines
+// and must be safe for concurrent calls; cfg.Steal is serialised internally
+// (offers never overlap, so the FAST-SHARE δ-share hook needs no locking of
+// its own), but the offer order is nondeterministic, so a stateful Steal may
+// accept different pieces run to run. Disjointness and union-exactness of
+// the pieces hold regardless, so totals that sum over pieces are unaffected.
+//
+// In ordered mode the caller's goroutine delivers process calls and Steal
+// offers in the byte-identical sequential order while workers speculatively
+// restrict ahead; a piece Steal accepts simply has its precomputed subtree
+// discarded. This is the mode host.Match uses: Algorithm 3's δ routing sees
+// partitions in the exact order the sequential pipeline does, keeping the
+// δ split, partition counts and embedding totals deterministic.
+//
+// The return value counts processed plus stolen pieces, exactly like
+// Partition (deterministic in ordered mode and whenever cfg.Steal is nil).
+func PartitionConcurrent(c *CST, o order.Order, cfg PartitionConfig, opt ConcurrentOptions, process func(*CST)) int {
+	if opt.Workers <= 1 {
+		return Partition(c, o, cfg, process)
+	}
+	if opt.Ordered {
+		return partitionOrdered(c, o, cfg, opt.Workers, process)
+	}
+	return partitionUnordered(c, o, cfg, opt.Workers, process)
+}
+
+// partitionPool is a bounded LIFO task pool. LIFO scheduling makes the
+// workers expand the split tree depth-first, which keeps the set of live
+// intermediate CSTs close to the sequential recursion's footprint instead of
+// materialising a whole breadth-first frontier.
+type partitionPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	stack  []func()
+	active int
+}
+
+func newPartitionPool() *partitionPool {
+	p := &partitionPool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *partitionPool) push(t func()) {
+	p.mu.Lock()
+	p.stack = append(p.stack, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// run is one worker's loop: pop and execute tasks until the stack is empty
+// and no task is running anywhere (a running task may still push new ones).
+func (p *partitionPool) run() {
+	p.mu.Lock()
+	for {
+		for len(p.stack) == 0 && p.active > 0 {
+			p.cond.Wait()
+		}
+		if len(p.stack) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		t := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		p.active++
+		p.mu.Unlock()
+		t()
+		p.mu.Lock()
+		p.active--
+		if p.active == 0 && len(p.stack) == 0 {
+			p.cond.Broadcast() // drained: wake every idle worker to exit
+		}
+	}
+}
+
+// splitAt mirrors one level of Partition's recursion: the clamped partition
+// factor at order position index, or 1 when the CST cannot be split there.
+func splitAt(cur *CST, o order.Order, cfg PartitionConfig, index int) (u int, k int) {
+	u = o[index]
+	k = cfg.partitionFactor(cur)
+	if k > len(cur.Cand[u]) {
+		k = len(cur.Cand[u])
+	}
+	return u, k
+}
+
+// partitionUnordered streams valid pieces to process from the workers as
+// they appear. Structure mirrors Partition's rec exactly; each chunk's
+// restrict is its own task, and each task executes its first child inline so
+// the queue only carries the extra parallelism.
+func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int, process func(*CST)) int {
+	var (
+		count   atomic.Int64
+		stealMu sync.Mutex
+		pool    = newPartitionPool()
+	)
+	steal := func(cur *CST) bool {
+		if cfg.Steal == nil {
+			return false
+		}
+		stealMu.Lock()
+		defer stealMu.Unlock()
+		return cfg.Steal(cur)
+	}
+	var handle func(cur *CST, index int)
+	var handleChunk func(cur *CST, index, i, k int)
+	handle = func(cur *CST, index int) {
+		for {
+			if cfg.Fits(cur) || index >= len(o) {
+				process(cur)
+				count.Add(1)
+				return
+			}
+			if steal(cur) {
+				count.Add(1)
+				return
+			}
+			_, k := splitAt(cur, o, cfg, index)
+			if k <= 1 {
+				index++ // cannot split at o[index]; move on, like rec(cur, index+1)
+				continue
+			}
+			for i := 1; i < k; i++ {
+				i := i
+				pool.push(func() { handleChunk(cur, index, i, k) })
+			}
+			handleChunk(cur, index, 0, k)
+			return
+		}
+	}
+	handleChunk = func(cur *CST, index, i, k int) {
+		u := o[index]
+		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i))
+		if part.IsEmpty() {
+			return // restriction stranded a branch: no embeddings here
+		}
+		switch {
+		case cfg.Fits(part):
+			process(part)
+			count.Add(1)
+		case len(part.Cand[u]) == 1:
+			handle(part, index+1)
+		default:
+			handle(part, index)
+		}
+	}
+	pool.push(func() { handle(c, 0) })
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.run()
+		}()
+	}
+	wg.Wait()
+	return int(count.Load())
+}
+
+// onode is one node of the ordered mode's split tree: either a valid piece
+// to emit, an empty restriction to skip, or a still-violating CST whose
+// Steal offer and children are replayed at drain time. Workers fill a node
+// in and close ready; the caller's drain walks the tree in sequential order.
+type onode struct {
+	ready    chan struct{}
+	piece    *CST     // non-nil: emit (Fits, or atomic with the order exhausted)
+	steal    *CST     // non-nil: violating; offer Steal, then descend children
+	children []*onode // in sequential (chunk) order
+}
+
+// partitionOrdered computes the split tree on the pool while the caller's
+// goroutine drains it in the byte-identical sequential order. Workers run
+// ahead of Steal decisions speculatively: a stolen subtree's precomputed
+// pieces are discarded, trading some wasted restrict work (δ-shares are a
+// small fraction of pieces) for a deterministic schedule.
+//
+// Speculation is not backpressured: when process is much slower than
+// restrict (kernel execution inline, or a blocking channel send), workers
+// can materialise the whole split tree ahead of the drain, so peak memory
+// approaches the sum of all piece sizes instead of the sequential
+// recursion's live path. Fine at the scales this repo models; a bounded
+// speculation window that doesn't deadlock against the DFS drain cursor is
+// a ROADMAP item before partitioning data graphs that dwarf host RAM.
+func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, process func(*CST)) int {
+	pool := newPartitionPool()
+
+	// computeNode fills n for one rec(cur, index) invocation; computeChunk
+	// is one iteration of rec's split loop (the restrict task).
+	var computeNode func(n *onode, cur *CST, index int)
+	var computeChunk func(n *onode, cur *CST, index, i, k int)
+	computeNode = func(n *onode, cur *CST, index int) {
+		if cfg.Fits(cur) || index >= len(o) {
+			n.piece = cur
+			close(n.ready)
+			return
+		}
+		n.steal = cur
+		_, k := splitAt(cur, o, cfg, index)
+		if k <= 1 {
+			// Sequential rec(cur, index+1): one child node so the drain
+			// replays the repeated Steal offer at the next order position.
+			child := &onode{ready: make(chan struct{})}
+			n.children = []*onode{child}
+			close(n.ready)
+			computeNode(child, cur, index+1)
+			return
+		}
+		n.children = make([]*onode, k)
+		for i := range n.children {
+			n.children[i] = &onode{ready: make(chan struct{})}
+		}
+		close(n.ready)
+		for i := 1; i < k; i++ {
+			i := i
+			pool.push(func() { computeChunk(n.children[i], cur, index, i, k) })
+		}
+		computeChunk(n.children[0], cur, index, 0, k)
+	}
+	computeChunk = func(n *onode, cur *CST, index, i, k int) {
+		u := o[index]
+		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i))
+		if part.IsEmpty() {
+			close(n.ready) // empty node: drain skips it
+			return
+		}
+		next := index
+		if len(part.Cand[u]) == 1 {
+			next = index + 1
+		}
+		// A fitting part short-circuits to a leaf inside computeNode, so
+		// this covers all three arms of the sequential switch.
+		computeNode(n, part, next)
+	}
+
+	root := &onode{ready: make(chan struct{})}
+	pool.push(func() { computeNode(root, c, 0) })
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.run()
+		}()
+	}
+
+	count := 0
+	var drain func(n *onode)
+	drain = func(n *onode) {
+		<-n.ready
+		if n.piece != nil {
+			process(n.piece)
+			count++
+			return
+		}
+		if n.steal == nil {
+			return // empty restriction
+		}
+		if cfg.Steal != nil && cfg.Steal(n.steal) {
+			count++
+			return // stolen: the speculated subtree is discarded
+		}
+		for _, child := range n.children {
+			drain(child)
+		}
+		n.children = nil // release drained pieces promptly
+	}
+	drain(root)
+	wg.Wait()
+	return count
+}

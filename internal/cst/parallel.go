@@ -2,6 +2,7 @@ package cst
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fastmatch/internal/order"
 )
@@ -52,24 +53,23 @@ func PartitionParallel(c *CST, o order.Order, cfg PartitionConfig, workers int, 
 }
 
 // EnumerateParallel partitions c under cfg and counts the embeddings of
-// every piece across `workers` goroutines, merging per-worker counters at
-// the end. Because partitions have disjoint search spaces whose union is
-// exactly c's (the Partition property Theorem 1 rests on), the total equals
-// Count(c, o) and is deterministic regardless of workers. cfg.Steal is
-// ignored: a stolen piece would leave this function's count, breaking that
-// guarantee — callers that split work elsewhere want PartitionParallel.
+// every piece across `workers` goroutines. Since PR 2 it runs on
+// PartitionConcurrent's unordered task pool, so the partitioning work itself
+// (the restrict calls) shares the pool with the per-piece enumeration
+// instead of serialising in front of it. Because partitions have disjoint
+// search spaces whose union is exactly c's (the Partition property Theorem 1
+// rests on), the total equals Count(c, o) and is deterministic regardless of
+// workers or delivery order. cfg.Steal is ignored: a stolen piece would
+// leave this function's count, breaking that guarantee — callers that split
+// work elsewhere want PartitionParallel or PartitionConcurrent directly.
 func EnumerateParallel(c *CST, o order.Order, cfg PartitionConfig, workers int) int64 {
 	cfg.Steal = nil
 	if workers < 1 {
 		workers = 1
 	}
-	counts := make([]int64, workers)
-	PartitionParallel(c, o, cfg, workers, func(w int, p *CST) {
-		counts[w] += Enumerate(p, o, nil)
+	var total atomic.Int64
+	PartitionConcurrent(c, o, cfg, ConcurrentOptions{Workers: workers}, func(p *CST) {
+		total.Add(Enumerate(p, o, nil))
 	})
-	var total int64
-	for _, n := range counts {
-		total += n
-	}
-	return total
+	return total.Load()
 }

@@ -47,6 +47,13 @@ func (cfg PartitionConfig) Fits(c *CST) bool {
 // order they become valid, which is how the scheduler overlaps partitioning
 // with FPGA execution. The partitions' search spaces are disjoint and their
 // union is exactly c's search space (tested property).
+//
+// rec's control flow is mirrored by the two concurrent producers in
+// concurrent.go (handle/handleChunk and computeNode/computeChunk), and the
+// ordered mode's byte-identical-schedule guarantee depends on the mirrors
+// staying in lockstep: any change to the split rules here must be made in
+// both, and partition_prop_test.go + FuzzPartitionCounts are the gate that
+// catches a divergence.
 func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) int {
 	count := 0
 	var rec func(cur *CST, index int)

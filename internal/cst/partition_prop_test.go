@@ -1,0 +1,281 @@
+package cst
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// This file is the property harness for the partition/enumerate contract the
+// whole pipeline rests on (the comment in partition.go, Theorem 1): for any
+// (graph, query, thresholds) and for every producer — sequential Partition,
+// PartitionConcurrent unordered, PartitionConcurrent ordered —
+//
+//	(a) every piece satisfies cfg.Fits or is atomic (all candidate sets
+//	    singleton, so no split can shrink it further),
+//	(b) the pieces' search spaces are pairwise disjoint,
+//	(c) the union of per-piece Enumerate counts equals the unpartitioned
+//	    count and an independent brute-force oracle over the data graph.
+//
+// Scaling the producer without this harness is how a silent wrong-count
+// ships; every randomized pair below runs against all producers.
+
+// bruteCount is the CST-free oracle: label-filtered injective backtracking
+// directly over the data graph, checking every query edge. It shares no code
+// with Build/Enumerate, so agreement is meaningful.
+func bruteCount(q *graph.Query, g *graph.Graph) int64 {
+	n := q.NumVertices()
+	mapped := make([]graph.VertexID, n)
+	used := make(map[graph.VertexID]bool)
+	var rec func(u int) int64
+	rec = func(u int) int64 {
+		if u == n {
+			return 1
+		}
+		var total int64
+		for _, v := range g.VerticesWithLabel(q.Label(u)) {
+			if used[v] {
+				continue
+			}
+			ok := true
+			for _, un := range q.Neighbors(u) {
+				if un < u && !g.HasEdge(mapped[un], v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapped[u] = v
+			used[v] = true
+			total += rec(u + 1)
+			delete(used, v)
+		}
+		return total
+	}
+	return rec(0)
+}
+
+// propCase is one randomized (graph, query, thresholds) triple.
+type propCase struct {
+	seed int64
+	g    *graph.Graph
+	q    *graph.Query
+	c    *CST
+	o    order.Order
+	cfg  PartitionConfig
+}
+
+// randomPropCase derives everything deterministically from seed so failures
+// reproduce from the logged seed alone.
+func randomPropCase(seed int64) propCase {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomUniform(graph.GenConfig{
+		NumVertices: 30 + rng.Intn(50),
+		NumLabels:   2 + rng.Intn(2),
+		AvgDegree:   2.5 + rng.Float64()*2,
+		Seed:        seed,
+	})
+	q := graph.RandomConnectedQuery("prop", 2+rng.Intn(3), rng.Intn(3), g.NumLabels(), rng)
+	tr := order.BuildBFSTree(q, order.SelectRoot(q, g))
+	c := Build(q, g, tr)
+	o := order.PathBased(tr, c)
+	cfg := PartitionConfig{
+		// Tight, randomized thresholds force deep recursive partitioning on
+		// most seeds while leaving some single-piece cases in the mix.
+		MaxSizeBytes:  c.SizeBytes()/int64(2+rng.Intn(7)) + 32,
+		MaxCandDegree: 2 + rng.Intn(5),
+	}
+	if rng.Intn(4) == 0 {
+		cfg.FixedK = 2 + rng.Intn(3) // the Fig. 8 fixed-k mode rides along
+	}
+	return propCase{seed: seed, g: g, q: q, c: c, o: o, cfg: cfg}
+}
+
+// atomic reports whether no candidate set of p can be split further.
+func atomicPiece(p *CST) bool {
+	for u := 0; u < p.Query.NumVertices(); u++ {
+		if len(p.Cand[u]) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkPieces asserts invariants (a)–(c) over the collected pieces of one
+// producer run. label names the producer for failure messages.
+func checkPieces(t *testing.T, pc propCase, label string, pieces []*CST, produced int, want int64) {
+	t.Helper()
+	if produced != len(pieces) {
+		t.Errorf("seed %d %s: produced %d pieces but process saw %d", pc.seed, label, produced, len(pieces))
+		return
+	}
+	var sum int64
+	union := make(map[string]int)
+	for pi, p := range pieces {
+		if err := p.Validate(pc.g); err != nil {
+			t.Errorf("seed %d %s: piece %d invalid: %v", pc.seed, label, pi, err)
+			return
+		}
+		if !pc.cfg.Fits(p) && !atomicPiece(p) {
+			t.Errorf("seed %d %s: piece %d violates thresholds (size=%d maxDeg=%d) and is not atomic",
+				pc.seed, label, pi, p.SizeBytes(), p.MaxCandDegree())
+			return
+		}
+		n := Enumerate(p, pc.o, func(e graph.Embedding) bool {
+			if prev, dup := union[e.Key()]; dup {
+				t.Errorf("seed %d %s: embedding %v in pieces %d and %d — search spaces overlap",
+					pc.seed, label, e, prev, pi)
+				return false
+			}
+			union[e.Key()] = pi
+			return true
+		})
+		sum += n
+	}
+	if sum != want {
+		t.Errorf("seed %d %s: union of piece counts = %d, want %d", pc.seed, label, sum, want)
+	}
+	if int64(len(union)) != want {
+		t.Errorf("seed %d %s: %d distinct embeddings across pieces, want %d", pc.seed, label, len(union), want)
+	}
+}
+
+// TestPartitionEnumerateProperties is the main harness: >= 100 randomized
+// graph/query pairs (the acceptance floor), each checked for all producers
+// and several pool sizes. Runs race-clean under -race, which is what makes
+// the concurrent producers' process collection below meaningful.
+func TestPartitionEnumerateProperties(t *testing.T) {
+	const pairs = 110
+	for seed := int64(0); seed < pairs; seed++ {
+		pc := randomPropCase(seed)
+		want := Count(pc.c, pc.o)
+		if brute := bruteCount(pc.q, pc.g); brute != want {
+			t.Fatalf("seed %d: CST count %d disagrees with brute force %d", seed, want, brute)
+		}
+
+		var seq []*CST
+		seqN := Partition(pc.c, pc.o, pc.cfg, func(p *CST) { seq = append(seq, p) })
+		checkPieces(t, pc, "Partition", seq, seqN, want)
+
+		for _, workers := range []int{2, 4} {
+			var mu sync.Mutex
+			var got []*CST
+			n := PartitionConcurrent(pc.c, pc.o, pc.cfg, ConcurrentOptions{Workers: workers}, func(p *CST) {
+				mu.Lock()
+				got = append(got, p)
+				mu.Unlock()
+			})
+			checkPieces(t, pc, fmt.Sprintf("PartitionConcurrent(workers=%d)", workers), got, n, want)
+		}
+
+		var ordered []*CST
+		ordN := PartitionConcurrent(pc.c, pc.o, pc.cfg, ConcurrentOptions{Workers: 3, Ordered: true},
+			func(p *CST) { ordered = append(ordered, p) })
+		checkPieces(t, pc, "PartitionConcurrent(ordered)", ordered, ordN, want)
+		if ordN != seqN {
+			t.Errorf("seed %d: ordered produced %d pieces, sequential %d", seed, ordN, seqN)
+		}
+	}
+}
+
+// TestPartitionOrderedByteIdenticalSchedule pins the ordered mode's whole
+// contract: the sequence of deliveries — Steal offers and processed pieces,
+// with their candidate-set contents — is byte-identical to sequential
+// Partition's, including the δ-share Steal decisions, which here follow a
+// deterministic accept-every-third script.
+func TestPartitionOrderedByteIdenticalSchedule(t *testing.T) {
+	signature := func(p *CST) string {
+		return fmt.Sprintf("%v", p.Cand)
+	}
+	trace := func(run func(cfg PartitionConfig, process func(*CST)) int, cfg PartitionConfig) ([]string, int) {
+		var events []string
+		offers := 0
+		cfg.Steal = func(p *CST) bool {
+			offers++
+			take := offers%3 == 0
+			events = append(events, fmt.Sprintf("steal(%v)=%s", take, signature(p)))
+			return take
+		}
+		n := run(cfg, func(p *CST) {
+			events = append(events, "emit="+signature(p))
+		})
+		return events, n
+	}
+
+	for seed := int64(200); seed < 220; seed++ {
+		pc := randomPropCase(seed)
+		seqEvents, seqN := trace(func(cfg PartitionConfig, process func(*CST)) int {
+			return Partition(pc.c, pc.o, cfg, process)
+		}, pc.cfg)
+		for _, workers := range []int{2, 3, 5} {
+			ordEvents, ordN := trace(func(cfg PartitionConfig, process func(*CST)) int {
+				return PartitionConcurrent(pc.c, pc.o, cfg, ConcurrentOptions{Workers: workers, Ordered: true}, process)
+			}, pc.cfg)
+			if ordN != seqN {
+				t.Fatalf("seed %d workers=%d: count %d, sequential %d", seed, workers, ordN, seqN)
+			}
+			if len(ordEvents) != len(seqEvents) {
+				t.Fatalf("seed %d workers=%d: %d events, sequential %d", seed, workers, len(ordEvents), len(seqEvents))
+			}
+			for i := range seqEvents {
+				if ordEvents[i] != seqEvents[i] {
+					t.Fatalf("seed %d workers=%d: event %d differs:\n  ordered:    %s\n  sequential: %s",
+						seed, workers, i, ordEvents[i], seqEvents[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionConcurrentStolenUnionStaysExact: with an unordered concurrent
+// producer and a Steal hook racing the emission stream, the stolen pieces
+// and the processed pieces together still partition the search space — the
+// invariant host.Match's δ-share rests on.
+func TestPartitionConcurrentStolenUnionStaysExact(t *testing.T) {
+	for seed := int64(300); seed < 330; seed++ {
+		pc := randomPropCase(seed)
+		want := Count(pc.c, pc.o)
+		var mu sync.Mutex
+		var all []*CST // processed + stolen: must union exactly
+		offers := 0
+		pc.cfg.Steal = func(p *CST) bool {
+			// Serialized by PartitionConcurrent, so plain state is safe.
+			offers++
+			if offers%2 == 1 {
+				return false
+			}
+			mu.Lock()
+			all = append(all, p)
+			mu.Unlock()
+			return true
+		}
+		n := PartitionConcurrent(pc.c, pc.o, pc.cfg, ConcurrentOptions{Workers: 4}, func(p *CST) {
+			mu.Lock()
+			all = append(all, p)
+			mu.Unlock()
+		})
+		if n != len(all) {
+			t.Fatalf("seed %d: count %d but %d pieces seen", seed, n, len(all))
+		}
+		var sum int64
+		union := make(map[string]bool)
+		for _, p := range all {
+			sum += Enumerate(p, pc.o, func(e graph.Embedding) bool {
+				if union[e.Key()] {
+					t.Fatalf("seed %d: duplicate embedding across stolen+processed pieces", seed)
+				}
+				union[e.Key()] = true
+				return true
+			})
+		}
+		if sum != want {
+			t.Fatalf("seed %d: stolen+processed union %d, want %d", seed, sum, want)
+		}
+	}
+}

@@ -7,7 +7,10 @@
 // results into an end-to-end report. With Config.Workers > 1 the FPGA-side
 // partition queue fans out across a bounded goroutine pool while the CPU
 // δ-share drains concurrently — the software analogue of the paper's
-// multi-PE parallelism and CPU–FPGA co-processing (Fig. 13).
+// multi-PE parallelism and CPU–FPGA co-processing (Fig. 13). With
+// Config.PartitionWorkers > 1 the partition producer itself (Algorithm 2's
+// recursion) also runs on a bounded task pool, in ordered mode, so neither
+// side of the overlap serialises the other.
 package host
 
 import (
@@ -67,6 +70,18 @@ type Config struct {
 	// noise. With NumFPGAs > 1 the partition→card assignment depends on
 	// completion timing, so per-card modelled times may differ run to run.
 	Workers int
+	// PartitionWorkers > 1 parallelises the partition producer itself:
+	// Algorithm 2's restrict-and-recurse steps run on a bounded task pool
+	// of that many goroutines (cst.PartitionConcurrent in ordered mode)
+	// instead of a single recursion, so on multi-core hosts partition
+	// production no longer serialises in front of the Workers fan-out.
+	// Pieces, Steal offers and the δ-routing decisions are still delivered
+	// on the producer goroutine in the exact sequential order, so embedding
+	// counts, partition counts and the δ split are byte-identical to
+	// PartitionWorkers <= 1. PartitionTime then measures the drain's
+	// critical path (waits on in-flight restrict tasks included), which is
+	// the quantity that shrinks as the producer scales.
+	PartitionWorkers int
 	// Pool, when non-nil, is a shared token bucket: each worker holds one
 	// token per FPGA-bound partition it processes, bounding the total
 	// concurrent kernel work across simultaneous Match calls that share
@@ -101,6 +116,19 @@ func (c Config) withDefaults(q *graph.Query) Config {
 		c.Partition.MaxCandDegree = c.Device.PortMax
 	}
 	return c
+}
+
+// runPartition dispatches Algorithm 2 under the configured producer mode:
+// the sequential recursion, or the ordered concurrent producer when
+// PartitionWorkers asks for it. Ordered mode keeps every delivery on the
+// calling goroutine in sequential order, so both pipelines' δ routing stays
+// deterministic no matter how many producer workers run.
+func (c Config) runPartition(root *cst.CST, o order.Order, process func(*cst.CST)) int {
+	if c.PartitionWorkers > 1 {
+		return cst.PartitionConcurrent(root, o, c.Partition,
+			cst.ConcurrentOptions{Workers: c.PartitionWorkers, Ordered: true}, process)
+	}
+	return cst.Partition(root, o, c.Partition, process)
 }
 
 // Plan is the output of Phase 1: everything Match derives from (q, g)
@@ -285,7 +313,7 @@ func matchSequential(cfg Config, rep *Report, c *cst.CST, o order.Order, devices
 		}
 	}
 	lastResume := time.Now()
-	rep.NumPartitions = cst.Partition(c, o, cfg.Partition, func(p *cst.CST) {
+	rep.NumPartitions = cfg.runPartition(c, o, func(p *cst.CST) {
 		rep.PartitionTime += time.Since(lastResume)
 		defer func() { lastResume = time.Now() }()
 		if kernErr != nil {
@@ -560,7 +588,7 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 			return true
 		}
 	}
-	rep.NumPartitions = cst.Partition(c, o, cfg.Partition, func(p *cst.CST) {
+	rep.NumPartitions = cfg.runPartition(c, o, func(p *cst.CST) {
 		w := cst.EstimateWorkload(p)
 		rep.CSTBytes += p.SizeBytes()
 		if sched.assignToCPU(w) {

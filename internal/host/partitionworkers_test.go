@@ -1,0 +1,101 @@
+package host
+
+import (
+	"sync"
+	"testing"
+
+	"fastmatch/ldbc"
+)
+
+// TestMatchPartitionWorkersParity is the host half of the acceptance gate:
+// for every LDBC query and PartitionWorkers ∈ {1, 2, 4}, both pipelines
+// (sequential Workers<=1 and the Workers>1 fan-out, each with the CPU
+// δ-share active) report byte-identical embedding totals, partition counts
+// and δ splits. The CI -race job runs this, pitting the concurrent producer
+// against the δ-share drain and the FPGA worker pool at once.
+func TestMatchPartitionWorkersParity(t *testing.T) {
+	g, base := parallelTestSetup() // Delta 0.1 keeps the FAST-SHARE Steal hook in play
+	for _, name := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Match(q, g, base)
+		if err != nil {
+			t.Fatalf("%s: reference match: %v", name, err)
+		}
+		if ref.Embeddings == 0 {
+			t.Fatalf("%s: reference found no embeddings — test has no teeth", name)
+		}
+		for _, pw := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 3} {
+				cfg := base
+				cfg.PartitionWorkers = pw
+				cfg.Workers = workers
+				rep, err := Match(q, g, cfg)
+				if err != nil {
+					t.Fatalf("%s pw=%d workers=%d: %v", name, pw, workers, err)
+				}
+				if rep.Embeddings != ref.Embeddings {
+					t.Errorf("%s pw=%d workers=%d: %d embeddings, want %d",
+						name, pw, workers, rep.Embeddings, ref.Embeddings)
+				}
+				if rep.NumPartitions != ref.NumPartitions {
+					t.Errorf("%s pw=%d workers=%d: %d partitions, want %d",
+						name, pw, workers, rep.NumPartitions, ref.NumPartitions)
+				}
+				if rep.CPUPartitions != ref.CPUPartitions {
+					t.Errorf("%s pw=%d workers=%d: %d CPU partitions, want %d",
+						name, pw, workers, rep.CPUPartitions, ref.CPUPartitions)
+				}
+				if rep.CPUWorkload != ref.CPUWorkload || rep.FPGAWorkload != ref.FPGAWorkload {
+					t.Errorf("%s pw=%d workers=%d: δ split (%v,%v), want (%v,%v)", name, pw, workers,
+						rep.CPUWorkload, rep.FPGAWorkload, ref.CPUWorkload, ref.FPGAWorkload)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchPartitionWorkersConcurrentCallers: many goroutines running
+// Matches with the concurrent producer, the δ share and the FPGA fan-out all
+// enabled at once stay race-clean and deterministic — the Engine serving
+// pattern, exercised below the facade.
+func TestMatchPartitionWorkersConcurrentCallers(t *testing.T) {
+	g, cfg := parallelTestSetup()
+	q, err := ldbc.QueryByName("q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 2
+	cfg.PartitionWorkers = 2
+	ref, err := Match(q, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 6
+	var wg sync.WaitGroup
+	results := make([]int64, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := Match(q, g, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = rep.Embeddings
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != ref.Embeddings {
+			t.Errorf("caller %d: %d embeddings, want %d", i, results[i], ref.Embeddings)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package fast
+
+import (
+	"sync"
+	"testing"
+
+	"fastmatch/ldbc"
+)
+
+// TestEnginePlanCacheEviction: with a cache bound smaller than the query
+// mix, the LRU evicts, the evicted query transparently re-plans on its next
+// visit (a fresh miss, same count), and the stats stay consistent
+// throughout: hits+misses equals Match calls, CachedPlans never exceeds the
+// cap, and evictions are observable.
+func TestEnginePlanCacheEviction(t *testing.T) {
+	g := engineTestGraph()
+	opts := engineTestOptions(1)
+	opts.PlanCacheSize = 2
+	eng, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.PlanCacheCap() != 2 {
+		t.Fatalf("PlanCacheCap = %d, want 2", eng.PlanCacheCap())
+	}
+
+	names := []string{"q1", "q2", "q3"}
+	want := make(map[string]int64)
+	calls := int64(0)
+	match := func(name string) int64 {
+		t.Helper()
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Match(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		calls++
+		return res.Count
+	}
+
+	// Fill and overflow: q1 q2 q3 → q1 is evicted at q3's insertion.
+	for _, name := range names {
+		want[name] = match(name)
+	}
+	if got := eng.CachedPlans(); got != 2 {
+		t.Errorf("CachedPlans after overflow = %d, want 2", got)
+	}
+	if ev := eng.PlanCacheEvictions(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+
+	// Round trip: q1 must re-plan (miss), return the same count, and evict
+	// the now-least-recently-used q2.
+	if got := match("q1"); got != want["q1"] {
+		t.Errorf("q1 after eviction: count %d, want %d", got, want["q1"])
+	}
+	hits, misses := eng.PlanCacheStats()
+	if hits != 0 || misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 0/4 (q1 re-planned)", hits, misses)
+	}
+	if ev := eng.PlanCacheEvictions(); ev != 2 {
+		t.Errorf("evictions = %d, want 2", ev)
+	}
+
+	// LRU order, not insertion order: touch q3 (hit), then bring q2 back —
+	// the eviction victim must be q1 again, leaving q3 cached.
+	if got := match("q3"); got != want["q3"] {
+		t.Errorf("q3: count %d, want %d", got, want["q3"])
+	}
+	if got := match("q2"); got != want["q2"] {
+		t.Errorf("q2 after eviction: count %d, want %d", got, want["q2"])
+	}
+	if got := match("q3"); got != want["q3"] {
+		t.Errorf("q3 should still be cached: count %d, want %d", got, want["q3"])
+	}
+	hits, misses = eng.PlanCacheStats()
+	if hits+misses != calls {
+		t.Errorf("hits+misses = %d, want %d (one per Match call)", hits+misses, calls)
+	}
+	if hits != 2 || misses != 5 {
+		t.Errorf("hits/misses = %d/%d, want 2/5", hits, misses)
+	}
+	if got := eng.CachedPlans(); got != 2 {
+		t.Errorf("CachedPlans = %d, want 2", got)
+	}
+}
+
+// TestEnginePlanCacheUnbounded: a negative PlanCacheSize disables the bound,
+// preserving the pre-eviction behaviour for callers that want it.
+func TestEnginePlanCacheUnbounded(t *testing.T) {
+	g := engineTestGraph()
+	opts := engineTestOptions(1)
+	opts.PlanCacheSize = -1
+	eng, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Match(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.CachedPlans(); got != 5 {
+		t.Errorf("CachedPlans = %d, want 5", got)
+	}
+	if ev := eng.PlanCacheEvictions(); ev != 0 {
+		t.Errorf("evictions = %d, want 0", ev)
+	}
+}
+
+// TestEnginePlanCacheEvictionConcurrent: a tiny cache under concurrent
+// traffic over more query structures than it can hold stays consistent —
+// counts are right, CachedPlans respects the cap, and hits+misses equals the
+// number of Match calls. Run under -race in CI.
+func TestEnginePlanCacheEvictionConcurrent(t *testing.T) {
+	g := engineTestGraph()
+	opts := engineTestOptions(2)
+	opts.PlanCacheSize = 2
+	eng, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"q1", "q2", "q3", "q4", "q5"}
+	want := make(map[string]int64)
+	for _, name := range names {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Match(q, g, engineTestOptions(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = res.Count
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, name := range names {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				q, err := ldbc.QueryByName(name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := eng.Match(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count != want[name] {
+					t.Errorf("%s: count %d, want %d", name, res.Count, want[name])
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := eng.CachedPlans(); got > 2 {
+		t.Errorf("CachedPlans = %d, want <= 2", got)
+	}
+	hits, misses := eng.PlanCacheStats()
+	if hits+misses != int64(len(names)*rounds) {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, len(names)*rounds)
+	}
+}
