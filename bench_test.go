@@ -7,6 +7,7 @@ package fast
 // experiments at full laptop scale and prints the tables.
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -173,7 +174,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 	for _, v := range []core.Variant{core.VariantBasic, core.VariantSep} {
 		b.Run(v.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := host.Match(q, g, host.Config{Variant: v})
+				rep, err := host.Match(context.Background(), q, g, host.Config{Variant: v})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,7 +23,10 @@ type benchConfig struct {
 	PWorkers    int    // partition-producer pool size (0 = match the cell's workers)
 	Variants    string // comma-separated kernel variants, or "all"
 	Queries     string // comma-separated query filter
+	Limits      string // comma-separated per-call embedding limits (0 = unlimited)
+	MTimeout    time.Duration
 	Out         string // JSON output path ("" = stdout)
+	Compare     string // previous BENCH_*.json to check counts against
 }
 
 // benchRun is one (query, variant, workers) cell of the sweep. plan_ns is
@@ -32,10 +36,17 @@ type benchConfig struct {
 // model_ns is the pipeline's modelled end-to-end total, which on the
 // bench's single-card configuration is workers-invariant.
 type benchRun struct {
-	Query         string  `json:"query"`
-	Variant       string  `json:"variant"`
-	Workers       int     `json:"workers"`
-	PartWorkers   int     `json:"partition_workers"`
+	Query       string `json:"query"`
+	Variant     string `json:"variant"`
+	Workers     int    `json:"workers"`
+	PartWorkers int    `json:"partition_workers"`
+	// Limit and TimeoutNS are the cell's per-call bounds (the -limits /
+	// -mtimeout sweep through MatchContext); 0 means unbounded. With a
+	// limit the count is deterministic (min(limit, total)); Partial marks
+	// cells a bound actually cut short.
+	Limit         int64   `json:"limit"`
+	TimeoutNS     int64   `json:"timeout_ns"`
+	Partial       bool    `json:"partial,omitempty"`
 	Count         int64   `json:"count"`
 	PlanNS        int64   `json:"plan_ns"`
 	WallNS        int64   `json:"wall_ns"`
@@ -82,6 +93,10 @@ func runBench(cfg benchConfig) error {
 	if err != nil {
 		return err
 	}
+	limitList, err := parseLimits(cfg.Limits)
+	if err != nil {
+		return err
+	}
 	queryNames := []string{"q1", "q2", "q3", "q4", "q5"}
 	if cfg.Queries != "" {
 		queryNames = strings.Split(cfg.Queries, ",")
@@ -124,70 +139,118 @@ func runBench(cfg benchConfig) error {
 			if err != nil {
 				return err
 			}
+			ctx := context.Background()
 			for _, name := range queryNames {
 				q, err := ldbc.QueryByName(strings.TrimSpace(name))
 				if err != nil {
 					return err
 				}
-				// Cold call: plans, builds the CST, fills the cache.
+				// A deadline cutting a cell short is a measurement, not a
+				// harness failure: keep the partial result and mark the cell.
+				match := func(callOpts []fast.MatchOption) (*fast.Result, error) {
+					res, err := eng.MatchContext(ctx, q, callOpts...)
+					if err != nil && res != nil && res.Partial {
+						return res, nil
+					}
+					return res, err
+				}
+				var timeoutOpt []fast.MatchOption
+				if cfg.MTimeout > 0 {
+					timeoutOpt = append(timeoutOpt, fast.WithTimeout(cfg.MTimeout))
+				}
+				// Cold call: plans, builds the CST, fills the cache — once
+				// per (engine, query), before the limit sweep, so plan_ns
+				// really is planning cost in every cell that shares it.
 				coldStart := time.Now()
-				if _, err := eng.Match(q); err != nil {
+				if _, err := match(timeoutOpt); err != nil {
 					return err
 				}
 				cold := time.Since(coldStart)
-				// Warm calls: the serving path the engine exists for. The
-				// minimum over reps is the least noise-sensitive estimator
-				// for short wall-clock benchmarks.
-				var res *fast.Result
-				wall := time.Duration(1<<62 - 1)
-				for r := 0; r < cfg.Reps; r++ {
-					start := time.Now()
-					res, err = eng.Match(q)
-					if err != nil {
-						return err
+				// The limit sweep reuses the engine and its cached plan:
+				// per-call options never invalidate the plan cache, which is
+				// exactly the multi-budget serving shape the API exists for.
+				for _, limit := range limitList {
+					callOpts := timeoutOpt
+					if limit > 0 {
+						callOpts = append(callOpts[:len(callOpts):len(callOpts)], fast.WithLimit(limit))
 					}
-					if el := time.Since(start); el < wall {
-						wall = el
+					// Warm calls: the serving path the engine exists for. The
+					// minimum over reps is the least noise-sensitive estimator
+					// for short wall-clock benchmarks. Count and wall always
+					// come from the same rep, and a complete rep beats a
+					// timeout-cut one, so a cell whose reps straddle the
+					// deadline cannot emit a full count with a truncated wall
+					// (or vice versa).
+					var res *fast.Result
+					var wall time.Duration
+					for r := 0; r < cfg.Reps; r++ {
+						start := time.Now()
+						cur, err := match(callOpts)
+						if err != nil {
+							return err
+						}
+						el := time.Since(start)
+						better := res == nil ||
+							(res.Partial && !cur.Partial) ||
+							(res.Partial == cur.Partial && el < wall)
+						if better {
+							res, wall = cur, el
+						}
 					}
+					run := benchRun{
+						Query:         q.Name(),
+						Variant:       string(v),
+						Workers:       w,
+						PartWorkers:   pw,
+						Limit:         limit,
+						TimeoutNS:     cfg.MTimeout.Nanoseconds(),
+						Partial:       res.Partial,
+						Count:         res.Count,
+						PlanNS:        cold.Nanoseconds(),
+						WallNS:        wall.Nanoseconds(),
+						ModelNS:       res.Total.Nanoseconds(),
+						BuildNS:       res.BuildTime.Nanoseconds(),
+						PartitionNS:   res.PartitionTime.Nanoseconds(),
+						CPUShareNS:    res.CPUShareTime.Nanoseconds(),
+						Partitions:    res.Partitions,
+						CPUPartitions: res.CPUPartitions,
+						KernelCycles:  res.KernelCycles,
+						CSTBytes:      res.CSTBytes,
+					}
+					out.Runs = append(out.Runs, run)
 				}
-				run := benchRun{
-					Query:         q.Name(),
-					Variant:       string(v),
-					Workers:       w,
-					PartWorkers:   pw,
-					Count:         res.Count,
-					PlanNS:        cold.Nanoseconds(),
-					WallNS:        wall.Nanoseconds(),
-					ModelNS:       res.Total.Nanoseconds(),
-					BuildNS:       res.BuildTime.Nanoseconds(),
-					PartitionNS:   res.PartitionTime.Nanoseconds(),
-					CPUShareNS:    res.CPUShareTime.Nanoseconds(),
-					Partitions:    res.Partitions,
-					CPUPartitions: res.CPUPartitions,
-					KernelCycles:  res.KernelCycles,
-					CSTBytes:      res.CSTBytes,
-				}
-				out.Runs = append(out.Runs, run)
 			}
 		}
 	}
 
 	// Speedups, computed after the sweep so -workers ordering is
-	// irrelevant: emitted for every workers>1 run whose (query, variant)
-	// has a workers=1 cell anywhere in the sweep, and only for those.
+	// irrelevant: emitted for every workers>1 run whose (query, variant,
+	// limit) has a workers=1 cell anywhere in the sweep, and only for those.
 	baseWall := make(map[string]int64)
+	wallKey := func(r benchRun) string {
+		return fmt.Sprintf("%s/%s/%d", r.Query, r.Variant, r.Limit)
+	}
+	// Timeout-cut cells are excluded on both sides: a wall truncated by the
+	// budget measures the budget, not the work, so a ratio against (or of)
+	// one is meaningless — the same classification compareCounts uses.
 	for _, r := range out.Runs {
-		if r.Workers == 1 {
-			baseWall[r.Query+"/"+r.Variant] = r.WallNS
+		if r.Workers == 1 && !timeoutCut(r) {
+			baseWall[wallKey(r)] = r.WallNS
 		}
 	}
 	for i := range out.Runs {
 		r := &out.Runs[i]
-		if base := baseWall[r.Query+"/"+r.Variant]; r.Workers != 1 && base > 0 && r.WallNS > 0 {
+		if timeoutCut(*r) {
+			continue
+		}
+		if base := baseWall[wallKey(*r)]; r.Workers != 1 && base > 0 && r.WallNS > 0 {
 			r.SpeedupVsW1 = float64(base) / float64(r.WallNS)
 		}
 	}
 
+	// Emit the JSON before the compare verdict: when the regression gate
+	// trips, the document that shows the drift must still exist for
+	// investigation (CI uploads it as an artifact either way).
 	enc := json.NewEncoder(os.Stdout)
 	if cfg.Out != "" {
 		f, err := os.Create(cfg.Out)
@@ -198,7 +261,93 @@ func runBench(cfg benchConfig) error {
 		enc = json.NewEncoder(f)
 	}
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if cfg.Compare != "" {
+		return compareCounts(cfg.Compare, out)
+	}
+	return nil
+}
+
+// cellKey identifies a sweep cell across bench runs for count comparison.
+// The timeout is deliberately not part of the key: a budget that did not
+// fire cannot change counts (cells it did cut are skipped via timeoutCut),
+// so sweeps with different -mtimeout settings stay comparable.
+func cellKey(r benchRun) string {
+	return fmt.Sprintf("%s/%s/w%d/pw%d/l%d", r.Query, r.Variant, r.Workers, r.PartWorkers, r.Limit)
+}
+
+// timeoutCut reports that a cell's partial count came from the wall-clock
+// timeout, not the limit: a limit cut is deterministic (count == limit) and
+// stays comparable, a timeout cut depends on machine speed and does not.
+func timeoutCut(r benchRun) bool {
+	return r.TimeoutNS > 0 && r.Partial && !(r.Limit > 0 && r.Count == r.Limit)
+}
+
+// compareCounts is the bench-regression gate: it loads a previously
+// committed BENCH_*.json and fails on any count drift in cells the two
+// sweeps share. Counts are deterministic for unbounded and limit-bounded
+// cells, so any drift is a correctness regression, not noise; cells a
+// wall-clock timeout actually cut are skipped on either side.
+func compareCounts(path string, cur benchOutput) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-compare: %w", err)
+	}
+	var ref benchOutput
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("-compare %s: %w", path, err)
+	}
+	if ref.ScaleFactor != cur.ScaleFactor || ref.BasePersons != cur.BasePersons || ref.Seed != cur.Seed {
+		return fmt.Errorf("-compare %s: workload mismatch (sf=%v base=%d seed=%d vs sf=%v base=%d seed=%d); counts are not comparable",
+			path, ref.ScaleFactor, ref.BasePersons, ref.Seed, cur.ScaleFactor, cur.BasePersons, cur.Seed)
+	}
+	refCounts := make(map[string]int64)
+	for _, r := range ref.Runs {
+		if timeoutCut(r) {
+			continue
+		}
+		refCounts[cellKey(r)] = r.Count
+	}
+	compared, drifted := 0, 0
+	for _, r := range cur.Runs {
+		if timeoutCut(r) {
+			continue
+		}
+		want, ok := refCounts[cellKey(r)]
+		if !ok {
+			continue
+		}
+		compared++
+		if r.Count != want {
+			drifted++
+			fmt.Fprintf(os.Stderr, "fastbench: count drift in %s: got %d, %s has %d\n", cellKey(r), r.Count, path, want)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("-compare %s: no overlapping cells — sweeps are disjoint, nothing was checked", path)
+	}
+	if drifted > 0 {
+		return fmt.Errorf("-compare %s: %d of %d shared cells drifted", path, drifted, compared)
+	}
+	fmt.Fprintf(os.Stderr, "fastbench: counts match %s on all %d shared cells\n", path, compared)
+	return nil
+}
+
+func parseLimits(s string) ([]int64, error) {
+	if s == "" {
+		return []int64{0}, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -limits entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -9,6 +9,8 @@
 //	fastbench -exp all -base 200 -timeout 10s -out results.txt
 //	fastbench -bench -workers 1,2,4 -variants sep,share -json bench.json
 //	fastbench -bench -workers 4 -pworkers 1 -json serial-producer.json
+//	fastbench -bench -workers 1,2 -limits 0,1000 -mtimeout 30s -json bench.json
+//	fastbench -bench -workers 1 -reps 1 -compare BENCH_pr3.json
 //
 // Each experiment prints one or more aligned text tables; EXPERIMENTS.md
 // maps them back to the paper's figures and records the expected shapes.
@@ -46,8 +48,11 @@ func main() {
 		workers  = flag.String("workers", "1", "comma-separated worker-pool sizes to sweep (bench mode)")
 		pworkers = flag.Int("pworkers", 0, "partition-producer pool size; 0 matches each cell's -workers value (bench mode)")
 		variants = flag.String("variants", "share", "comma-separated kernel variants to sweep, or 'all' (bench mode)")
+		limits   = flag.String("limits", "0", "comma-separated per-call embedding limits to sweep; 0 = unlimited (bench mode)")
+		mtimeout = flag.Duration("mtimeout", 0, "per-call WithTimeout budget for every bench cell; 0 = none (bench mode)")
 		sf       = flag.Float64("sf", 1, "LDBC scale factor (bench mode)")
 		jsonOut  = flag.String("json", "", "write bench JSON to file instead of stdout (bench mode)")
+		compare  = flag.String("compare", "", "previous BENCH_*.json: fail on count drift in shared sweep cells (bench mode)")
 	)
 	flag.Parse()
 
@@ -61,7 +66,10 @@ func main() {
 			PWorkers:    *pworkers,
 			Variants:    *variants,
 			Queries:     *queries,
+			Limits:      *limits,
+			MTimeout:    *mtimeout,
 			Out:         *jsonOut,
+			Compare:     *compare,
 		}
 		if err := runBench(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "fastbench:", err)

@@ -6,9 +6,12 @@
 //	fastmatch -data graph.txt -query query.txt
 //	fastmatch -dataset DG03 -q q5 -variant share -fpgas 2
 //	fastmatch -dataset DG01 -q q2 -engine CECI -threads 8
+//	fastmatch -dataset DG03 -q q5 -timeout 100ms -limit 1000
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,19 +34,28 @@ func main() {
 		fpgas     = flag.Int("fpgas", 1, "number of simulated FPGA cards")
 		delta     = flag.Float64("delta", 0, "CPU workload share δ override")
 		threads   = flag.Int("threads", 1, "threads for baseline engines (e.g. 8 for CECI-8)")
-		timeout   = flag.Duration("timeout", 0, "baseline time limit")
+		timeout   = flag.Duration("timeout", 0, "time limit (FAST pipeline and baselines)")
+		limit     = flag.Int64("limit", 0, "stop after this many embeddings (FAST pipeline)")
 		verbose   = flag.Bool("v", false, "print per-phase details")
 	)
 	flag.Parse()
+	// An explicit -delta 0 must force everything to the FPGA, not fall back
+	// to the variant default — distinguish "passed" from "zero value".
+	deltaSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "delta" {
+			deltaSet = true
+		}
+	})
 	if err := run(*dataPath, *queryPath, *dataset, *base, *qname, *engine, *variant,
-		*fpgas, *delta, *threads, *timeout, *verbose); err != nil {
+		*fpgas, *delta, deltaSet, *threads, *timeout, *limit, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "fastmatch:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataPath, queryPath, dataset string, base int, qname, engine, variant string,
-	fpgas int, delta float64, threads int, timeout time.Duration, verbose bool) error {
+	fpgas int, delta float64, deltaSet bool, threads int, timeout time.Duration, limit int64, verbose bool) error {
 
 	// Load or generate the data graph.
 	var g *graph.Graph
@@ -101,16 +113,31 @@ func run(dataPath, queryPath, dataset string, base int, qname, engine, variant s
 		return nil
 	}
 
-	res, err := fast.Match(q, g, &fast.Options{
+	var callOpts []fast.MatchOption
+	if timeout > 0 {
+		callOpts = append(callOpts, fast.WithTimeout(timeout))
+	}
+	if limit > 0 {
+		callOpts = append(callOpts, fast.WithLimit(limit))
+	}
+	res, err := fast.MatchContext(context.Background(), q, g, &fast.Options{
 		Variant:  fast.Variant(variant),
 		NumFPGAs: fpgas,
 		Delta:    delta,
-	})
-	if err != nil {
+		DeltaSet: deltaSet,
+	}, callOpts...)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("FAST (%s): timed out after %v — partial results follow\n", variant, timeout)
+	case err != nil:
 		return err
 	}
-	fmt.Printf("FAST (%s, %d card(s)): %d embeddings in %v\n",
-		variant, fpgas, res.Count, res.Total.Round(time.Microsecond))
+	partial := ""
+	if res.Partial {
+		partial = " (partial)"
+	}
+	fmt.Printf("FAST (%s, %d card(s)): %d embeddings%s in %v\n",
+		variant, fpgas, res.Count, partial, res.Total.Round(time.Microsecond))
 	if verbose {
 		fmt.Printf("  CST build:      %v\n", res.BuildTime.Round(time.Microsecond))
 		fmt.Printf("  partition:      %v (%d partitions, %d to CPU)\n",

@@ -2,6 +2,8 @@ package fast
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -105,11 +107,75 @@ func NewEngine(g *graph.Graph, opts *Options) (*Engine, error) {
 }
 
 // Match finds all embeddings of q in the engine's graph, reusing the cached
-// plan when q (by structural fingerprint) has been matched before.
+// plan when q (by structural fingerprint) has been matched before. It is
+// MatchContext with context.Background() and no per-call options.
 func (e *Engine) Match(q *graph.Query) (*Result, error) {
+	return e.MatchContext(context.Background(), q)
+}
+
+// MatchContext finds embeddings of q under ctx and the per-call options,
+// reusing the cached plan when q (by structural fingerprint) has been
+// matched before. Per-call options never invalidate the plan — a plan is
+// the matching order plus the CST, independent of limits, deadlines, δ and
+// collection — so one Engine serves callers with different budgets without
+// re-planning.
+//
+// Cancellation semantics match the package-level MatchContext: a cancelled
+// or deadlined call returns its partial Result (Partial set) with
+// ErrCanceled or context.DeadlineExceeded, a WithLimit stop returns the
+// partial Result with a nil error, and an already-expired ctx returns
+// promptly without planning or matching.
+func (e *Engine) MatchContext(ctx context.Context, q *graph.Query, opts ...MatchOption) (*Result, error) {
+	return e.matchContext(ctx, q, nil, opts)
+}
+
+// MatchStream finds embeddings of q and hands each one to emit as it is
+// found, while the pipeline keeps running — the serving shape for callers
+// that want first results before the full count. emit is never called
+// concurrently with itself. Returning a non-nil error from emit stops
+// enumeration early; MatchStream then returns that error with the partial
+// Result. Context cancellation stops the stream with
+// ErrCanceled/context.DeadlineExceeded the same way.
+//
+// With Workers <= 1 and deterministic plans the emission order is the
+// sequential pipeline's; with Workers > 1 embeddings arrive in unspecified
+// order (calls are still serialized). Embeddings are only materialised into
+// Result.Embeddings when WithCollect(true) (or the engine's
+// CollectEmbeddings) asks for it.
+func (e *Engine) MatchStream(ctx context.Context, q *graph.Query, emit func(graph.Embedding) error, opts ...MatchOption) (*Result, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("fast: Engine.MatchStream: nil emit callback")
+	}
+	return e.matchContext(ctx, q, emit, opts)
+}
+
+func (e *Engine) matchContext(ctx context.Context, q *graph.Query, emit func(graph.Embedding) error, opts []MatchOption) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("fast: Engine.Match: nil query")
 	}
+	call := resolveCall(opts)
+	ctx, cancel := call.callContext(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return &Result{Partial: true}, err
+	}
+	plan, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
+	cfg.Plan = plan
+	cfg.Emit = emit
+	call.apply(&cfg)
+	return matchReport(host.Match(ctx, q, e.g, cfg))
+}
+
+// plan returns q's cached plan, planning it (once, even under concurrent
+// first requests) on a miss. Planning runs detached from any caller's
+// context: Prepare is not cancellable mid-build, and one caller's ctx must
+// not poison the shared singleflight slot for everyone else — callers check
+// their own context before and after.
+func (e *Engine) plan(q *graph.Query) (*host.Plan, error) {
 	key := fingerprint(q)
 	e.mu.Lock()
 	var ent *planEntry
@@ -132,7 +198,7 @@ func (e *Engine) Match(q *graph.Query) (*Result, error) {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ent.plan, ent.err = host.Prepare(q, e.g, e.cfg)
+		ent.plan, ent.err = host.Prepare(context.Background(), q, e.g, e.cfg)
 	})
 	if ent.err != nil {
 		// Drop the failed slot so a later call can retry planning.
@@ -144,21 +210,28 @@ func (e *Engine) Match(q *graph.Query) (*Result, error) {
 		e.mu.Unlock()
 		return nil, ent.err
 	}
-	cfg := e.cfg
-	cfg.Plan = ent.plan
-	rep, err := host.Match(q, e.g, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return resultFromReport(rep), nil
+	return ent.plan, nil
 }
 
-// MatchBatch runs every query concurrently — each on its own producer
-// goroutine, all sharing the engine's worker pool — and returns results
-// aligned with qs. Every query runs to completion regardless of other
-// queries' failures; on failure the lowest-index error is returned
-// alongside the (partially nil) results.
+// MatchBatch runs every query concurrently with no cancellation or per-call
+// bounds — MatchBatchContext with context.Background().
 func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
+	return e.MatchBatchContext(context.Background(), qs)
+}
+
+// MatchBatchContext runs every query concurrently — each on its own
+// producer goroutine, all sharing the engine's worker pool — and returns
+// results aligned with qs. ctx and the per-call options govern every query
+// in the batch; cancelling ctx stops all of them at their next check point,
+// so one cancelled batch does not leak goroutines.
+//
+// Every query runs to its own completion (or cancellation) regardless of
+// other queries' failures. The returned error aggregates all per-query
+// failures via errors.Join, each wrapped with its index and query name, in
+// index order — so the lowest-index failure stays first (the error
+// MatchBatch historically returned alone) and errors.Is/As see every
+// underlying cause.
+func (e *Engine) MatchBatchContext(ctx context.Context, qs []*graph.Query, opts ...MatchOption) ([]*Result, error) {
 	results := make([]*Result, len(qs))
 	errs := make([]error, len(qs))
 	// Bound in-flight queries: the shared pool already bounds kernel
@@ -178,7 +251,7 @@ func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
 		go func(i int, q *graph.Query) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = e.Match(q)
+			results[i], errs[i] = e.MatchContext(ctx, q, opts...)
 		}(i, q)
 	}
 	wg.Wait()
@@ -188,10 +261,10 @@ func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
 			if qs[i] != nil {
 				name = qs[i].Name()
 			}
-			return results, fmt.Errorf("fast: MatchBatch query %d (%s): %w", i, name, err)
+			errs[i] = fmt.Errorf("fast: MatchBatch query %d (%s): %w", i, name, err)
 		}
 	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
 // PlanCacheStats reports plan-cache hits and misses since the engine was

@@ -1,0 +1,81 @@
+// Budgeted serving: the context-first API enforcing an SLO on a heavy
+// query. A deadline aborts a large q5 run mid-flight — between CST
+// partitions, between kernel batch rounds, between δ-share embeddings —
+// and the call returns the partial statistics it gathered, the way a
+// serving front end sheds load instead of letting one pathological query
+// occupy the card (the paper's own evaluation runs baselines under exactly
+// such per-query budgets, marking the losers INF).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	fast "fastmatch"
+	"fastmatch/ldbc"
+)
+
+func main() {
+	// A large social network: q5 (the 5-cycle) is the heaviest benchmark
+	// query on it.
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 1200, Seed: 42})
+	fmt.Println("data:", g)
+
+	// Shrink the modelled card so the CST partitions into many pieces —
+	// each boundary is a cancellation check point.
+	dev := fast.DefaultDevice()
+	dev.BRAMBytes = 32 << 10
+	dev.BatchSize = 32
+
+	eng, err := fast.NewEngine(g, &fast.Options{
+		Variant: fast.VariantShare,
+		Device:  dev,
+		Workers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := ldbc.QueryByName("q5")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First, the unbounded run: how much work is actually there.
+	full, err := eng.MatchContext(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unbounded:  %d embeddings, %d partitions\n\n", full.Count, full.Partitions)
+
+	// Now the same query under a budget far too small for it. The same
+	// engine serves both calls — per-call options never re-plan.
+	const budget = 12 * time.Millisecond
+	start := time.Now()
+	res, err := eng.MatchContext(context.Background(), q, fast.WithTimeout(budget))
+	elapsed := time.Since(start)
+
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("deadline %v hit after %v — partial stats:\n", budget, elapsed.Round(time.Microsecond))
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("run fit inside %v (fast machine) — full stats:\n", budget)
+	}
+	fmt.Printf("  partial:        %v\n", res.Partial)
+	fmt.Printf("  embeddings:     %d of %d\n", res.Count, full.Count)
+	fmt.Printf("  partitions:     %d of %d\n", res.Partitions, full.Partitions)
+	fmt.Printf("  kernel cycles:  %d\n", res.KernelCycles)
+	fmt.Printf("  kernel aborts:  %d (modelled work the deadline threw away)\n\n", res.KernelAborts)
+
+	// A result cap is the other budget shape: first 1000 embeddings, then
+	// stop — deterministic, unlike the wall-clock cut.
+	res, err = eng.MatchContext(context.Background(), q, fast.WithLimit(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WithLimit(1000): %d embeddings (partial=%v, no error)\n", res.Count, res.Partial)
+}

@@ -6,30 +6,54 @@
 // algorithms, and the LDBC-like benchmark workloads — everything the
 // examples, command-line tools and benchmark harness consume.
 //
-// Quick start:
+// Quick start — the API is context-first: pass a context to cancel or
+// deadline any call, and per-call options to bound it:
 //
 //	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 42})
 //	q, _ := ldbc.QueryByName("q2")
-//	res, err := fast.Match(q, g, nil)
+//	res, err := fast.MatchContext(ctx, q, g, nil)
 //	fmt.Println(res.Count, res.Total)
 //
-// # Concurrency
+//	// Bounded: at most 100 embeddings, at most 50 ms.
+//	res, err = fast.MatchContext(ctx, q, g, nil,
+//	    fast.WithLimit(100), fast.WithTimeout(50*time.Millisecond))
+//	if res != nil && res.Partial {
+//	    // deadline or limit cut the run short; res holds the partial counts
+//	}
 //
-// Match with Options.Workers > 1 fans the scheduler's FPGA-side partition
-// queue out across that many goroutines while the CPU δ-share is
+// Match, Count and MatchBatch are thin wrappers over context.Background()
+// and keep compiling unchanged; they are equivalent to the context forms
+// with an unbounded call.
+//
+// # Concurrency and serving
+//
+// MatchContext with Options.Workers > 1 fans the scheduler's FPGA-side
+// partition queue out across that many goroutines while the CPU δ-share is
 // enumerated concurrently, mirroring the paper's multi-PE parallelism and
-// CPU–FPGA co-processing; counts are identical to the sequential run. For
-// serving traffic — repeated and simultaneous queries against one graph —
-// construct an Engine: it shares one bounded worker pool across all
-// concurrent calls and caches query plans (matching order + CST) keyed by
-// query fingerprint, so replanning is skipped:
+// CPU–FPGA co-processing; counts are identical to the sequential run, and
+// cancellation is observed inside the fan-out (workers drain and exit
+// cleanly). For serving traffic — repeated and simultaneous queries against
+// one graph, each under its own budget — construct an Engine: it shares one
+// bounded worker pool across all concurrent calls and caches query plans
+// (matching order + CST) keyed by query fingerprint, so one Engine serves
+// callers with different limits, deadlines and δ overrides without
+// re-planning:
 //
 //	eng, _ := fast.NewEngine(g, &fast.Options{Workers: 8})
-//	results, err := eng.MatchBatch(queries) // concurrent, pool-shared
-//	res, err := eng.Match(q)                // plan-cache hit on repeats
+//	res, err := eng.MatchContext(ctx, q, fast.WithLimit(1000))
+//	res, err = eng.MatchStream(ctx, q, func(e graph.Embedding) error {
+//	    return send(e) // first results stream out while the run continues
+//	})
+//	results, err := eng.MatchBatchContext(ctx, queries) // concurrent, pool-shared
+//
+// A cancelled or deadlined call stops mid-flight — between partitions,
+// between kernel batch rounds, between δ-share embeddings — and returns
+// the partial Result (Partial set) with ErrCanceled or
+// context.DeadlineExceeded.
 package fast
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -138,9 +162,16 @@ type Options struct {
 	Variant  Variant
 	Device   DeviceConfig
 	NumFPGAs int
-	// Delta overrides the CPU workload share δ (ignored unless >= 0; the
-	// VariantShare default is DefaultDelta).
+	// Delta overrides the CPU workload share δ (the VariantShare default is
+	// DefaultDelta). A positive Delta always applies; an explicit δ = 0
+	// (force everything to the FPGA) is only distinguishable from "unset"
+	// when DeltaSet is true — or use the per-call WithDelta(0), which needs
+	// no flag.
 	Delta float64
+	// DeltaSet marks Delta as an explicit override even when it is zero.
+	// Without it a zero Delta means "use the variant's default", which made
+	// δ = 0 silently inexpressible through this struct.
+	DeltaSet bool
 	// Order picks the matching-order strategy: "path" (default), "cfl",
 	// "daf", "ceci".
 	Order string
@@ -170,7 +201,7 @@ func (o *Options) hostConfig() (host.Config, error) {
 	if err != nil {
 		return host.Config{}, err
 	}
-	if o.Delta > 0 {
+	if o.DeltaSet || o.Delta > 0 {
 		delta = o.Delta
 	}
 	cfg := host.Config{
@@ -207,10 +238,39 @@ type Result struct {
 	KernelCycles  int64
 	CSTBytes      int64
 	DataBytes     int64
+
+	// Partial reports that the run stopped before exhausting the search
+	// space — the context was cancelled, the deadline or WithTimeout budget
+	// expired, a WithLimit bound was reached, or a MatchStream callback
+	// returned an error. Count and the statistics cover the work done up to
+	// that point.
+	Partial bool
+	// KernelAborts counts simulated kernel executions that a cancellation
+	// interrupted between batch rounds — modelled work the budget threw
+	// away.
+	KernelAborts int
 }
 
-// Match finds all embeddings of q in g using the CPU–FPGA pipeline.
+// Match finds all embeddings of q in g using the CPU–FPGA pipeline. It is
+// MatchContext with context.Background() and no per-call options — an
+// unbounded, uncancellable call, kept for existing callers.
 func Match(q *graph.Query, g *graph.Graph, opts *Options) (*Result, error) {
+	return MatchContext(context.Background(), q, g, opts)
+}
+
+// MatchContext finds embeddings of q in g under ctx and the per-call
+// options. Cancellation — ctx firing, a WithTimeout budget expiring, a
+// WithLimit bound being reached — stops the pipeline at its next check
+// point: between CST partitions, between kernel batch rounds, and between
+// CPU δ-share embeddings, so a deadline interrupts a pathological query
+// mid-flight.
+//
+// A cancelled call returns the partial Result (Partial set, counts covering
+// the work done) together with ErrCanceled or context.DeadlineExceeded; a
+// limit stop returns the partial Result with a nil error. An
+// already-expired ctx returns promptly without planning. Callers that need
+// repeated queries against one graph should use an Engine instead.
+func MatchContext(ctx context.Context, q *graph.Query, g *graph.Graph, opts *Options, callOpts ...MatchOption) (*Result, error) {
 	if opts == nil {
 		opts = &Options{Variant: VariantShare}
 	}
@@ -218,11 +278,21 @@ func Match(q *graph.Query, g *graph.Graph, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := host.Match(q, g, cfg)
-	if err != nil {
+	call := resolveCall(callOpts)
+	call.apply(&cfg)
+	ctx, cancel := call.callContext(ctx)
+	defer cancel()
+	return matchReport(host.Match(ctx, q, g, cfg))
+}
+
+// matchReport converts host.Match's (report, error) into the public shape:
+// hard failures (bad configuration, device overflow) yield a nil Result,
+// while an interrupted run keeps its partial Result alongside the error.
+func matchReport(rep host.Report, err error) (*Result, error) {
+	if err != nil && !rep.Partial {
 		return nil, err
 	}
-	return resultFromReport(rep), nil
+	return resultFromReport(rep), err
 }
 
 // resultFromReport converts the internal report to the public Result.
@@ -241,6 +311,8 @@ func resultFromReport(rep host.Report) *Result {
 		KernelCycles:  rep.KernelCycles,
 		CSTBytes:      rep.CSTBytes,
 		DataBytes:     rep.DataBytes,
+		Partial:       rep.Partial,
+		KernelAborts:  rep.KernelAborts,
 	}
 }
 

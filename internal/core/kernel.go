@@ -83,6 +83,11 @@ type Result struct {
 	EdgeTasks int64
 	// Pops counts reads from the intermediate results buffer.
 	Pops int64
+	// Stopped reports that the kernel abandoned the remaining batch rounds
+	// early — Options.Cancel fired between rounds, or Options.Take refused
+	// an embedding (the caller's result budget ran out). Count and the cycle
+	// statistics then cover only the work done up to that point.
+	Stopped bool
 	// BufferHighWater is the maximum partial-result count resident at any
 	// point; the deepest-first strategy bounds it by (|V(q)|−1)·No.
 	BufferHighWater int
@@ -99,6 +104,17 @@ type Options struct {
 	Collect bool
 	// Emit, when non-nil, receives every embedding as it completes.
 	Emit func(graph.Embedding)
+	// Cancel, when non-nil, is the host's abort line: the kernel loop polls
+	// it between batch rounds (a round is the natural preemption point — the
+	// modules drain their FIFOs and the buffer is consistent) and abandons
+	// the remaining rounds once it returns true, reporting Stopped.
+	Cancel func() bool
+	// Take, when non-nil, is consulted once per complete embedding before
+	// the Synchronizer counts it. Returning false means the caller's result
+	// budget is exhausted: the embedding is not counted or emitted and the
+	// kernel stops, reporting Stopped. Hosts use it to make a shared
+	// embedding limit exact across concurrently running kernels.
+	Take func() bool
 }
 
 // partial is an entry of the intermediate results buffer P: the candidate
@@ -172,6 +188,22 @@ type runState struct {
 	edgeTasks int64
 	pops      int64
 	highWater int
+	stopped   bool
+}
+
+// cancelled polls the host abort line.
+func (r *runState) cancelled() bool {
+	return r.opts.Cancel != nil && r.opts.Cancel()
+}
+
+// takeOne reserves one slot of the caller's result budget; refusal stops
+// the kernel.
+func (r *runState) takeOne() bool {
+	if r.opts.Take != nil && !r.opts.Take() {
+		r.stopped = true
+		return false
+	}
+	return true
 }
 
 func (r *runState) prepare() {
@@ -227,11 +259,18 @@ func (r *runState) execute() Result {
 	}
 
 	for {
+		if r.cancelled() {
+			r.stopped = true
+			break
+		}
 		d := r.deepestLevel()
 		if d < 0 {
 			break
 		}
 		r.round(d)
+		if r.stopped {
+			break
+		}
 	}
 
 	// Flush complete results from BRAM to card DRAM (4 bytes per mapped
@@ -249,6 +288,7 @@ func (r *runState) execute() Result {
 		Partials:        r.partials,
 		EdgeTasks:       r.edgeTasks,
 		Pops:            r.pops,
+		Stopped:         r.stopped,
 		BufferHighWater: r.highWater,
 		PerModule:       r.counter.PerModule(),
 	}
@@ -328,6 +368,9 @@ func (r *runState) round(d int) {
 			}
 			// Synchronizer (Algorithm 8): store back or report.
 			if complete {
+				if !r.takeOne() {
+					break
+				}
 				r.count++
 				if r.opts.Collect || r.opts.Emit != nil {
 					e := make(graph.Embedding, len(r.o))
@@ -348,6 +391,9 @@ func (r *runState) round(d int) {
 				m[d] = ci
 				nextLv = append(nextLv, partial{m: m})
 			}
+		}
+		if r.stopped {
+			break // result budget refused an embedding; abandon the run
 		}
 		if resumed {
 			p.cur += int32(take)

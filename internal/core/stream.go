@@ -48,11 +48,18 @@ func Simulate(c *cst.CST, o order.Order, opts Options) (Result, error) {
 	}
 	sim := &streamSim{runState: run}
 	for {
+		if run.cancelled() {
+			run.stopped = true
+			break
+		}
 		d := run.deepestLevel()
 		if d < 0 {
 			break
 		}
 		sim.simulateRound(d)
+		if run.stopped {
+			break
+		}
 	}
 	flushCycles := cfg.LoadCycles(run.count * int64(len(o)) * 4)
 	run.counter.Add("flush", flushCycles)
@@ -67,6 +74,7 @@ func Simulate(c *cst.CST, o order.Order, opts Options) (Result, error) {
 		Partials:        run.partials,
 		EdgeTasks:       run.edgeTasks,
 		Pops:            run.pops,
+		Stopped:         run.stopped,
 		BufferHighWater: run.highWater,
 		PerModule:       run.counter.PerModule(),
 	}
@@ -217,6 +225,11 @@ func (r *streamSim) simulateRound(d int) {
 			return
 		}
 		if complete {
+			// The timed pipeline still drains its in-flight items after a
+			// refusal; they are simply no longer counted or stored.
+			if r.stopped || !r.takeOne() {
+				return
+			}
 			r.count++
 			if r.opts.Collect || r.opts.Emit != nil {
 				e := make(graph.Embedding, len(r.o))

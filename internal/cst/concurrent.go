@@ -139,6 +139,9 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 	var handleChunk func(cur *CST, index, i, k int)
 	handle = func(cur *CST, index int) {
 		for {
+			if cfg.cancelled() {
+				return
+			}
 			if cfg.Fits(cur) || index >= len(o) {
 				process(cur)
 				count.Add(1)
@@ -162,6 +165,9 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 		}
 	}
 	handleChunk = func(cur *CST, index, i, k int) {
+		if cfg.cancelled() {
+			return
+		}
 		u := o[index]
 		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i))
 		if part.IsEmpty() {
@@ -222,6 +228,12 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 	var computeNode func(n *onode, cur *CST, index int)
 	var computeChunk func(n *onode, cur *CST, index, i, k int)
 	computeNode = func(n *onode, cur *CST, index int) {
+		if cfg.cancelled() {
+			// Abandon speculation: the node reads as an empty restriction,
+			// and ready must still close or the drain would block on it.
+			close(n.ready)
+			return
+		}
 		if cfg.Fits(cur) || index >= len(o) {
 			n.piece = cur
 			close(n.ready)
@@ -250,6 +262,10 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		computeChunk(n.children[0], cur, index, 0, k)
 	}
 	computeChunk = func(n *onode, cur *CST, index, i, k int) {
+		if cfg.cancelled() {
+			close(n.ready)
+			return
+		}
 		u := o[index]
 		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i))
 		if part.IsEmpty() {
@@ -279,6 +295,12 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 	count := 0
 	var drain func(n *onode)
 	drain = func(n *onode) {
+		if cfg.cancelled() {
+			// Stop delivering. Nodes left unvisited are still filled in (or
+			// abandoned) by the workers, which close every ready channel, so
+			// nothing below ever blocks on us again.
+			return
+		}
 		<-n.ready
 		if n.piece != nil {
 			process(n.piece)

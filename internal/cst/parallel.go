@@ -62,6 +62,8 @@ func PartitionParallel(c *CST, o order.Order, cfg PartitionConfig, workers int, 
 // workers or delivery order. cfg.Steal is ignored: a stolen piece would
 // leave this function's count, breaking that guarantee — callers that split
 // work elsewhere want PartitionParallel or PartitionConcurrent directly.
+// cfg.Cancel is honoured: once it fires, partitioning stops and pieces not
+// yet enumerated are skipped, so the returned total is a partial count.
 func EnumerateParallel(c *CST, o order.Order, cfg PartitionConfig, workers int) int64 {
 	cfg.Steal = nil
 	if workers < 1 {
@@ -69,6 +71,9 @@ func EnumerateParallel(c *CST, o order.Order, cfg PartitionConfig, workers int) 
 	}
 	var total atomic.Int64
 	PartitionConcurrent(c, o, cfg, ConcurrentOptions{Workers: workers}, func(p *CST) {
+		if cfg.cancelled() {
+			return
+		}
 		total.Add(Enumerate(p, o, nil))
 	})
 	return total.Load()

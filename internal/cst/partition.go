@@ -22,6 +22,18 @@ type PartitionConfig struct {
 	// such pieces to the CPU, "reducing the cost of partitioning" as
 	// Section VII-B explains) and stops its recursion.
 	Steal func(*CST) bool
+	// Cancel, when non-nil, is polled between restrict-and-recurse steps.
+	// Once it returns true the partitioners stop producing: no further
+	// process calls or Steal offers are made, in-flight concurrent workers
+	// drain their queued tasks cheaply and exit, and ordered mode abandons
+	// its speculation. The piece count returned by a cancelled run reflects
+	// only the pieces delivered before cancellation was observed.
+	Cancel func() bool
+}
+
+// cancelled reports whether a Cancel hook is installed and has fired.
+func (cfg PartitionConfig) cancelled() bool {
+	return cfg.Cancel != nil && cfg.Cancel()
 }
 
 // DefaultPartitionConfig mirrors the Alveo U200 deployment: 35 MB of BRAM
@@ -58,6 +70,9 @@ func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) i
 	count := 0
 	var rec func(cur *CST, index int)
 	rec = func(cur *CST, index int) {
+		if cfg.cancelled() {
+			return
+		}
 		if cfg.Fits(cur) || index >= len(o) {
 			// index can run off the end when every C(u) is a singleton and
 			// the CST still violates a threshold; it cannot be split
@@ -82,6 +97,9 @@ func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) i
 			return
 		}
 		for i := 0; i < k; i++ {
+			if cfg.cancelled() {
+				return
+			}
 			chunk := evenChunk(len(cur.Cand[u]), k, i)
 			part := restrict(cur, u, chunk)
 			if part.IsEmpty() {

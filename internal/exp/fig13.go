@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"fastmatch/internal/core"
@@ -32,7 +33,7 @@ func runFig13(cfg Config) ([]Table, error) {
 		}
 		base := make(map[string]float64, len(queries))
 		for _, q := range queries {
-			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0))
+			rep, err := host.Match(context.Background(), q, g, cfg.hostConfig(core.VariantSep, 0))
 			if err != nil {
 				return nil, err
 			}
@@ -41,7 +42,7 @@ func runFig13(cfg Config) ([]Table, error) {
 		for _, d := range deltas {
 			var sumAccel, sumShare float64
 			for _, q := range queries {
-				rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, d))
+				rep, err := host.Match(context.Background(), q, g, cfg.hostConfig(core.VariantSep, d))
 				if err != nil {
 					return nil, err
 				}

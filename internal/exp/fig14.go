@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -42,7 +43,7 @@ func runFig14(cfg Config) ([]Table, error) {
 	}
 	algos := []algo{
 		{name: "FAST", run: func(q *graph.Query, g *graph.Graph) (time.Duration, int64, error) {
-			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0.1))
+			rep, err := host.Match(context.Background(), q, g, cfg.hostConfig(core.VariantSep, 0.1))
 			return rep.Total, rep.Embeddings, err
 		}},
 		baselineAlgo("GSI", 1, cfg.GPUMemBudget),

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 
 	"fastmatch/internal/core"
@@ -40,7 +41,7 @@ func runFig15(cfg Config) ([]Table, error) {
 			tree := order.BuildBFSTree(q, root)
 			c := cst.Build(q, g, tree)
 			run := func(o order.Order) (time.Duration, error) {
-				rep, err := host.Match(q, g, host.Config{
+				rep, err := host.Match(context.Background(), q, g, host.Config{
 					Device:        cfg.device(),
 					Variant:       core.VariantSep,
 					ExplicitOrder: o,

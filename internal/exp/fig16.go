@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"fastmatch/graph"
@@ -34,7 +35,7 @@ func runFig16(cfg Config) ([]Table, error) {
 			return nil, err
 		}
 		for _, q := range queries {
-			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0.1))
+			rep, err := host.Match(context.Background(), q, g, cfg.hostConfig(core.VariantSep, 0.1))
 			if err != nil {
 				return nil, err
 			}
@@ -69,7 +70,7 @@ func runFig17(cfg Config) ([]Table, error) {
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
 		g := graph.SampleEdges(full, frac, cfg.Seed)
 		for _, q := range queries {
-			rep, err := host.Match(q, g, cfg.hostConfig(core.VariantSep, 0.1))
+			rep, err := host.Match(context.Background(), q, g, cfg.hostConfig(core.VariantSep, 0.1))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"fastmatch/internal/core"
@@ -33,11 +34,11 @@ func compareVariants(cfg Config, id, title, dataset string, slow, fast core.Vari
 	}
 	var sumRatio float64
 	for _, q := range queries {
-		repSlow, err := host.Match(q, g, cfg.hostConfig(slow, 0))
+		repSlow, err := host.Match(context.Background(), q, g, cfg.hostConfig(slow, 0))
 		if err != nil {
 			return nil, err
 		}
-		repFast, err := host.Match(q, g, cfg.hostConfig(fast, 0))
+		repFast, err := host.Match(context.Background(), q, g, cfg.hostConfig(fast, 0))
 		if err != nil {
 			return nil, err
 		}

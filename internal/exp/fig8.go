@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -123,7 +124,7 @@ func runFig10(cfg Config) ([]Table, error) {
 			return nil, err
 		}
 		for _, q := range queries {
-			rep, err := host.Match(q, g, cfg.hostConfig(0, 0)) // VariantSep
+			rep, err := host.Match(context.Background(), q, g, cfg.hostConfig(0, 0)) // VariantSep
 			if err != nil {
 				return nil, err
 			}

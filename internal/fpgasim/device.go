@@ -19,6 +19,7 @@ type Device struct {
 	dramUsed  int64
 	transfers int64 // bytes shipped over PCIe
 	kernels   int   // CST partitions processed
+	aborts    int   // kernel executions the host cancelled mid-flight
 }
 
 // NewDevice creates a Device with the given configuration.
@@ -75,6 +76,20 @@ func (d *Device) RunKernel(cycles int64) {
 	d.busy += d.Cfg.CyclesToDuration(cycles)
 	d.kernels++
 }
+
+// AbortKernel charges a kernel execution the host cancelled between batch
+// rounds: the cycles already spent stay on the card's counters (the
+// hardware really ran them before it observed the abort line), but the run
+// is tallied as an abort, not a completed kernel, so reports can show how
+// much modelled work a deadline threw away.
+func (d *Device) AbortKernel(cycles int64) {
+	d.cycles += cycles
+	d.busy += d.Cfg.CyclesToDuration(cycles)
+	d.aborts++
+}
+
+// Aborts returns how many kernel executions were cancelled mid-flight.
+func (d *Device) Aborts() int { return d.aborts }
 
 // Cycles returns total charged cycles.
 func (d *Device) Cycles() int64 { return d.cycles }

@@ -1,0 +1,160 @@
+package host
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"fastmatch/graph"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/order"
+)
+
+// runControl carries one Match call's cancellation, result-limit and
+// streaming state across every layer that loops: the partition producer
+// polls cancelled between restrict steps, the kernel polls it between batch
+// rounds and reserves result slots through take, and the CPU δ-share drain
+// does both per embedding. One control is shared by all goroutines of a
+// call, which is what makes Limit exact (min(Limit, total) embeddings are
+// counted no matter how many workers race for the last slots) and Emit
+// serialized.
+type runControl struct {
+	done        <-chan struct{} // ctx.Done(); nil when the context can never fire
+	ctxErr      func() error
+	limit       int64
+	taken       atomic.Int64
+	stopped     atomic.Bool
+	interrupted atomic.Bool // the context fired while work remained
+
+	emitMu  sync.Mutex
+	emit    func(graph.Embedding) error
+	emitErr error // guarded by emitMu
+}
+
+func newRunControl(ctx context.Context, cfg Config) *runControl {
+	ct := &runControl{limit: cfg.Limit, emit: cfg.Emit}
+	if ctx != nil {
+		ct.done = ctx.Done()
+		ct.ctxErr = ctx.Err
+	}
+	return ct
+}
+
+// active reports whether any per-call feature needs the pipeline hooks
+// installed. An inactive control installs none, so a plain Match runs the
+// exact pre-context pipeline.
+func (ct *runControl) active() bool {
+	return ct.done != nil || ct.limit > 0 || ct.emit != nil
+}
+
+// cancelled is the pipeline's stop poll: true once the context fired, the
+// limit was exhausted, or the streaming callback returned an error.
+func (ct *runControl) cancelled() bool {
+	if ct.stopped.Load() {
+		return true
+	}
+	if ct.done != nil {
+		select {
+		case <-ct.done:
+			ct.interrupted.Store(true)
+			ct.stopped.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// take reserves one result slot. Refusal (the run is cancelled, or the
+// reservation would exceed Limit) stops the pipeline; every granted
+// reservation corresponds to exactly one counted embedding, so the final
+// count is deterministic.
+func (ct *runControl) take() bool {
+	if ct.cancelled() {
+		return false
+	}
+	if ct.limit > 0 && ct.taken.Add(1) > ct.limit {
+		ct.stopped.Store(true)
+		return false
+	}
+	return true
+}
+
+// send streams one embedding to the caller. Calls are serialized — the
+// callback never runs concurrently with itself — and a callback error stops
+// the run.
+func (ct *runControl) send(e graph.Embedding) bool {
+	if ct.emit == nil {
+		return true
+	}
+	ct.emitMu.Lock()
+	defer ct.emitMu.Unlock()
+	if ct.emitErr != nil {
+		return false
+	}
+	if err := ct.emit(e); err != nil {
+		ct.emitErr = err
+		ct.stopped.Store(true)
+		return false
+	}
+	return true
+}
+
+// partial reports whether the run stopped before exhausting the search
+// space. A run that completes all its work returns false even if the
+// context expires afterwards — a completed-then-cancelled call keeps its
+// full counts.
+func (ct *runControl) partial() bool { return ct.stopped.Load() }
+
+// abortive reports whether the stop threw work away: a context firing or a
+// failed stream callback aborts kernels mid-flight, whereas a limit stop
+// just means the result budget was filled — every kernel's delivered
+// embeddings were wanted, so those runs are not tallied as aborts.
+func (ct *runControl) abortive() bool {
+	if ct.interrupted.Load() {
+		return true
+	}
+	ct.emitMu.Lock()
+	defer ct.emitMu.Unlock()
+	return ct.emitErr != nil
+}
+
+// err returns what interrupted the run: the context's error when
+// cancellation fired mid-run, else the streaming callback's error, else nil
+// — a limit stop is a bounded query succeeding, not a failure.
+func (ct *runControl) err() error {
+	if ct.interrupted.Load() && ct.ctxErr != nil {
+		if err := ct.ctxErr(); err != nil {
+			return err
+		}
+	}
+	ct.emitMu.Lock()
+	defer ct.emitMu.Unlock()
+	return ct.emitErr
+}
+
+// enumerateShare drains one CPU δ-share partition under the control's
+// budget and returns the number of embeddings counted. The inactive path is
+// the pre-context drain, byte for byte.
+func enumerateShare(ct *runControl, p *cst.CST, o order.Order, collect bool, sink *[]graph.Embedding) int64 {
+	if !ct.active() {
+		return cst.Enumerate(p, o, func(e graph.Embedding) bool {
+			if collect {
+				*sink = append(*sink, e)
+			}
+			return true
+		})
+	}
+	var n int64
+	cst.Enumerate(p, o, func(e graph.Embedding) bool {
+		if !ct.take() {
+			return false
+		}
+		n++
+		if collect {
+			*sink = append(*sink, e)
+		}
+		return ct.send(e)
+	})
+	return n
+}

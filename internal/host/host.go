@@ -11,9 +11,19 @@
 // Config.PartitionWorkers > 1 the partition producer itself (Algorithm 2's
 // recursion) also runs on a bounded task pool, in ordered mode, so neither
 // side of the overlap serialises the other.
+//
+// Execution is context-first: Match and Prepare take a context.Context, and
+// every layer that loops observes it — the partition producer between
+// restrict steps, the kernel between batch rounds, the δ-share drain per
+// embedding — so a deadline interrupts a pathological query mid-flight
+// instead of after it finishes. A cancelled run returns its partial Report
+// (Partial set) together with the context's error. Config.Limit bounds the
+// result count and Config.Emit streams embeddings as they are found.
 package host
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -93,6 +103,18 @@ type Config struct {
 	// entirely. The Plan must have been prepared for the same (q, g, cfg
 	// order settings); Match does not re-verify that.
 	Plan *Plan
+	// Limit, when > 0, stops the run after that many embeddings. The count
+	// is exact and deterministic — min(Limit, total) — regardless of
+	// Workers or PartitionWorkers: every counted embedding holds a slot
+	// reserved from one shared budget. A limit stop is not an error; the
+	// Report just comes back Partial.
+	Limit int64
+	// Emit, when non-nil, receives every embedding as it is found. Calls
+	// are serialized (the callback never runs concurrently with itself),
+	// but with Workers > 1 the arrival order is unspecified. Returning a
+	// non-nil error cancels the run; Match returns that error with the
+	// partial Report.
+	Emit func(graph.Embedding) error
 }
 
 func (c Config) withDefaults(q *graph.Query) Config {
@@ -145,7 +167,14 @@ type Plan struct {
 // Prepare runs Phase 1 (root selection, BFS tree, CST construction —
 // Algorithm 1 — and matching-order selection) and returns the reusable
 // plan. cfg contributes only the order settings (Strategy/ExplicitOrder).
-func Prepare(q *graph.Query, g *graph.Graph, cfg Config) (*Plan, error) {
+// An already-cancelled ctx returns its error before any work; Phase 1 is
+// otherwise not interruptible (it is one CST construction, not a loop).
+func Prepare(ctx context.Context, q *graph.Query, g *graph.Graph, cfg Config) (*Plan, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	cfg = cfg.withDefaults(q)
 	root := order.SelectRoot(q, g)
 	tree := order.BuildBFSTree(q, root)
@@ -206,6 +235,13 @@ type Report struct {
 	DataBytes       int64 // data graph size, for Fig. 9's S_CST/S_G
 	MaxBufferUse    int
 	Devices         int
+
+	// Partial reports that the run stopped before exhausting the search
+	// space — the context fired, the Emit callback failed, or Limit was
+	// reached — so Embeddings and the statistics cover only the work done.
+	Partial bool
+	// KernelAborts counts kernel executions cancelled between batch rounds.
+	KernelAborts int
 }
 
 // SpeedupOver returns how many times faster this run was than a reference
@@ -217,8 +253,14 @@ func (r Report) SpeedupOver(ref time.Duration) float64 {
 	return float64(ref) / float64(r.Total)
 }
 
-// Match runs the full CPU–FPGA pipeline for q over g.
-func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
+// Match runs the full CPU–FPGA pipeline for q over g. A nil ctx is treated
+// as context.Background(). When ctx is cancelled (or its deadline expires)
+// mid-run the pipeline stops at its next check point — between partitions,
+// between kernel batch rounds, between δ-share embeddings — and Match
+// returns the partial Report (Partial set, counts covering the work done)
+// together with the context's error. A run that completed all its work
+// before observing the cancellation returns its full Report and no error.
+func Match(ctx context.Context, q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults(q)
 	if err := cfg.Device.Validate(); err != nil {
 		return Report{}, err
@@ -226,8 +268,18 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 	if cfg.Delta < 0 || cfg.Delta >= 1 {
 		return Report{}, fmt.Errorf("host: delta %v outside [0,1)", cfg.Delta)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	rep := Report{Query: q.Name(), DataBytes: g.SizeBytes(), Devices: cfg.NumFPGAs}
+
+	// An already-expired context returns promptly, before Phase 1.
+	if err := ctx.Err(); err != nil {
+		rep.Partial = true
+		return rep, err
+	}
+	ct := newRunControl(ctx, cfg)
 
 	// Phase 1: CST construction (Algorithm 1) on the host — or a plan
 	// cache hit, which reduces this phase to nothing.
@@ -235,8 +287,12 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 	plan := cfg.Plan
 	if plan == nil {
 		var err error
-		plan, err = Prepare(q, g, cfg)
+		plan, err = Prepare(ctx, q, g, cfg)
 		if err != nil {
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				rep.Partial = true
+				return rep, err
+			}
 			return Report{}, err
 		}
 	}
@@ -245,6 +301,11 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 	if c.IsEmpty() {
 		rep.Total = rep.BuildTime
 		return rep, nil
+	}
+	if ct.active() && ct.cancelled() {
+		rep.Partial = true
+		rep.Total = rep.BuildTime
+		return rep, ct.err()
 	}
 
 	// Devices.
@@ -261,9 +322,9 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 	// Phases 2–5: partition, schedule, execute.
 	var err error
 	if cfg.Workers > 1 {
-		err = matchParallel(cfg, &rep, c, o, devices, transfer)
+		err = matchParallel(cfg, ct, &rep, c, o, devices, transfer)
 	} else {
-		err = matchSequential(cfg, &rep, c, o, devices, transfer)
+		err = matchSequential(cfg, ct, &rep, c, o, devices, transfer)
 	}
 	if err != nil {
 		return Report{}, err
@@ -276,19 +337,21 @@ func Match(q *graph.Query, g *graph.Graph, cfg Config) (Report, error) {
 			rep.FPGATime = t
 		}
 		rep.TransferTime += transfer[i]
+		rep.KernelAborts += d.Aborts()
 	}
 	concurrent := rep.FPGATime
 	if rep.CPUShareTime > concurrent {
 		concurrent = rep.CPUShareTime
 	}
 	rep.Total = rep.BuildTime + rep.PartitionTime + concurrent
-	return rep, nil
+	rep.Partial = ct.partial()
+	return rep, ct.err()
 }
 
 // matchSequential is the original streaming pipeline: partitions are
 // processed inline as the partitioner emits them, and the CPU share runs
 // after partitioning finishes.
-func matchSequential(cfg Config, rep *Report, c *cst.CST, o order.Order, devices []*fpgasim.Device, transfer []time.Duration) error {
+func matchSequential(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.Order, devices []*fpgasim.Device, transfer []time.Duration) error {
 	// Phase 2+3: partition (Algorithm 2) and schedule (Algorithm 3).
 	// Partitions stream out of the partitioner; each is either cached for
 	// the CPU or offloaded immediately to the least-loaded card.
@@ -297,6 +360,17 @@ func matchSequential(cfg Config, rep *Report, c *cst.CST, o order.Order, devices
 		kernErr  error
 	)
 	sched := scheduler{delta: cfg.Delta}
+	// Cancellation hooks are installed only for calls that can actually
+	// cancel, limit or stream — a plain Match keeps the pre-context paths.
+	kopts := core.Options{Variant: cfg.Variant, Config: cfg.Device, Collect: cfg.Collect}
+	if ct.active() {
+		cfg.Partition.Cancel = ct.cancelled
+		kopts.Cancel = ct.cancelled
+		kopts.Take = ct.take
+	}
+	if ct.emit != nil {
+		kopts.Emit = func(e graph.Embedding) { ct.send(e) }
+	}
 	// FAST-SHARE's partitioning shortcut (Section VII-B): a CST that still
 	// violates the BRAM/port thresholds may go straight to the CPU —
 	// which has no such constraints — instead of being split further,
@@ -316,7 +390,7 @@ func matchSequential(cfg Config, rep *Report, c *cst.CST, o order.Order, devices
 	rep.NumPartitions = cfg.runPartition(c, o, func(p *cst.CST) {
 		rep.PartitionTime += time.Since(lastResume)
 		defer func() { lastResume = time.Now() }()
-		if kernErr != nil {
+		if kernErr != nil || ct.cancelled() {
 			return
 		}
 		w := cst.EstimateWorkload(p)
@@ -340,16 +414,16 @@ func matchSequential(cfg Config, rep *Report, c *cst.CST, o order.Order, devices
 			return
 		}
 		transfer[best] += dur
-		res, err := core.Run(p, o, core.Options{
-			Variant: cfg.Variant,
-			Config:  cfg.Device,
-			Collect: cfg.Collect,
-		})
+		res, err := core.Run(p, o, kopts)
 		if err != nil {
 			kernErr = err
 			return
 		}
-		dev.RunKernel(res.Cycles)
+		if res.Stopped && ct.abortive() {
+			dev.AbortKernel(res.Cycles)
+		} else {
+			dev.RunKernel(res.Cycles)
+		}
 		dev.ReleaseDRAM(p.SizeBytes())
 		rep.Embeddings += res.Count
 		rep.KernelCycles += res.Cycles
@@ -369,16 +443,15 @@ func matchSequential(cfg Config, rep *Report, c *cst.CST, o order.Order, devices
 	}
 
 	// Phase 5: the CPU processes its cached share with the backtracking
-	// matcher once partitioning finishes (Section V-C).
+	// matcher once partitioning finishes (Section V-C). Cancellation is
+	// observed between δ-share partitions and, through the control's
+	// budget, per embedding within one.
 	cpuStart := time.Now()
 	for _, p := range cpuQueue {
-		n := cst.Enumerate(p, o, func(e graph.Embedding) bool {
-			if cfg.Collect {
-				rep.Collected = append(rep.Collected, e)
-			}
-			return true
-		})
-		rep.Embeddings += n
+		if ct.cancelled() {
+			break
+		}
+		rep.Embeddings += enumerateShare(ct, p, o, cfg.Collect, &rep.Collected)
 	}
 	rep.CPUShareTime = time.Since(cpuStart)
 	rep.CPUWorkload, rep.FPGAWorkload = sched.wc, sched.wf
@@ -397,6 +470,10 @@ type fpgaWorkerStats struct {
 	collected  []graph.Embedding
 }
 
+// errStageCancelled reports that a worker gave up waiting for card DRAM
+// because the run was cancelled; it is a skip signal, not a failure.
+var errStageCancelled = errors.New("host: staging abandoned: run cancelled")
+
 // matchParallel runs phases 2–5 with the FPGA-bound partition queue fanned
 // out across cfg.Workers goroutines while the CPU δ-share drains on its own
 // goroutine, all overlapping the partitioner — the paper's CPU–FPGA
@@ -404,7 +481,7 @@ type fpgaWorkerStats struct {
 // goroutine and see partitions in the exact order the sequential pipeline
 // does, so the δ split, partition counts and embedding totals are identical
 // to matchSequential's.
-func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices []*fpgasim.Device, transfer []time.Duration) error {
+func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.Order, devices []*fpgasim.Device, transfer []time.Duration) error {
 	var (
 		devMu   sync.Mutex
 		stop    atomic.Bool
@@ -415,6 +492,10 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 		errOnce.Do(func() { kernErr = err })
 		stop.Store(true)
 	}
+	// halted folds the two stop sources every stage checks: a hardware
+	// error on any worker, and the call's cancellation (context, limit,
+	// emit failure).
+	halted := func() bool { return stop.Load() || ct.cancelled() }
 
 	// Modest buffers: enough to decouple the producer from worker jitter,
 	// capped so the resident partition CSTs a Match can hold (buffers plus
@@ -442,6 +523,12 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 		devMu.Lock()
 		defer devMu.Unlock()
 		for {
+			// Re-checked on every wake-up: a cancelled run stops staging
+			// new partitions (in-flight kernels abort between rounds and
+			// release their DRAM, so waiters always wake).
+			if halted() {
+				return nil, errStageCancelled
+			}
 			// Try cards in ascending accumulated-load order via a
 			// selection scan — alloc-free under the contended lock, and
 			// NumFPGAs is tiny (the bitmask caps it at 64 cards, far
@@ -473,15 +560,29 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 			devCond.Wait()
 		}
 	}
-	release := func(dev *fpgasim.Device, p *cst.CST, cycles int64) {
+	release := func(dev *fpgasim.Device, p *cst.CST, cycles int64, aborted bool) {
 		devMu.Lock()
 		if cycles > 0 {
-			dev.RunKernel(cycles)
+			if aborted {
+				dev.AbortKernel(cycles)
+			} else {
+				dev.RunKernel(cycles)
+			}
 		}
 		dev.ReleaseDRAM(p.SizeBytes())
 		inflight--
 		devCond.Broadcast()
 		devMu.Unlock()
+	}
+	// Per-call hooks: the kernels poll the shared halt state between batch
+	// rounds (so a deadline interrupts a pathological partition mid-flight),
+	// and reserve result slots when a limit or stream is in play.
+	kopts := core.Options{Variant: cfg.Variant, Config: cfg.Device, Collect: cfg.Collect, Cancel: halted}
+	if ct.active() {
+		kopts.Take = ct.take
+	}
+	if ct.emit != nil {
+		kopts.Emit = func(e graph.Embedding) { ct.send(e) }
 	}
 	stats := make([]fpgaWorkerStats, cfg.Workers)
 	var wg sync.WaitGroup
@@ -490,7 +591,7 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 		go func(st *fpgaWorkerStats) {
 			defer wg.Done()
 			for p := range fpgaCh {
-				if stop.Load() {
+				if halted() {
 					continue
 				}
 				if cfg.Pool != nil {
@@ -501,19 +602,17 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 					if cfg.Pool != nil {
 						<-cfg.Pool
 					}
-					fail(err)
+					if err != errStageCancelled {
+						fail(err)
+					}
 					continue
 				}
-				res, err := core.Run(p, o, core.Options{
-					Variant: cfg.Variant,
-					Config:  cfg.Device,
-					Collect: cfg.Collect,
-				})
+				res, err := core.Run(p, o, kopts)
 				var cycles int64
 				if err == nil {
 					cycles = res.Cycles
 				}
-				release(dev, p, cycles)
+				release(dev, p, cycles, err == nil && res.Stopped && ct.abortive())
 				if cfg.Pool != nil {
 					<-cfg.Pool
 				}
@@ -550,16 +649,11 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 	go func() {
 		defer cpuWG.Done()
 		for p := range cpuCh {
-			if stop.Load() {
+			if halted() {
 				continue
 			}
 			start := time.Now()
-			cpuCount += cst.Enumerate(p, o, func(e graph.Embedding) bool {
-				if cfg.Collect {
-					cpuCollected = append(cpuCollected, e)
-				}
-				return true
-			})
+			cpuCount += enumerateShare(ct, p, o, cfg.Collect, &cpuCollected)
 			cpuActive += time.Since(start)
 		}
 	}()
@@ -577,6 +671,11 @@ func matchParallel(cfg Config, rep *Report, c *cst.CST, o order.Order, devices [
 		lastResume = time.Now()
 	}
 	sched := scheduler{delta: cfg.Delta}
+	if ct.active() {
+		// Stop producing once the run is cancelled; the concurrent producer
+		// also abandons its speculation and drains its task pool.
+		cfg.Partition.Cancel = halted
+	}
 	if cfg.Delta > 0 {
 		cfg.Partition.Steal = func(p *cst.CST) bool {
 			if !sched.tryCPU(cst.EstimateWorkload(p)) {

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -26,7 +27,7 @@ func TestMatchAgreesWithOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := Match(q, g, Config{})
+		rep, err := Match(context.Background(), q, g, Config{})
 		if err != nil {
 			t.Fatalf("%s: %v", q.Name(), err)
 		}
@@ -42,7 +43,7 @@ func TestMatchAgreesWithOracle(t *testing.T) {
 func TestMatchCollectsValidEmbeddings(t *testing.T) {
 	g := smallSocial(t)
 	q, _ := ldbc.QueryByName("q2")
-	rep, err := Match(q, g, Config{Collect: true})
+	rep, err := Match(context.Background(), q, g, Config{Collect: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +65,14 @@ func TestDeltaSplitsWork(t *testing.T) {
 	q, _ := ldbc.QueryByName("q5")
 	// Force many partitions so the scheduler has real choices.
 	pc := cst.PartitionConfig{MaxSizeBytes: 1 << 13, MaxCandDegree: 64}
-	ref, err := Match(q, g, Config{Partition: pc})
+	ref, err := Match(context.Background(), q, g, Config{Partition: pc})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ref.NumPartitions < 4 {
 		t.Skipf("only %d partitions; need more for a meaningful test", ref.NumPartitions)
 	}
-	rep, err := Match(q, g, Config{Partition: pc, Delta: 0.3})
+	rep, err := Match(context.Background(), q, g, Config{Partition: pc, Delta: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +97,11 @@ func TestMultiFPGAConservesAndBalances(t *testing.T) {
 	g := smallSocial(t)
 	q, _ := ldbc.QueryByName("q7")
 	pc := cst.PartitionConfig{MaxSizeBytes: 1 << 13, MaxCandDegree: 64}
-	one, err := Match(q, g, Config{Partition: pc, NumFPGAs: 1})
+	one, err := Match(context.Background(), q, g, Config{Partition: pc, NumFPGAs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := Match(q, g, Config{Partition: pc, NumFPGAs: 4})
+	four, err := Match(context.Background(), q, g, Config{Partition: pc, NumFPGAs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestVariantsAgreeEndToEnd(t *testing.T) {
 	q, _ := ldbc.QueryByName("q3")
 	var want int64 = -1
 	for _, v := range core.Variants() {
-		rep, err := Match(q, g, Config{Variant: v})
+		rep, err := Match(context.Background(), q, g, Config{Variant: v})
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
@@ -139,7 +140,7 @@ func TestOrderStrategiesAgree(t *testing.T) {
 	q, _ := ldbc.QueryByName("q4")
 	var want int64 = -1
 	for _, s := range []OrderStrategy{OrderPath, OrderCFL, OrderDAF, OrderCECI} {
-		rep, err := Match(q, g, Config{Strategy: s})
+		rep, err := Match(context.Background(), q, g, Config{Strategy: s})
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
@@ -155,7 +156,7 @@ func TestOrderStrategiesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 3; i++ {
 		o := order.RandomConnected(tree, rng)
-		rep, err := Match(q, g, Config{ExplicitOrder: o})
+		rep, err := Match(context.Background(), q, g, Config{ExplicitOrder: o})
 		if err != nil {
 			t.Fatalf("order %v: %v", o, err)
 		}
@@ -168,17 +169,17 @@ func TestOrderStrategiesAgree(t *testing.T) {
 func TestMatchRejectsBadConfig(t *testing.T) {
 	g := smallSocial(t)
 	q, _ := ldbc.QueryByName("q0")
-	if _, err := Match(q, g, Config{Delta: 1.5}); err == nil {
+	if _, err := Match(context.Background(), q, g, Config{Delta: 1.5}); err == nil {
 		t.Error("accepted delta 1.5")
 	}
 	bad := fpgasim.DefaultConfig()
 	bad.ClockMHz = -1
-	if _, err := Match(q, g, Config{Device: bad}); err == nil {
+	if _, err := Match(context.Background(), q, g, Config{Device: bad}); err == nil {
 		t.Error("accepted invalid device")
 	}
 	tree := order.BuildBFSTree(q, 0)
 	_ = tree
-	if _, err := Match(q, g, Config{ExplicitOrder: order.Order{1, 0, 2, 3, 4}}); err == nil {
+	if _, err := Match(context.Background(), q, g, Config{ExplicitOrder: order.Order{1, 0, 2, 3, 4}}); err == nil {
 		t.Error("accepted invalid explicit order")
 	}
 }
@@ -188,7 +189,7 @@ func TestEmptyResultFastPath(t *testing.T) {
 	q := graph.MustQuery("none", []graph.Label{ldbc.TagClass, ldbc.TagClass, ldbc.TagClass},
 		[][2]graph.QueryVertex{{0, 1}, {1, 2}, {0, 2}}) // TagClass triangle: none exists
 	g := smallSocial(t)
-	rep, err := Match(q, g, Config{})
+	rep, err := Match(context.Background(), q, g, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,11 +232,11 @@ func TestPartitionedMatchesUnpartitioned(t *testing.T) {
 	g := smallSocial(t)
 	for _, name := range []string{"q2", "q5", "q8"} {
 		q, _ := ldbc.QueryByName(name)
-		loose, err := Match(q, g, Config{})
+		loose, err := Match(context.Background(), q, g, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		tight, err := Match(q, g, Config{
+		tight, err := Match(context.Background(), q, g, Config{
 			Partition: cst.PartitionConfig{MaxSizeBytes: 1 << 12, MaxCandDegree: 16},
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -39,7 +40,7 @@ func TestMatchWorkersCountsEqualSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq, err := Match(q, g, base)
+		seq, err := Match(context.Background(), q, g, base)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func TestMatchWorkersCountsEqualSequential(t *testing.T) {
 		for _, workers := range []int{2, 4} {
 			cfg := base
 			cfg.Workers = workers
-			par, err := Match(q, g, cfg)
+			par, err := Match(context.Background(), q, g, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,13 +85,13 @@ func TestMatchWorkersCollectSameSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	base.Collect = true
-	seq, err := Match(q, g, base)
+	seq, err := Match(context.Background(), q, g, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := base
 	cfg.Workers = 4
-	par, err := Match(q, g, cfg)
+	par, err := Match(context.Background(), q, g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,11 @@ func TestPreparePlanReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Match(q, g, base)
+	want, err := Match(context.Background(), q, g, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Prepare(q, g, base)
+	plan, err := Prepare(context.Background(), q, g, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestPreparePlanReuse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reports[i], errs[i] = Match(q, g, cfg)
+			reports[i], errs[i] = Match(context.Background(), q, g, cfg)
 		}(i)
 	}
 	wg.Wait()
@@ -170,7 +171,7 @@ func TestMatchWorkersTightDRAM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Prepare(q, g, base)
+	plan, err := Prepare(context.Background(), q, g, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,13 +186,13 @@ func TestMatchWorkersTightDRAM(t *testing.T) {
 	}
 	// Fits one staged partition, never two.
 	base.Device.DRAMBytes = maxSize + maxSize/2
-	seq, err := Match(q, g, base)
+	seq, err := Match(context.Background(), q, g, base)
 	if err != nil {
 		t.Fatalf("sequential under tight DRAM: %v", err)
 	}
 	cfg := base
 	cfg.Workers = 4
-	par, err := Match(q, g, cfg)
+	par, err := Match(context.Background(), q, g, cfg)
 	if err != nil {
 		t.Fatalf("parallel under tight DRAM: %v", err)
 	}
@@ -208,14 +209,14 @@ func TestMatchWorkersMultiFPGA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := Match(q, g, base)
+	seq, err := Match(context.Background(), q, g, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := base
 	cfg.NumFPGAs = 3
 	cfg.Workers = 4
-	par, err := Match(q, g, cfg)
+	par, err := Match(context.Background(), q, g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

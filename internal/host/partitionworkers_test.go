@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestMatchPartitionWorkersParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref, err := Match(q, g, base)
+		ref, err := Match(context.Background(), q, g, base)
 		if err != nil {
 			t.Fatalf("%s: reference match: %v", name, err)
 		}
@@ -32,7 +33,7 @@ func TestMatchPartitionWorkersParity(t *testing.T) {
 				cfg := base
 				cfg.PartitionWorkers = pw
 				cfg.Workers = workers
-				rep, err := Match(q, g, cfg)
+				rep, err := Match(context.Background(), q, g, cfg)
 				if err != nil {
 					t.Fatalf("%s pw=%d workers=%d: %v", name, pw, workers, err)
 				}
@@ -69,7 +70,7 @@ func TestMatchPartitionWorkersConcurrentCallers(t *testing.T) {
 	}
 	cfg.Workers = 2
 	cfg.PartitionWorkers = 2
-	ref, err := Match(q, g, cfg)
+	ref, err := Match(context.Background(), q, g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestMatchPartitionWorkersConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rep, err := Match(q, g, cfg)
+			rep, err := Match(context.Background(), q, g, cfg)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ func TestReportSpeedupOver(t *testing.T) {
 func TestReportTransferAccounting(t *testing.T) {
 	g := smallSocial(t)
 	q, _ := ldbc.QueryByName("q5")
-	rep, err := Match(q, g, Config{})
+	rep, err := Match(context.Background(), q, g, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestWithDefaultsDerivesPartitionBudget(t *testing.T) {
 func TestDRAMVariantEndToEnd(t *testing.T) {
 	g := smallSocial(t)
 	q, _ := ldbc.QueryByName("q2")
-	dram, err := Match(q, g, Config{Variant: core.VariantDRAM})
+	dram, err := Match(context.Background(), q, g, Config{Variant: core.VariantDRAM})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sep, err := Match(q, g, Config{Variant: core.VariantSep})
+	sep, err := Match(context.Background(), q, g, Config{Variant: core.VariantSep})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,14 +87,14 @@ func TestDRAMVariantEndToEnd(t *testing.T) {
 func TestTinyBRAMForcesPartitioning(t *testing.T) {
 	g := smallSocial(t)
 	q, _ := ldbc.QueryByName("q1")
-	big, err := Match(q, g, Config{})
+	big, err := Match(context.Background(), q, g, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	dev := fpgasim.DefaultConfig()
 	dev.BRAMBytes = 32 << 10
 	dev.No = 64
-	small, err := Match(q, g, Config{Device: dev})
+	small, err := Match(context.Background(), q, g, Config{Device: dev})
 	if err != nil {
 		t.Fatal(err)
 	}

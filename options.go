@@ -1,0 +1,104 @@
+package fast
+
+import (
+	"context"
+	"time"
+
+	"fastmatch/internal/host"
+)
+
+// ErrCanceled is the error a context-cancelled match returns alongside its
+// partial Result. It aliases context.Canceled, so errors.Is works against
+// either name; a deadline expiry returns context.DeadlineExceeded instead.
+var ErrCanceled = context.Canceled
+
+// MatchOption is a per-call override for MatchContext, Engine.MatchContext,
+// Engine.MatchStream and Engine.MatchBatchContext. Per-call options change
+// only how one call executes — budget, deadline, materialisation — never
+// the query plan, so one Engine serves callers with different budgets
+// without re-planning.
+type MatchOption func(*callOptions)
+
+// callOptions is the resolved per-call state. Pointer fields distinguish
+// "not set" from an explicit zero — that is what makes WithDelta(0) (force
+// everything to the FPGA) expressible where the legacy Options.Delta field
+// historically could not.
+type callOptions struct {
+	limit   int64
+	timeout time.Duration
+	collect *bool
+	delta   *float64
+}
+
+// WithLimit stops the call after n embeddings. The count is exact and
+// deterministic — min(n, total) — regardless of Workers or
+// PartitionWorkers. A limit stop is a bounded query succeeding: the Result
+// comes back with Partial set and a nil error. n <= 0 means unlimited.
+func WithLimit(n int64) MatchOption {
+	return func(c *callOptions) {
+		if n < 0 {
+			n = 0
+		}
+		c.limit = n
+	}
+}
+
+// WithTimeout bounds the call's wall-clock time, on top of whatever
+// deadline the caller's context already carries (the effective deadline is
+// the earlier of the two). An expired budget stops the pipeline at its next
+// check point and the call returns the partial Result with
+// context.DeadlineExceeded. d <= 0 means no per-call timeout.
+func WithTimeout(d time.Duration) MatchOption {
+	return func(c *callOptions) { c.timeout = d }
+}
+
+// WithCollect overrides Options.CollectEmbeddings for this call:
+// WithCollect(true) materialises matches in Result.Embeddings,
+// WithCollect(false) keeps only the count.
+func WithCollect(collect bool) MatchOption {
+	return func(c *callOptions) { c.collect = &collect }
+}
+
+// WithDelta overrides the CPU workload share δ for this call, including
+// the explicit zero: WithDelta(0) sends everything to the FPGA even when
+// the engine's variant defaults to DefaultDelta. δ outside [0, 1) fails
+// the call.
+func WithDelta(d float64) MatchOption {
+	return func(c *callOptions) { c.delta = &d }
+}
+
+// resolveCall folds a call's options into one callOptions.
+func resolveCall(opts []MatchOption) callOptions {
+	var c callOptions
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// apply lays the per-call overrides over the host configuration.
+func (c callOptions) apply(cfg *host.Config) {
+	if c.limit > 0 {
+		cfg.Limit = c.limit
+	}
+	if c.collect != nil {
+		cfg.Collect = *c.collect
+	}
+	if c.delta != nil {
+		cfg.Delta = *c.delta
+	}
+}
+
+// callContext normalises ctx and applies WithTimeout. The returned cancel
+// must be called when the match returns.
+func (c callOptions) callContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return ctx, func() {}
+}
