@@ -7,9 +7,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	fast "fastmatch"
+	"fastmatch/graph"
 	"fastmatch/ldbc"
 )
 
@@ -25,6 +27,7 @@ type benchConfig struct {
 	Queries     string // comma-separated query filter
 	Limits      string // comma-separated per-call embedding limits (0 = unlimited)
 	MTimeout    time.Duration
+	Graphs      int    // > 1: serve this many graphs through one Router, measuring contention
 	Out         string // JSON output path ("" = stdout)
 	Compare     string // previous BENCH_*.json to check counts against
 }
@@ -36,8 +39,14 @@ type benchConfig struct {
 // model_ns is the pipeline's modelled end-to-end total, which on the
 // bench's single-card configuration is workers-invariant.
 type benchRun struct {
-	Query       string `json:"query"`
-	Variant     string `json:"variant"`
+	Query   string `json:"query"`
+	Variant string `json:"variant"`
+	// Graph names the data graph in a -graphs multi-graph sweep (g0, g1,
+	// …, generated from consecutive seeds and served concurrently through
+	// one Router under one shared budget — the wall then includes
+	// cross-graph contention). Empty in single-graph sweeps, keeping their
+	// cell keys byte-compatible with older BENCH_*.json files.
+	Graph       string `json:"graph,omitempty"`
 	Workers     int    `json:"workers"`
 	PartWorkers int    `json:"partition_workers"`
 	// Limit and TimeoutNS are the cell's per-call bounds (the -limits /
@@ -107,6 +116,22 @@ func runBench(cfg benchConfig) error {
 		BasePersons: cfg.BasePersons,
 		Seed:        cfg.Seed,
 	})
+	// Multi-graph mode: N graphs from consecutive seeds (g0 = the single
+	// sweep's graph), served concurrently through one Router per cell.
+	var targets []benchGraph
+	if cfg.Graphs > 1 {
+		targets = append(targets, benchGraph{name: "g0", g: g})
+		for i := 1; i < cfg.Graphs; i++ {
+			targets = append(targets, benchGraph{
+				name: fmt.Sprintf("g%d", i),
+				g: ldbc.Generate(ldbc.Config{
+					ScaleFactor: cfg.ScaleFactor,
+					BasePersons: cfg.BasePersons,
+					Seed:        cfg.Seed + int64(i),
+				}),
+			})
+		}
+	}
 
 	out := benchOutput{
 		Bench:       "fastmatch",
@@ -132,6 +157,14 @@ func runBench(cfg benchConfig) error {
 			pw := cfg.PWorkers
 			if pw == 0 {
 				pw = w
+			}
+			if len(targets) > 0 {
+				runs, err := benchMultiGraphCell(cfg, v, w, pw, dev, targets, queryNames, limitList)
+				if err != nil {
+					return err
+				}
+				out.Runs = append(out.Runs, runs...)
+				continue
 			}
 			eng, err := fast.NewEngine(g, &fast.Options{
 				Variant: v, Device: dev, Workers: w, PartitionWorkers: pw,
@@ -174,13 +207,10 @@ func runBench(cfg benchConfig) error {
 					if limit > 0 {
 						callOpts = append(callOpts[:len(callOpts):len(callOpts)], fast.WithLimit(limit))
 					}
-					// Warm calls: the serving path the engine exists for. The
-					// minimum over reps is the least noise-sensitive estimator
-					// for short wall-clock benchmarks. Count and wall always
-					// come from the same rep, and a complete rep beats a
-					// timeout-cut one, so a cell whose reps straddle the
-					// deadline cannot emit a full count with a truncated wall
-					// (or vice versa).
+					// Warm calls: the serving path the engine exists for. A
+					// cell whose reps straddle the deadline cannot emit a
+					// full count with a truncated wall (or vice versa) —
+					// betterRep keeps count and wall from one rep.
 					var res *fast.Result
 					var wall time.Duration
 					for r := 0; r < cfg.Reps; r++ {
@@ -189,35 +219,11 @@ func runBench(cfg benchConfig) error {
 						if err != nil {
 							return err
 						}
-						el := time.Since(start)
-						better := res == nil ||
-							(res.Partial && !cur.Partial) ||
-							(res.Partial == cur.Partial && el < wall)
-						if better {
+						if el := time.Since(start); betterRep(res, wall, cur, el) {
 							res, wall = cur, el
 						}
 					}
-					run := benchRun{
-						Query:         q.Name(),
-						Variant:       string(v),
-						Workers:       w,
-						PartWorkers:   pw,
-						Limit:         limit,
-						TimeoutNS:     cfg.MTimeout.Nanoseconds(),
-						Partial:       res.Partial,
-						Count:         res.Count,
-						PlanNS:        cold.Nanoseconds(),
-						WallNS:        wall.Nanoseconds(),
-						ModelNS:       res.Total.Nanoseconds(),
-						BuildNS:       res.BuildTime.Nanoseconds(),
-						PartitionNS:   res.PartitionTime.Nanoseconds(),
-						CPUShareNS:    res.CPUShareTime.Nanoseconds(),
-						Partitions:    res.Partitions,
-						CPUPartitions: res.CPUPartitions,
-						KernelCycles:  res.KernelCycles,
-						CSTBytes:      res.CSTBytes,
-					}
-					out.Runs = append(out.Runs, run)
+					out.Runs = append(out.Runs, makeRun(q, v, "", w, pw, limit, cfg.MTimeout, res, cold, wall))
 				}
 			}
 		}
@@ -228,7 +234,7 @@ func runBench(cfg benchConfig) error {
 	// limit) has a workers=1 cell anywhere in the sweep, and only for those.
 	baseWall := make(map[string]int64)
 	wallKey := func(r benchRun) string {
-		return fmt.Sprintf("%s/%s/%d", r.Query, r.Variant, r.Limit)
+		return fmt.Sprintf("%s/%s/%s/%d", r.Query, r.Variant, r.Graph, r.Limit)
 	}
 	// Timeout-cut cells are excluded on both sides: a wall truncated by the
 	// budget measures the budget, not the work, so a ratio against (or of)
@@ -270,12 +276,152 @@ func runBench(cfg benchConfig) error {
 	return nil
 }
 
+// benchGraph is one named data graph of a -graphs multi-graph sweep.
+type benchGraph struct {
+	name string
+	g    *graph.Graph
+}
+
+// betterRep reports whether (cur, wall) should replace (best, bestWall) as
+// a cell's measured rep — shared by the single- and multi-graph sweeps so
+// their cells stay comparable. Any rep beats none, a complete rep beats a
+// timeout-cut one, then the fastest wall wins: the minimum is the least
+// noise-sensitive estimator for short wall-clock benchmarks, and count and
+// wall always come from the same rep.
+func betterRep(best *fast.Result, bestWall time.Duration, cur *fast.Result, wall time.Duration) bool {
+	return best == nil ||
+		(best.Partial && !cur.Partial) ||
+		(best.Partial == cur.Partial && wall < bestWall)
+}
+
+// makeRun builds one benchRun row from a cell's best rep; graphName is
+// empty for single-graph sweeps.
+func makeRun(q *graph.Query, v fast.Variant, graphName string, w, pw int, limit int64,
+	mtimeout time.Duration, res *fast.Result, cold, wall time.Duration) benchRun {
+	return benchRun{
+		Query:         q.Name(),
+		Variant:       string(v),
+		Graph:         graphName,
+		Workers:       w,
+		PartWorkers:   pw,
+		Limit:         limit,
+		TimeoutNS:     mtimeout.Nanoseconds(),
+		Partial:       res.Partial,
+		Count:         res.Count,
+		PlanNS:        cold.Nanoseconds(),
+		WallNS:        wall.Nanoseconds(),
+		ModelNS:       res.Total.Nanoseconds(),
+		BuildNS:       res.BuildTime.Nanoseconds(),
+		PartitionNS:   res.PartitionTime.Nanoseconds(),
+		CPUShareNS:    res.CPUShareTime.Nanoseconds(),
+		Partitions:    res.Partitions,
+		CPUPartitions: res.CPUPartitions,
+		KernelCycles:  res.KernelCycles,
+		CSTBytes:      res.CSTBytes,
+	}
+}
+
+// benchMultiGraphCell measures one (variant, workers) cell of the
+// multi-graph contention sweep: every graph behind one Router drawing from
+// one shared worker budget of w tokens, and each rep running the query on
+// all graphs simultaneously — so wall_ns includes what cross-tenant
+// contention costs, while counts stay each graph's deterministic totals.
+func benchMultiGraphCell(cfg benchConfig, v fast.Variant, w, pw int, dev fast.DeviceConfig,
+	targets []benchGraph, queryNames []string, limitList []int64) ([]benchRun, error) {
+
+	r := fast.NewRouter(fast.RouterOptions{Workers: w})
+	for _, tgt := range targets {
+		err := r.AddGraph(tgt.name, tgt.g, &fast.Options{
+			Variant: v, Device: dev, Workers: w, PartitionWorkers: pw,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx := context.Background()
+	match := func(tgt string, q *graph.Query, callOpts []fast.MatchOption) (*fast.Result, error) {
+		res, err := r.MatchContext(ctx, tgt, q, callOpts...)
+		if err != nil && res != nil && res.Partial {
+			return res, nil
+		}
+		return res, err
+	}
+	var timeoutOpt []fast.MatchOption
+	if cfg.MTimeout > 0 {
+		timeoutOpt = append(timeoutOpt, fast.WithTimeout(cfg.MTimeout))
+	}
+
+	var runs []benchRun
+	for _, name := range queryNames {
+		q, err := ldbc.QueryByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		// Cold call per graph, uncontended: plan_ns stays a planning cost.
+		cold := make(map[string]time.Duration, len(targets))
+		for _, tgt := range targets {
+			start := time.Now()
+			if _, err := match(tgt.name, q, timeoutOpt); err != nil {
+				return nil, err
+			}
+			cold[tgt.name] = time.Since(start)
+		}
+		for _, limit := range limitList {
+			callOpts := timeoutOpt
+			if limit > 0 {
+				callOpts = append(callOpts[:len(callOpts):len(callOpts)], fast.WithLimit(limit))
+			}
+			type cell struct {
+				res  *fast.Result
+				wall time.Duration
+			}
+			best := make(map[string]cell, len(targets))
+			for rep := 0; rep < cfg.Reps; rep++ {
+				cells := make([]cell, len(targets))
+				errs := make([]error, len(targets))
+				var wg sync.WaitGroup
+				for i, tgt := range targets {
+					wg.Add(1)
+					go func(i int, tgt benchGraph) {
+						defer wg.Done()
+						start := time.Now()
+						res, err := match(tgt.name, q, callOpts)
+						cells[i] = cell{res: res, wall: time.Since(start)}
+						errs[i] = err
+					}(i, tgt)
+				}
+				wg.Wait()
+				for i, tgt := range targets {
+					if errs[i] != nil {
+						return nil, errs[i]
+					}
+					cur, b := cells[i], best[tgt.name]
+					if betterRep(b.res, b.wall, cur.res, cur.wall) {
+						best[tgt.name] = cur
+					}
+				}
+			}
+			for _, tgt := range targets {
+				b := best[tgt.name]
+				runs = append(runs, makeRun(q, v, tgt.name, w, pw, limit, cfg.MTimeout, b.res, cold[tgt.name], b.wall))
+			}
+		}
+	}
+	return runs, nil
+}
+
 // cellKey identifies a sweep cell across bench runs for count comparison.
 // The timeout is deliberately not part of the key: a budget that did not
 // fire cannot change counts (cells it did cut are skipped via timeoutCut),
-// so sweeps with different -mtimeout settings stay comparable.
+// so sweeps with different -mtimeout settings stay comparable. The graph
+// component is omitted for single-graph sweeps, keeping keys byte-identical
+// to pre-multi-graph BENCH_*.json files.
 func cellKey(r benchRun) string {
-	return fmt.Sprintf("%s/%s/w%d/pw%d/l%d", r.Query, r.Variant, r.Workers, r.PartWorkers, r.Limit)
+	key := fmt.Sprintf("%s/%s/w%d/pw%d/l%d", r.Query, r.Variant, r.Workers, r.PartWorkers, r.Limit)
+	if r.Graph != "" {
+		key += "/" + r.Graph
+	}
+	return key
 }
 
 // timeoutCut reports that a cell's partial count came from the wall-clock

@@ -50,6 +50,7 @@ func main() {
 		variants = flag.String("variants", "share", "comma-separated kernel variants to sweep, or 'all' (bench mode)")
 		limits   = flag.String("limits", "0", "comma-separated per-call embedding limits to sweep; 0 = unlimited (bench mode)")
 		mtimeout = flag.Duration("mtimeout", 0, "per-call WithTimeout budget for every bench cell; 0 = none (bench mode)")
+		graphs   = flag.Int("graphs", 1, "serve this many generated graphs (seeds seed,seed+1,…) concurrently through one Router per cell, measuring cross-tenant contention (bench mode)")
 		sf       = flag.Float64("sf", 1, "LDBC scale factor (bench mode)")
 		jsonOut  = flag.String("json", "", "write bench JSON to file instead of stdout (bench mode)")
 		compare  = flag.String("compare", "", "previous BENCH_*.json: fail on count drift in shared sweep cells (bench mode)")
@@ -68,6 +69,7 @@ func main() {
 			Queries:     *queries,
 			Limits:      *limits,
 			MTimeout:    *mtimeout,
+			Graphs:      *graphs,
 			Out:         *jsonOut,
 			Compare:     *compare,
 		}

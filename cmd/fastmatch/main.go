@@ -1,5 +1,8 @@
 // Command fastmatch runs one subgraph-matching query through the CPU–FPGA
-// pipeline (or a baseline) and prints counts and a timing breakdown.
+// pipeline (or a baseline) and prints counts and a timing breakdown. With
+// -graphs it instead serves several named data graphs through one
+// fast.Router — one shared worker budget across all of them — routing each
+// -route entry's query to its named graph.
 //
 // Usage:
 //
@@ -7,6 +10,7 @@
 //	fastmatch -dataset DG03 -q q5 -variant share -fpgas 2
 //	fastmatch -dataset DG01 -q q2 -engine CECI -threads 8
 //	fastmatch -dataset DG03 -q q5 -timeout 100ms -limit 1000
+//	fastmatch -graphs a=DG01,b=DG03 -route a=q2,b=q5,a=q1 -limit 1000
 package main
 
 import (
@@ -15,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	fast "fastmatch"
@@ -36,6 +43,9 @@ func main() {
 		threads   = flag.Int("threads", 1, "threads for baseline engines (e.g. 8 for CECI-8)")
 		timeout   = flag.Duration("timeout", 0, "time limit (FAST pipeline and baselines)")
 		limit     = flag.Int64("limit", 0, "stop after this many embeddings (FAST pipeline)")
+		graphs    = flag.String("graphs", "", "multi-graph mode: name=source pairs (source: dataset DG01/DG03/DG10/DG60 or a graph file), served through one Router")
+		route     = flag.String("route", "", "multi-graph mode: name=query routes (query: q0…q8 or a query file), each run against its named graph")
+		workers   = flag.Int("workers", 0, "multi-graph mode: shared worker budget across all graphs (default NumCPU)")
 		verbose   = flag.Bool("v", false, "print per-phase details")
 	)
 	flag.Parse()
@@ -47,11 +57,175 @@ func main() {
 			deltaSet = true
 		}
 	})
+	if *graphs != "" {
+		if err := runMulti(*graphs, *route, *base, *variant, *fpgas, *delta, deltaSet,
+			*workers, *timeout, *limit); err != nil {
+			fmt.Fprintln(os.Stderr, "fastmatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*dataPath, *queryPath, *dataset, *base, *qname, *engine, *variant,
 		*fpgas, *delta, deltaSet, *threads, *timeout, *limit, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "fastmatch:", err)
 		os.Exit(1)
 	}
+}
+
+// loadData resolves a data-graph source: a generated dataset name (DG01,
+// DG03, …) or a graph file path. When neither resolves, both diagnostics
+// are reported — a typo'd dataset name must not masquerade as a plain
+// missing-file error.
+func loadData(source string, base int) (*graph.Graph, error) {
+	cfg, dsErr := ldbc.Dataset(source)
+	if dsErr == nil {
+		cfg.BasePersons = base
+		return ldbc.Generate(cfg), nil
+	}
+	g, err := graph.LoadFile(source)
+	if err != nil {
+		return nil, fmt.Errorf("%v (and not a dataset: %v)", err, dsErr)
+	}
+	return g, nil
+}
+
+// loadQuery resolves a query source: a benchmark name (q0…q8) or a query
+// file path, reporting both diagnostics when neither resolves.
+func loadQuery(source string) (*graph.Query, error) {
+	q, nameErr := ldbc.QueryByName(source)
+	if nameErr == nil {
+		return q, nil
+	}
+	f, err := os.Open(source)
+	if err != nil {
+		return nil, fmt.Errorf("%v (and not a benchmark query: %v)", err, nameErr)
+	}
+	defer f.Close()
+	return graph.ReadQueryText(source, f)
+}
+
+// parsePairs splits "name=value,name=value" keeping order of first
+// appearance for names.
+func parsePairs(spec string) ([][2]string, error) {
+	var out [][2]string
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || val == "" {
+			return nil, fmt.Errorf("bad name=value entry %q", part)
+		}
+		out = append(out, [2]string{name, val})
+	}
+	return out, nil
+}
+
+// runMulti serves several named graphs through one Router with a shared
+// worker budget, routes each -route query to its graph concurrently, and
+// prints per-route results plus the router's per-graph serving stats.
+func runMulti(graphsSpec, routeSpec string, base int, variant string, fpgas int,
+	delta float64, deltaSet bool, workers int, timeout time.Duration, limit int64) error {
+
+	if routeSpec == "" {
+		return fmt.Errorf("-graphs needs -route (name=query pairs to serve)")
+	}
+	graphPairs, err := parsePairs(graphsSpec)
+	if err != nil {
+		return fmt.Errorf("-graphs: %w", err)
+	}
+	routes, err := parsePairs(routeSpec)
+	if err != nil {
+		return fmt.Errorf("-route: %w", err)
+	}
+
+	r := fast.NewRouter(fast.RouterOptions{
+		Workers: workers,
+		Engine:  &fast.Options{Variant: fast.Variant(variant), NumFPGAs: fpgas, Delta: delta, DeltaSet: deltaSet},
+	})
+	for _, p := range graphPairs {
+		g, err := loadData(p[1], base)
+		if err != nil {
+			return fmt.Errorf("graph %s: %w", p[0], err)
+		}
+		if err := r.AddGraph(p[0], g, nil); err != nil {
+			return err
+		}
+		fmt.Printf("graph %s (%s): %v\n", p[0], p[1], g)
+	}
+
+	var callOpts []fast.MatchOption
+	if timeout > 0 {
+		callOpts = append(callOpts, fast.WithTimeout(timeout))
+	}
+	if limit > 0 {
+		callOpts = append(callOpts, fast.WithLimit(limit))
+	}
+
+	// Resolve every route's query before launching anything: a typo in the
+	// last route must fail cleanly, not abandon matches already in flight.
+	queries := make([]*graph.Query, len(routes))
+	for i, rt := range routes {
+		q, err := loadQuery(rt[1])
+		if err != nil {
+			return fmt.Errorf("route %s=%s: %w", rt[0], rt[1], err)
+		}
+		queries[i] = q
+	}
+
+	// All routes run concurrently — the contention the shared budget
+	// exists to bound — and print in route order once everything is done.
+	type outcome struct {
+		res *fast.Result
+		err error
+	}
+	outcomes := make([]outcome, len(routes))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, rt := range routes {
+		wg.Add(1)
+		go func(i int, name string, q *graph.Query) {
+			defer wg.Done()
+			res, err := r.MatchContext(context.Background(), name, q, callOpts...)
+			outcomes[i] = outcome{res, err}
+		}(i, rt[0], queries[i])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for i, rt := range routes {
+		o := outcomes[i]
+		switch {
+		case o.res != nil && o.err != nil:
+			fmt.Printf("route %s<-%s: %d embeddings (partial: %v)\n", rt[0], rt[1], o.res.Count, o.err)
+		case o.err != nil:
+			failed++
+			fmt.Printf("route %s<-%s: error: %v\n", rt[0], rt[1], o.err)
+		default:
+			partial := ""
+			if o.res.Partial {
+				partial = " (partial)"
+			}
+			fmt.Printf("route %s<-%s: %d embeddings%s in %v\n",
+				rt[0], rt[1], o.res.Count, partial, o.res.Total.Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("served %d routes across %d graphs in %v (budget %d workers)\n",
+		len(routes), len(graphPairs), wall.Round(time.Microsecond), r.Workers())
+
+	stats := r.Stats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := stats[name]
+		fmt.Printf("  %s: calls=%d partial=%d failed=%d plans=%d (hits=%d misses=%d)\n",
+			name, s.Calls, s.Partials, s.Failures, s.CachedPlans, s.PlanCacheHits, s.PlanCacheMisses)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d route(s) failed", failed)
+	}
+	return nil
 }
 
 func run(dataPath, queryPath, dataset string, base int, qname, engine, variant string,

@@ -368,6 +368,54 @@ func TestMatchBatchContextCancel(t *testing.T) {
 	awaitGoroutineBaseline(t, base)
 }
 
+// TestMatchBatchContextCancelledSkipsSubmission: once ctx has fired, batch
+// submission short-circuits — unstarted queries are never scheduled (no
+// goroutine per query, and their query pointers are never even inspected);
+// their slots fill with a partial zero Result and ErrCanceled. The
+// regression: a cancelled 10k-query batch still acquired the semaphore and
+// spawned one no-op goroutine per query, each of which looked at the query
+// first — so a nil entry in a cancelled batch surfaced a "nil query" error
+// instead of the cancellation.
+func TestMatchBatchContextCancelledSkipsSubmission(t *testing.T) {
+	g := engineTestGraph()
+	base := runtime.NumGoroutine()
+	eng, err := NewEngine(g, engineTestOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := ldbc.QueryByName("q1")
+	qs := make([]*graph.Query, 10_000)
+	for i := range qs {
+		qs[i] = q1
+	}
+	// The nil entry is the submission sentinel: only a goroutine that was
+	// actually scheduled would trip over it.
+	qs[5000] = nil
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := eng.MatchBatchContext(ctx, qs)
+	if err == nil {
+		t.Fatal("cancelled batch returned no error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if strings.Contains(err.Error(), "nil query") {
+		t.Error("cancelled batch still submitted queries: nil entry was inspected")
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results, want %d", len(results), len(qs))
+	}
+	for i, res := range results {
+		if res == nil || !res.Partial || res.Count != 0 {
+			t.Fatalf("results[%d] = %+v, want partial zero Result", i, res)
+		}
+	}
+	// Nothing was scheduled, so nothing can linger.
+	awaitGoroutineBaseline(t, base)
+}
+
 // TestMatchTimeoutOption: WithTimeout bounds a call's wall clock; the
 // partial result surfaces context.DeadlineExceeded.
 func TestMatchTimeoutOption(t *testing.T) {

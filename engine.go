@@ -70,6 +70,15 @@ type planEntry struct {
 // defaults to Workers so the partition producer scales with the kernel
 // fan-out it feeds. A nil opts means VariantShare on the default device.
 func NewEngine(g *graph.Graph, opts *Options) (*Engine, error) {
+	return newEngine(g, opts, nil)
+}
+
+// newEngine builds an Engine, optionally around an externally owned worker
+// pool — the Router's shared budget. With an external pool the engine does
+// not size its own: Workers defaults to the pool's capacity, and the pool is
+// installed whatever Workers is, so even a sequential engine draws its
+// kernel tokens from the shared budget instead of adding load beside it.
+func newEngine(g *graph.Graph, opts *Options, pool chan struct{}) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("fast: NewEngine: nil graph")
 	}
@@ -78,7 +87,11 @@ func NewEngine(g *graph.Graph, opts *Options) (*Engine, error) {
 	}
 	o := *opts
 	if o.Workers <= 0 {
-		o.Workers = runtime.NumCPU()
+		if pool != nil {
+			o.Workers = cap(pool)
+		} else {
+			o.Workers = runtime.NumCPU()
+		}
 	}
 	if o.PartitionWorkers == 0 {
 		o.PartitionWorkers = o.Workers
@@ -99,7 +112,11 @@ func NewEngine(g *graph.Graph, opts *Options) (*Engine, error) {
 		lru:     list.New(),
 		planCap: planCap,
 	}
-	if o.Workers > 1 {
+	switch {
+	case pool != nil:
+		e.pool = pool
+		e.cfg.Pool = pool
+	case o.Workers > 1:
 		e.pool = make(chan struct{}, o.Workers)
 		e.cfg.Pool = e.pool
 	}
@@ -150,10 +167,16 @@ func (e *Engine) MatchStream(ctx context.Context, q *graph.Query, emit func(grap
 }
 
 func (e *Engine) matchContext(ctx context.Context, q *graph.Query, emit func(graph.Embedding) error, opts []MatchOption) (*Result, error) {
+	call, err := resolveCall(opts)
+	if err != nil {
+		// An invalid per-call value fails here, before the plan cache: it
+		// must not burn a host.Prepare or occupy a cache slot for a call
+		// that can never run.
+		return nil, err
+	}
 	if q == nil {
 		return nil, fmt.Errorf("fast: Engine.Match: nil query")
 	}
-	call := resolveCall(opts)
 	ctx, cancel := call.callContext(ctx)
 	defer cancel()
 	if err := ctx.Err(); err != nil {
@@ -169,6 +192,11 @@ func (e *Engine) matchContext(ctx context.Context, q *graph.Query, emit func(gra
 	call.apply(&cfg)
 	return matchReport(host.Match(ctx, q, e.g, cfg))
 }
+
+// enginePrepare is Engine.plan's planning hook. Tests stub it to model
+// host.Prepare failures — the singleflight retry path is otherwise
+// unreachable with options NewEngine already validated.
+var enginePrepare = host.Prepare
 
 // plan returns q's cached plan, planning it (once, even under concurrent
 // first requests) on a miss. Planning runs detached from any caller's
@@ -198,7 +226,7 @@ func (e *Engine) plan(q *graph.Query) (*host.Plan, error) {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ent.plan, ent.err = host.Prepare(context.Background(), q, e.g, e.cfg)
+		ent.plan, ent.err = enginePrepare(context.Background(), q, e.g, e.cfg)
 	})
 	if ent.err != nil {
 		// Drop the failed slot so a later call can retry planning.
@@ -223,7 +251,10 @@ func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
 // producer goroutine, all sharing the engine's worker pool — and returns
 // results aligned with qs. ctx and the per-call options govern every query
 // in the batch; cancelling ctx stops all of them at their next check point,
-// so one cancelled batch does not leak goroutines.
+// so one cancelled batch does not leak goroutines. Submission itself also
+// stops: once ctx has fired, queries not yet started are never scheduled —
+// their slots are filled with a partial zero Result and the context's error
+// — so a cancelled 10k-query batch does not spawn 10k no-op goroutines.
 //
 // Every query runs to its own completion (or cancellation) regardless of
 // other queries' failures. The returned error aggregates all per-query
@@ -232,6 +263,9 @@ func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
 // MatchBatch historically returned alone) and errors.Is/As see every
 // underlying cause.
 func (e *Engine) MatchBatchContext(ctx context.Context, qs []*graph.Query, opts ...MatchOption) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*Result, len(qs))
 	errs := make([]error, len(qs))
 	// Bound in-flight queries: the shared pool already bounds kernel
@@ -244,10 +278,30 @@ func (e *Engine) MatchBatchContext(ctx context.Context, qs []*graph.Query, opts 
 		inflight = 1
 	}
 	sem := make(chan struct{}, inflight)
+	// cancelFrom marks queries the short-circuit never submitted: each gets
+	// a partial zero Result and the context's error, the same shape a
+	// submitted-then-cancelled query reports.
+	cancelFrom := func(i int) {
+		err := ctx.Err()
+		for j := i; j < len(qs); j++ {
+			results[j] = &Result{Partial: true}
+			errs[j] = err
+		}
+	}
 	var wg sync.WaitGroup
+submit:
 	for i, q := range qs {
+		if ctx.Err() != nil {
+			cancelFrom(i)
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			cancelFrom(i)
+			break submit
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, q *graph.Query) {
 			defer wg.Done()
 			defer func() { <-sem }()

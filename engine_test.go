@@ -1,10 +1,14 @@
 package fast
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fastmatch/graph"
+	"fastmatch/internal/host"
 	"fastmatch/ldbc"
 )
 
@@ -154,6 +158,78 @@ func TestEngineMatchBatch(t *testing.T) {
 	}
 	if eng.CachedPlans() != 3 {
 		t.Errorf("CachedPlans = %d, want 3", eng.CachedPlans())
+	}
+}
+
+// TestEnginePlanFailureRetry: a host.Prepare failure must drop the
+// singleflight slot so a later call retries — under concurrent first
+// requests racing the failing Prepare. Every caller of the failing wave
+// shares the one error (one Prepare run, not N), no slot stays poisoned,
+// and the retry plans again and serves the right count. Prepare failures
+// are unreachable with options NewEngine validates, so the planning hook is
+// stubbed.
+func TestEnginePlanFailureRetry(t *testing.T) {
+	injected := errors.New("injected prepare failure")
+	var prepares atomic.Int64
+	enginePrepare = func(ctx context.Context, q *graph.Query, g *graph.Graph, cfg host.Config) (*host.Plan, error) {
+		if prepares.Add(1) == 1 {
+			return nil, injected
+		}
+		return host.Prepare(ctx, q, g, cfg)
+	}
+	defer func() { enginePrepare = host.Prepare }()
+
+	g := engineTestGraph()
+	eng, err := NewEngine(g, engineTestOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ldbc.QueryByName("q1")
+	want, err := Match(q, g, engineTestOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First wave: concurrent first requests all race the one failing
+	// Prepare. Whoever joins the failed slot must see the injected error;
+	// whoever arrives after the slot was dropped may already succeed on the
+	// retry path.
+	const callers = 8
+	var wg sync.WaitGroup
+	var failed, succeeded atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := eng.Match(q)
+			switch {
+			case errors.Is(err, injected):
+				failed.Add(1)
+			case err == nil && res.Count == want.Count:
+				succeeded.Add(1)
+			default:
+				t.Errorf("unexpected outcome: res=%+v err=%v", res, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() == 0 {
+		t.Fatal("no caller observed the injected Prepare failure")
+	}
+
+	// The failed slot must be gone: a later call retries and succeeds.
+	res, err := eng.Match(q)
+	if err != nil {
+		t.Fatalf("retry after Prepare failure: %v", err)
+	}
+	if res.Count != want.Count {
+		t.Errorf("retry count %d, want %d", res.Count, want.Count)
+	}
+	if eng.CachedPlans() != 1 {
+		t.Errorf("CachedPlans = %d after retry, want 1", eng.CachedPlans())
+	}
+	if got := prepares.Load(); got != 2 {
+		t.Errorf("Prepare ran %d times, want 2 (one shared failure, one retry)", got)
 	}
 }
 

@@ -50,6 +50,25 @@
 // between kernel batch rounds, between δ-share embeddings — and returns
 // the partial Result (Partial set) with ErrCanceled or
 // context.DeadlineExceeded.
+//
+// # Multi-graph serving
+//
+// To serve several data graphs — multiple tenants, or one corpus sharded
+// into named graphs — construct a Router: a registry of named graphs, each
+// behind a lazily built Engine, all drawing kernel work from one shared
+// worker budget, so N graphs cannot oversubscribe the host the way N
+// independent engines would. Per-graph default MatchOptions are the tenant
+// SLO (a standing limit or deadline, overridable per call — WithLimit(0)
+// lifts a default limit), and SwapGraph hot-swaps a graph atomically:
+// in-flight matches finish on the old graph and its cached plans, new
+// calls see the new graph behind a fresh plan cache:
+//
+//	router := fast.NewRouter(fast.RouterOptions{Workers: 8})
+//	router.AddGraph("acme", acmeGraph, nil)
+//	router.AddGraph("globex", globexGraph, nil, fast.WithLimit(1000))
+//	res, err := router.MatchContext(ctx, "acme", q)
+//	router.SwapGraph("globex", reingested) // atomic; traffic keeps flowing
+//	stats := router.Stats()                // per-graph calls, partials, plan cache
 package fast
 
 import (
@@ -202,6 +221,13 @@ func (o *Options) hostConfig() (host.Config, error) {
 		return host.Config{}, err
 	}
 	if o.DeltaSet || o.Delta > 0 {
+		// Range-check the engine-level override here, where NewEngine and
+		// Router.AddGraph validate, so a bad δ fails at construction or
+		// registration — not as a host: error after a query has already
+		// burned a Prepare and a plan-cache slot.
+		if o.Delta < 0 || o.Delta >= 1 {
+			return host.Config{}, fmt.Errorf("fast: Options.Delta %v outside [0,1)", o.Delta)
+		}
 		delta = o.Delta
 	}
 	cfg := host.Config{
@@ -274,11 +300,14 @@ func MatchContext(ctx context.Context, q *graph.Query, g *graph.Graph, opts *Opt
 	if opts == nil {
 		opts = &Options{Variant: VariantShare}
 	}
+	call, err := resolveCall(callOpts)
+	if err != nil {
+		return nil, err
+	}
 	cfg, err := opts.hostConfig()
 	if err != nil {
 		return nil, err
 	}
-	call := resolveCall(callOpts)
 	call.apply(&cfg)
 	ctx, cancel := call.callContext(ctx)
 	defer cancel()

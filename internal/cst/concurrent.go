@@ -250,16 +250,21 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 			computeNode(child, cur, index+1)
 			return
 		}
-		n.children = make([]*onode, k)
-		for i := range n.children {
-			n.children[i] = &onode{ready: make(chan struct{})}
+		// Work from a local snapshot of the children: once ready closes, the
+		// n.children field belongs to the drain, which nils it after its
+		// visit — without waiting for speculating workers — so no compute
+		// path may touch the field (or index through it) past this point.
+		children := make([]*onode, k)
+		for i := range children {
+			children[i] = &onode{ready: make(chan struct{})}
 		}
+		n.children = children
 		close(n.ready)
 		for i := 1; i < k; i++ {
-			i := i
-			pool.push(func() { computeChunk(n.children[i], cur, index, i, k) })
+			child, i := children[i], i
+			pool.push(func() { computeChunk(child, cur, index, i, k) })
 		}
-		computeChunk(n.children[0], cur, index, 0, k)
+		computeChunk(children[0], cur, index, 0, k)
 	}
 	computeChunk = func(n *onode, cur *CST, index, i, k int) {
 		if cfg.cancelled() {

@@ -24,6 +24,8 @@ type runControl struct {
 	limit       int64
 	taken       atomic.Int64
 	stopped     atomic.Bool
+	stopCh      chan struct{} // closed by halt; lets blocked waits observe non-ctx stops
+	stopOnce    sync.Once
 	interrupted atomic.Bool // the context fired while work remained
 
 	emitMu  sync.Mutex
@@ -32,12 +34,20 @@ type runControl struct {
 }
 
 func newRunControl(ctx context.Context, cfg Config) *runControl {
-	ct := &runControl{limit: cfg.Limit, emit: cfg.Emit}
+	ct := &runControl{limit: cfg.Limit, emit: cfg.Emit, stopCh: make(chan struct{})}
 	if ctx != nil {
 		ct.done = ctx.Done()
 		ct.ctxErr = ctx.Err
 	}
 	return ct
+}
+
+// halt records that the run stopped — context, limit or emit failure — and
+// closes stopCh so goroutines blocked in a select (a pool acquire) observe
+// stops that have no context channel behind them.
+func (ct *runControl) halt() {
+	ct.stopped.Store(true)
+	ct.stopOnce.Do(func() { close(ct.stopCh) })
 }
 
 // active reports whether any per-call feature needs the pipeline hooks
@@ -57,7 +67,7 @@ func (ct *runControl) cancelled() bool {
 		select {
 		case <-ct.done:
 			ct.interrupted.Store(true)
-			ct.stopped.Store(true)
+			ct.halt()
 			return true
 		default:
 		}
@@ -74,10 +84,30 @@ func (ct *runControl) take() bool {
 		return false
 	}
 	if ct.limit > 0 && ct.taken.Add(1) > ct.limit {
-		ct.stopped.Store(true)
+		ct.halt()
 		return false
 	}
 	return true
+}
+
+// acquirePool takes one token from a shared worker pool, abandoning the
+// wait if the run stops first — the context firing, the limit filling, or
+// the stream callback failing. On a saturated multi-tenant budget a call
+// whose work is already over must return promptly, not queue behind other
+// tenants' kernel runs. Returns false when the run stopped. With neither
+// stop source armed (done nil, stopCh never closed — a plain Match) the
+// select reduces to the blocking send.
+func (ct *runControl) acquirePool(pool chan struct{}) bool {
+	select {
+	case pool <- struct{}{}:
+		return true
+	case <-ct.done:
+		ct.interrupted.Store(true)
+		ct.halt()
+		return false
+	case <-ct.stopCh:
+		return false
+	}
 }
 
 // send streams one embedding to the caller. Calls are serialized — the
@@ -94,7 +124,7 @@ func (ct *runControl) send(e graph.Embedding) bool {
 	}
 	if err := ct.emit(e); err != nil {
 		ct.emitErr = err
-		ct.stopped.Store(true)
+		ct.halt()
 		return false
 	}
 	return true

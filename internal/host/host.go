@@ -414,7 +414,18 @@ func matchSequential(cfg Config, ct *runControl, rep *Report, c *cst.CST, o orde
 			return
 		}
 		transfer[best] += dur
+		// A shared Pool bounds kernel work across Match calls; the
+		// sequential pipeline holds one token per kernel run so a
+		// Workers<=1 engine behind a multi-tenant front end draws from the
+		// same budget as the fanned-out ones instead of adding load beside
+		// it. Without a Pool this is the original path, untouched.
+		if cfg.Pool != nil && !ct.acquirePool(cfg.Pool) {
+			return // cancelled while queued behind other tenants
+		}
 		res, err := core.Run(p, o, kopts)
+		if cfg.Pool != nil {
+			<-cfg.Pool
+		}
 		if err != nil {
 			kernErr = err
 			return
@@ -594,8 +605,11 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 				if halted() {
 					continue
 				}
-				if cfg.Pool != nil {
-					cfg.Pool <- struct{}{}
+				// Same cancellable acquire as the sequential path: a
+				// deadlined call must not queue behind other tenants on a
+				// saturated shared budget.
+				if cfg.Pool != nil && !ct.acquirePool(cfg.Pool) {
+					continue
 				}
 				dev, err := stage(p)
 				if err != nil {

@@ -1,0 +1,363 @@
+package fast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fastmatch/graph"
+)
+
+// ErrUnknownGraph reports a Router call naming a graph that is not (or no
+// longer) registered. Errors returned by the Router wrap it, so
+// errors.Is(err, ErrUnknownGraph) identifies routing misses regardless of
+// the message.
+var ErrUnknownGraph = errors.New("unknown graph")
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Workers is the global kernel-work budget: one token bucket of this
+	// size is shared by every graph's engine, so N graphs serving traffic
+	// at once cannot oversubscribe the host the way N independent engines
+	// (each sized to the machine) would. 0 means runtime.NumCPU().
+	Workers int
+	// Engine is the default engine Options template for graphs added with
+	// a nil per-graph *Options. nil means VariantShare on the default
+	// device. Workers/PartitionWorkers left zero default to the router's
+	// shared budget size.
+	Engine *Options
+}
+
+// Router is a multi-graph serving front end: a registry of named data
+// graphs, each backed by a lazily constructed Engine, all drawing kernel
+// work from one shared worker budget. It is the multi-tenant shape the
+// paper's host/coordinator role scales to — per-tenant SLOs ride on the
+// per-call option surface (default MatchOptions per graph, overridable per
+// call), and graphs can be added, removed and hot-swapped while traffic is
+// in flight.
+//
+// A Router is safe for concurrent use. SwapGraph is atomic: calls that
+// already resolved the name finish on the old graph and its cached plans;
+// calls that resolve after the swap see the new graph with a fresh plan
+// cache. Counts stay deterministic per graph regardless of how many tenants
+// run concurrently — the budget changes scheduling, never results.
+type Router struct {
+	workers int
+	pool    chan struct{}
+	tmpl    *Options
+
+	mu     sync.RWMutex
+	graphs map[string]*routerGraph
+}
+
+// routerGraph is one named tenant: its engine options (fixed at AddGraph),
+// resolved default call options, counters that survive SwapGraph, and the
+// current serving state, which SwapGraph replaces wholesale.
+type routerGraph struct {
+	opts     *Options
+	defaults callOptions
+	counters *graphCounters
+	state    *graphState // replaced by SwapGraph under Router.mu
+}
+
+// graphState binds one data graph to its lazily built Engine. In-flight
+// matches hold the state they resolved, so a swap never yanks a graph or a
+// plan out from under a running call.
+type graphState struct {
+	g    *graph.Graph
+	once sync.Once
+	eng  atomic.Pointer[Engine]
+	err  error // set by once; read only after once.Do returns
+}
+
+// engine returns the state's Engine, building it on first use. Construction
+// is a singleflight: concurrent first calls share one build.
+func (st *graphState) engine(opts *Options, pool chan struct{}) (*Engine, error) {
+	st.once.Do(func() {
+		eng, err := newEngine(st.g, opts, pool)
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.eng.Store(eng)
+	})
+	if st.err != nil {
+		return nil, st.err
+	}
+	return st.eng.Load(), nil
+}
+
+// graphCounters aggregates one tenant's serving history across swaps.
+type graphCounters struct {
+	calls        atomic.Int64
+	partials     atomic.Int64
+	failures     atomic.Int64
+	kernelAborts atomic.Int64
+	swaps        atomic.Int64
+}
+
+// record tallies one routed call. A hard failure yields no Result; a call
+// cut short by a limit, deadline or cancellation keeps its partial Result
+// and counts as a Partial, not a Failure — a tenant whose SLO fires on
+// every query is being served as designed, and the batch path (which has
+// only the nil-result signal) counts the same way.
+func (c *graphCounters) record(res *Result, err error) {
+	c.calls.Add(1)
+	if res == nil {
+		if err != nil {
+			c.failures.Add(1)
+		}
+		return
+	}
+	if res.Partial {
+		c.partials.Add(1)
+	}
+	c.kernelAborts.Add(int64(res.KernelAborts))
+}
+
+// GraphStats is one graph's slice of Router.Stats: serving counters
+// accumulated across swaps, plus the current engine's plan-cache state
+// (zero until the first match builds the engine; reset by SwapGraph, which
+// rotates the plan cache with the graph).
+type GraphStats struct {
+	// Calls counts every routed match (batch queries count individually);
+	// Partials those that returned a partial Result (limit, deadline or
+	// cancellation — an SLO firing is service, not failure), Failures those
+	// that failed outright with no Result, and KernelAborts the modelled
+	// kernel executions cancellation threw away.
+	Calls, Partials, Failures, KernelAborts int64
+	// Swaps counts SwapGraph replacements since AddGraph.
+	Swaps int64
+	// Plan-cache state of the graph's current engine.
+	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions int64
+	CachedPlans                                        int
+}
+
+// NewRouter creates an empty Router with its shared worker budget.
+func NewRouter(opts RouterOptions) *Router {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return &Router{
+		workers: w,
+		pool:    make(chan struct{}, w),
+		tmpl:    opts.Engine,
+		graphs:  make(map[string]*routerGraph),
+	}
+}
+
+// Workers returns the size of the shared worker budget.
+func (r *Router) Workers() int { return r.workers }
+
+// AddGraph registers g under name. opts configures the graph's engine (nil
+// means the router's Engine template, else the package default); Workers
+// and PartitionWorkers left zero default to the shared budget size, and the
+// engine always draws its kernel tokens from the router's budget whatever
+// they are set to. defaults are the graph's standing MatchOptions — the
+// tenant's SLO, e.g. WithLimit/WithTimeout — applied under any per-call
+// overrides (an explicit WithLimit(0) lifts a default limit; a default
+// timeout can only be tightened, not lifted).
+//
+// The engine itself is built lazily on the first match, so registering many
+// graphs is cheap. AddGraph fails if name is already registered — use
+// SwapGraph to replace a graph in place.
+func (r *Router) AddGraph(name string, g *graph.Graph, opts *Options, defaults ...MatchOption) error {
+	if name == "" {
+		return fmt.Errorf("fast: Router.AddGraph: empty graph name")
+	}
+	if g == nil {
+		return fmt.Errorf("fast: Router.AddGraph %q: nil graph", name)
+	}
+	def, err := resolveCall(defaults)
+	if err != nil {
+		return fmt.Errorf("fast: Router.AddGraph %q: invalid defaults: %w", name, err)
+	}
+	o := r.engineOptions(opts)
+	// Surface a bad variant or device now, at registration, not as a
+	// surprise on the tenant's first query.
+	if _, err := o.hostConfig(); err != nil {
+		return fmt.Errorf("fast: Router.AddGraph %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return fmt.Errorf("fast: Router.AddGraph: graph %q already registered (use SwapGraph to replace it)", name)
+	}
+	r.graphs[name] = &routerGraph{
+		opts:     o,
+		defaults: def,
+		counters: &graphCounters{},
+		state:    &graphState{g: g},
+	}
+	return nil
+}
+
+// engineOptions resolves the per-graph engine options: an explicit opts
+// wins, else the router's template, else the package default — copied, so
+// later mutation by the caller cannot leak into the registry — with zero
+// Workers defaulting to the shared budget size (newEngine derives that from
+// the pool's capacity).
+func (r *Router) engineOptions(opts *Options) *Options {
+	var o Options
+	switch {
+	case opts != nil:
+		o = *opts
+	case r.tmpl != nil:
+		o = *r.tmpl
+	default:
+		o = Options{Variant: VariantShare}
+	}
+	return &o
+}
+
+// RemoveGraph unregisters name. Calls that already resolved the name finish
+// on the removed graph; new calls fail with ErrUnknownGraph.
+func (r *Router) RemoveGraph(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; !ok {
+		return fmt.Errorf("fast: Router.RemoveGraph %q: %w", name, ErrUnknownGraph)
+	}
+	delete(r.graphs, name)
+	return nil
+}
+
+// SwapGraph atomically replaces name's data graph: in-flight matches finish
+// on the old graph and its cached plans, calls that resolve after the swap
+// see g behind a fresh engine — the plan cache rotates with the graph, so
+// no plan built over the old graph can ever serve the new one. The graph's
+// engine options, default MatchOptions and counters carry over.
+func (r *Router) SwapGraph(name string, g *graph.Graph) error {
+	if g == nil {
+		return fmt.Errorf("fast: Router.SwapGraph %q: nil graph", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ent, ok := r.graphs[name]
+	if !ok {
+		return fmt.Errorf("fast: Router.SwapGraph %q: %w", name, ErrUnknownGraph)
+	}
+	ent.state = &graphState{g: g}
+	ent.counters.swaps.Add(1)
+	return nil
+}
+
+// Graphs lists the registered graph names, sorted.
+func (r *Router) Graphs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.graphs))
+	for name := range r.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolve snapshots a graph's serving state and merges the call's options
+// over its defaults. The snapshot is what makes SwapGraph atomic: the
+// returned state keeps serving this call even if the registry moves on.
+func (r *Router) resolve(method, name string, opts []MatchOption) (*routerGraph, *graphState, MatchOption, error) {
+	call, err := resolveCall(opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r.mu.RLock()
+	ent, ok := r.graphs[name]
+	var st *graphState
+	if ok {
+		st = ent.state
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("fast: Router.%s %q: %w", method, name, ErrUnknownGraph)
+	}
+	return ent, st, call.over(ent.defaults).asOption(), nil
+}
+
+// MatchContext routes one match to the named graph, under the graph's
+// default options with the call's laid on top. Cancellation and budget
+// semantics are Engine.MatchContext's.
+func (r *Router) MatchContext(ctx context.Context, graphName string, q *graph.Query, opts ...MatchOption) (*Result, error) {
+	ent, st, call, err := r.resolve("MatchContext", graphName, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := st.engine(ent.opts, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.MatchContext(ctx, q, call)
+	ent.counters.record(res, err)
+	return res, err
+}
+
+// MatchStream routes a streaming match to the named graph; semantics are
+// Engine.MatchStream's under the graph's default options.
+func (r *Router) MatchStream(ctx context.Context, graphName string, q *graph.Query, emit func(graph.Embedding) error, opts ...MatchOption) (*Result, error) {
+	ent, st, call, err := r.resolve("MatchStream", graphName, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := st.engine(ent.opts, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.MatchStream(ctx, q, emit, call)
+	ent.counters.record(res, err)
+	return res, err
+}
+
+// MatchBatchContext routes a whole batch to the named graph; semantics are
+// Engine.MatchBatchContext's (aligned results, errors.Join aggregate,
+// submission short-circuits once ctx fires), with the graph's defaults
+// under every query's options. Each query counts as one call in Stats.
+func (r *Router) MatchBatchContext(ctx context.Context, graphName string, qs []*graph.Query, opts ...MatchOption) ([]*Result, error) {
+	ent, st, call, err := r.resolve("MatchBatchContext", graphName, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := st.engine(ent.opts, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	results, err := eng.MatchBatchContext(ctx, qs, call)
+	// The aggregate error is not attributable per query, but record only
+	// consults it for hard failures (nil Result) — and any nil result
+	// guarantees the errors.Join aggregate is non-nil.
+	for _, res := range results {
+		ent.counters.record(res, err)
+	}
+	return results, err
+}
+
+// Stats reports every registered graph's serving counters and its current
+// engine's plan-cache state. The map is a copy; mutating it is safe.
+func (r *Router) Stats() map[string]GraphStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]GraphStats, len(r.graphs))
+	for name, ent := range r.graphs {
+		s := GraphStats{
+			Calls:        ent.counters.calls.Load(),
+			Partials:     ent.counters.partials.Load(),
+			Failures:     ent.counters.failures.Load(),
+			KernelAborts: ent.counters.kernelAborts.Load(),
+			Swaps:        ent.counters.swaps.Load(),
+		}
+		// The engine pointer is set exactly once per state; a nil load means
+		// no match has reached this graph since it was added or swapped.
+		if eng := ent.state.eng.Load(); eng != nil {
+			s.PlanCacheHits, s.PlanCacheMisses = eng.PlanCacheStats()
+			s.PlanCacheEvictions = eng.PlanCacheEvictions()
+			s.CachedPlans = eng.CachedPlans()
+		}
+		out[name] = s
+	}
+	return out
+}

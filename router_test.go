@@ -1,0 +1,520 @@
+package fast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+func routerTestGraphs() (*graph.Graph, *graph.Graph) {
+	a := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 120, Seed: 7})
+	b := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 90, Seed: 9})
+	return a, b
+}
+
+// routerWant computes the sequential one-shot reference count for (q, g)
+// with the same engine options the router's graphs use.
+func routerWant(t *testing.T, q *graph.Query, g *graph.Graph) int64 {
+	t.Helper()
+	res, err := Match(q, g, engineTestOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Count
+}
+
+// TestRouterServesMultipleGraphs: two graphs behind one router, hammered
+// concurrently under the shared budget, must each report their own
+// sequential counts — per-graph determinism is the serving contract.
+func TestRouterServesMultipleGraphs(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 4, Engine: engineTestOptions(2)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddGraph("b", gB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Graphs(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Graphs() = %v, want [a b]", got)
+	}
+
+	names := []string{"q1", "q2", "q3"}
+	want := map[string]map[string]int64{"a": {}, "b": {}}
+	for _, name := range names {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want["a"][name] = routerWant(t, q, gA)
+		want["b"][name] = routerWant(t, q, gB)
+	}
+
+	const goroutines = 6
+	const rounds = 3
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := []string{"a", "b"}[i%2]
+			for r2 := 0; r2 < rounds; r2++ {
+				name := names[(i+r2)%len(names)]
+				q, err := ldbc.QueryByName(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := r.MatchContext(context.Background(), tenant, q)
+				if err != nil {
+					t.Errorf("tenant %s %s: %v", tenant, name, err)
+					return
+				}
+				if res.Count != want[tenant][name] {
+					t.Errorf("tenant %s %s: count %d, want %d", tenant, name, res.Count, want[tenant][name])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	stats := r.Stats()
+	for _, tenant := range []string{"a", "b"} {
+		s := stats[tenant]
+		if s.Calls != goroutines/2*rounds {
+			t.Errorf("tenant %s: Calls = %d, want %d", tenant, s.Calls, goroutines/2*rounds)
+		}
+		if s.Failures != 0 || s.Partials != 0 {
+			t.Errorf("tenant %s: unexpected failures/partials: %+v", tenant, s)
+		}
+		if s.CachedPlans != len(names) {
+			t.Errorf("tenant %s: CachedPlans = %d, want %d", tenant, s.CachedPlans, len(names))
+		}
+		if s.PlanCacheHits+s.PlanCacheMisses != s.Calls {
+			t.Errorf("tenant %s: hits+misses = %d, want %d calls", tenant, s.PlanCacheHits+s.PlanCacheMisses, s.Calls)
+		}
+	}
+}
+
+// TestRouterBatch: a routed batch keeps results aligned and counts each
+// query as one call in the graph's counters.
+func TestRouterBatch(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 4, Engine: engineTestOptions(2)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"q1", "q2", "q1"}
+	qs := make([]*graph.Query, len(names))
+	for i, name := range names {
+		q, err := ldbc.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	results, err := r.MatchBatchContext(context.Background(), "a", qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if want := routerWant(t, qs[i], gA); res.Count != want {
+			t.Errorf("batch[%d] (%s): count %d, want %d", i, names[i], res.Count, want)
+		}
+	}
+	if s := r.Stats()["a"]; s.Calls != int64(len(qs)) {
+		t.Errorf("Calls = %d, want %d (one per batch query)", s.Calls, len(qs))
+	}
+}
+
+// TestRouterUnknownGraphAndRegistry: routing misses wrap ErrUnknownGraph,
+// duplicate AddGraph fails, RemoveGraph makes a name unroutable, and
+// invalid registrations (nil graph, empty name, bad defaults, bad variant)
+// are rejected at AddGraph time.
+func TestRouterUnknownGraphAndRegistry(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2})
+	q, _ := ldbc.QueryByName("q1")
+
+	if _, err := r.MatchContext(context.Background(), "ghost", q); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("MatchContext on unregistered graph: err = %v, want ErrUnknownGraph", err)
+	}
+	if err := r.SwapGraph("ghost", gA); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("SwapGraph: err = %v, want ErrUnknownGraph", err)
+	}
+	if err := r.RemoveGraph("ghost"); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("RemoveGraph: err = %v, want ErrUnknownGraph", err)
+	}
+
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddGraph("a", gB, nil); err == nil {
+		t.Error("duplicate AddGraph succeeded, want error")
+	}
+	if err := r.AddGraph("", gA, nil); err == nil {
+		t.Error("empty graph name accepted")
+	}
+	if err := r.AddGraph("nilg", nil, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if err := r.AddGraph("badv", gA, &Options{Variant: "no-such-variant"}); err == nil {
+		t.Error("bad engine variant accepted at AddGraph")
+	}
+	if err := r.AddGraph("badd", gA, nil, WithDelta(1.5)); err == nil {
+		t.Error("invalid tenant default delta accepted at AddGraph")
+	}
+	if err := r.AddGraph("bade", gA, &Options{Delta: 1.5}); err == nil {
+		t.Error("invalid engine-level delta accepted at AddGraph")
+	}
+	if _, err := NewEngine(gA, &Options{Delta: 1.5}); err == nil {
+		t.Error("invalid engine-level delta accepted by NewEngine")
+	}
+
+	if err := r.RemoveGraph("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MatchContext(context.Background(), "a", q); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("MatchContext after RemoveGraph: err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+// TestRouterSwapGraph: a swap is atomic — the in-flight stream that
+// resolved before the swap finishes with the old graph's count, the call
+// made after it sees the new graph's count, and the plan cache rotates
+// (fresh engine, zero cached plans) while the tenant's counters carry over.
+func TestRouterSwapGraph(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	q, _ := ldbc.QueryByName("q2")
+	wantA := routerWant(t, q, gA)
+	wantB := routerWant(t, q, gB)
+
+	r := NewRouter(RouterOptions{Workers: 4, Engine: engineTestOptions(2)})
+	if err := r.AddGraph("t", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache so the rotation below is observable.
+	if res, err := r.MatchContext(context.Background(), "t", q); err != nil || res.Count != wantA {
+		t.Fatalf("warm-up: count %v err %v, want %d", res, err, wantA)
+	}
+	if s := r.Stats()["t"]; s.CachedPlans != 1 {
+		t.Fatalf("CachedPlans = %d before swap, want 1", s.CachedPlans)
+	}
+
+	// Swap from inside the stream's emit callback: the stream is then
+	// provably in flight when the registry moves on, and must still finish
+	// on the old graph and its plans.
+	swapped := false
+	res, err := r.MatchStream(context.Background(), "t", q, func(graph.Embedding) error {
+		if !swapped {
+			swapped = true
+			if err := r.SwapGraph("t", gB); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Fatal("stream produced no embeddings; swap never exercised mid-flight")
+	}
+	if res.Count != wantA {
+		t.Errorf("in-flight stream count %d, want old graph's %d", res.Count, wantA)
+	}
+
+	// The next call resolves the new state: new graph, fresh plan cache.
+	res, err = r.MatchContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != wantB {
+		t.Errorf("post-swap count %d, want new graph's %d", res.Count, wantB)
+	}
+	s := r.Stats()["t"]
+	if s.Swaps != 1 {
+		t.Errorf("Swaps = %d, want 1", s.Swaps)
+	}
+	if s.CachedPlans != 1 || s.PlanCacheMisses != 1 || s.PlanCacheHits != 0 {
+		t.Errorf("plan cache did not rotate with the swap: %+v", s)
+	}
+	if s.Calls != 3 {
+		t.Errorf("Calls = %d, want 3 (counters survive the swap)", s.Calls)
+	}
+}
+
+// TestRouterDefaultsAndOverrides: a graph's default MatchOptions are the
+// tenant SLO — applied when the caller says nothing, sitting under any
+// per-call overrides, with WithLimit(0) lifting a default limit back to
+// unlimited (the set-flag regression this PR fixes).
+func TestRouterDefaultsAndOverrides(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	q, _ := ldbc.QueryByName("q2")
+	total := routerWant(t, q, gA)
+	if total < 10 {
+		t.Skipf("q2 count %d too small to exercise limits", total)
+	}
+
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(2)})
+	if err := r.AddGraph("t", gA, nil, WithLimit(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default applies untouched.
+	res, err := r.MatchContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 5 || !res.Partial {
+		t.Errorf("default limit: count %d partial %v, want 5/true", res.Count, res.Partial)
+	}
+	// A tighter per-call limit wins.
+	res, err = r.MatchContext(context.Background(), "t", q, WithLimit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 {
+		t.Errorf("override limit: count %d, want 3", res.Count)
+	}
+	// WithLimit(0) lifts the default entirely — the previously
+	// inexpressible override.
+	res, err = r.MatchContext(context.Background(), "t", q, WithLimit(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != total || res.Partial {
+		t.Errorf("WithLimit(0): count %d partial %v, want full %d", res.Count, res.Partial, total)
+	}
+
+	// A default timeout is an SLO ceiling: it fires when the caller says
+	// nothing, and neither WithTimeout(0) nor a more generous WithTimeout
+	// lifts it — callers can only tighten a tenant deadline.
+	if err := r.AddGraph("slo", gA, nil, WithTimeout(time.Nanosecond)); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]MatchOption{nil, {WithTimeout(0)}, {WithTimeout(time.Hour)}} {
+		res, err = r.MatchContext(context.Background(), "slo", q, opts...)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("opts %v: err = %v, want DeadlineExceeded from the tenant SLO", opts, err)
+		}
+		if res == nil || !res.Partial {
+			t.Errorf("opts %v: result %+v, want partial", opts, res)
+		}
+	}
+	// An SLO firing is service, not failure: every deadline cut above
+	// counts as a Partial, none as a Failure.
+	if s := r.Stats()["slo"]; s.Failures != 0 || s.Partials != s.Calls {
+		t.Errorf("SLO stats = %+v, want 0 failures and all calls partial", s)
+	}
+
+	// An invalid per-call option fails before any planning.
+	if _, err := r.MatchContext(context.Background(), "t", q, WithDelta(2)); err == nil {
+		t.Error("invalid per-call delta accepted by the router")
+	}
+}
+
+// TestRouterSharedBudgetDeterminism: simultaneous traffic on every graph,
+// all drawing from one small shared budget, must not change any graph's
+// counts — the budget schedules work, it never alters results.
+func TestRouterSharedBudgetDeterminism(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(3)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddGraph("b", gB, nil); err != nil {
+		t.Fatal(err)
+	}
+	q5, _ := ldbc.QueryByName("q5")
+	q2, _ := ldbc.QueryByName("q2")
+	want := map[string]map[string]int64{
+		"a": {"q5": routerWant(t, q5, gA), "q2": routerWant(t, q2, gA)},
+		"b": {"q5": routerWant(t, q5, gB), "q2": routerWant(t, q2, gB)},
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := []string{"a", "b"}[i%2]
+			q, name := q5, "q5"
+			if i%4 >= 2 {
+				q, name = q2, "q2"
+			}
+			res, err := r.MatchContext(context.Background(), tenant, q)
+			if err != nil {
+				t.Errorf("tenant %s %s: %v", tenant, name, err)
+				return
+			}
+			if res.Count != want[tenant][name] {
+				t.Errorf("tenant %s %s under contention: count %d, want %d",
+					tenant, name, res.Count, want[tenant][name])
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestRouterDeadlineNotStarvedBySaturatedBudget: a tenant holding the
+// budget's only token (blocked inside a kernel run's emit callback) must
+// not stall another tenant's deadlined call past its budget — the pool
+// acquire abandons the wait when the context fires. Before the cancellable
+// acquire this scenario deadlocked: the victim queued on the pool forever
+// while the hog waited for the victim to finish.
+func TestRouterDeadlineNotStarvedBySaturatedBudget(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 1, Engine: engineTestOptions(1)})
+	if err := r.AddGraph("hog", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddGraph("victim", gB, nil); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ldbc.QueryByName("q2")
+
+	hold := make(chan struct{}, 1)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The hog's first embedding arrives from inside a kernel run, while
+		// the engine holds the shared budget's only token; blocking there
+		// keeps the budget saturated until release.
+		_, _ = r.MatchStream(context.Background(), "hog", q, func(graph.Embedding) error {
+			select {
+			case hold <- struct{}{}:
+			default:
+			}
+			<-release
+			return errors.New("done hogging")
+		})
+	}()
+	<-hold
+
+	start := time.Now()
+	res, err := r.MatchContext(context.Background(), "victim", q, WithTimeout(50*time.Millisecond))
+	elapsed := time.Since(start)
+	close(release)
+	<-done
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("result = %+v, want partial", res)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadlined call took %v to give up on the saturated budget", elapsed)
+	}
+}
+
+// TestRouterConcurrentAddSwapRemove races registry mutation against live
+// traffic (run under -race in CI): every match either fails with
+// ErrUnknownGraph (the graph was momentarily removed) or reports one of the
+// two graphs' exact counts — never a torn or mixed result.
+func TestRouterConcurrentAddSwapRemove(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	q, _ := ldbc.QueryByName("q1")
+	wantA := routerWant(t, q, gA)
+	wantB := routerWant(t, q, gB)
+
+	r := NewRouter(RouterOptions{Workers: 4, Engine: engineTestOptions(2)})
+	if err := r.AddGraph("t", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				_ = r.SwapGraph("t", gB)
+			case 1:
+				_ = r.SwapGraph("t", gA)
+			case 2:
+				_ = r.RemoveGraph("t")
+			case 3:
+				_ = r.AddGraph("t", gA, nil)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 12; j++ {
+				res, err := r.MatchContext(context.Background(), "t", q)
+				if err != nil {
+					if !errors.Is(err, ErrUnknownGraph) {
+						t.Errorf("worker %d: unexpected error: %v", w, err)
+					}
+					continue
+				}
+				if res.Count != wantA && res.Count != wantB {
+					t.Errorf("worker %d: count %d, want %d or %d", w, res.Count, wantA, wantB)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	mutWG.Wait()
+
+	// The registry is still coherent afterwards: if "t" survived the last
+	// mutation it must serve exact counts; fresh adds always work.
+	if err := r.AddGraph("post", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.MatchContext(context.Background(), "post", q)
+	if err != nil || res.Count != wantA {
+		t.Fatalf("post-race add: count %v err %v, want %d", res, err, wantA)
+	}
+}
+
+// TestRouterLazyEngines: registration builds no engine — Stats stays all
+// zero until the first match reaches a graph.
+func TestRouterLazyEngines(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2})
+	for i := 0; i < 8; i++ {
+		if err := r.AddGraph(fmt.Sprintf("g%d", i), gA, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.AddGraph("live", gB, nil); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ldbc.QueryByName("q1")
+	if _, err := r.MatchContext(context.Background(), "live", q); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range r.Stats() {
+		if name == "live" {
+			if s.PlanCacheMisses != 1 || s.CachedPlans != 1 {
+				t.Errorf("live graph stats wrong: %+v", s)
+			}
+			continue
+		}
+		if s != (GraphStats{}) {
+			t.Errorf("idle graph %s has non-zero stats %+v — engine built eagerly?", name, s)
+		}
+	}
+}
