@@ -11,6 +11,7 @@
 //	fastbench -bench -workers 4 -pworkers 1 -json serial-producer.json
 //	fastbench -bench -workers 1,2 -limits 0,1000 -mtimeout 30s -json bench.json
 //	fastbench -bench -workers 1 -reps 1 -compare BENCH_pr3.json
+//	fastbench -bench -workers 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each experiment prints one or more aligned text tables; EXPERIMENTS.md
 // maps them back to the paper's figures and records the expected shapes.
@@ -25,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,8 +57,26 @@ func main() {
 		sf       = flag.Float64("sf", 1, "LDBC scale factor (bench mode)")
 		jsonOut  = flag.String("json", "", "write bench JSON to file instead of stdout (bench mode)")
 		compare  = flag.String("compare", "", "previous BENCH_*.json: fail on count drift in shared sweep cells (bench mode)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	// Profiling wraps both modes so perf PRs can attach pprof evidence from
+	// the exact workload they claim to speed up. stop() flushes the CPU
+	// profile and writes the heap profile; exit routes every error path
+	// through it because os.Exit skips deferred calls.
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastbench:", err)
+		os.Exit(1)
+	}
+	defer stop()
+	exit := func(code int) {
+		stop()
+		os.Exit(code)
+	}
 
 	if *bench {
 		cfg := benchConfig{
@@ -75,7 +96,7 @@ func main() {
 		}
 		if err := runBench(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "fastbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -88,7 +109,7 @@ func main() {
 	}
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "fastbench: -exp required (or -list); e.g. -exp fig14")
-		os.Exit(2)
+		exit(2)
 	}
 
 	cfg := exp.Config{
@@ -108,7 +129,7 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fastbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer f.Close()
 		w = f
@@ -123,14 +144,14 @@ func main() {
 		tables, err := exp.Run(n, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fastbench: %s: %v\n", n, err)
-			os.Exit(1)
+			exit(1)
 		}
 		for _, t := range tables {
 			if *format == "csv" {
 				fmt.Fprintf(w, "# %s\n", t.ID)
 				if err := t.RenderCSV(w); err != nil {
 					fmt.Fprintln(os.Stderr, "fastbench:", err)
-					os.Exit(1)
+					exit(1)
 				}
 				fmt.Fprintln(w)
 			} else {
@@ -141,4 +162,50 @@ func main() {
 			fmt.Fprintf(w, "[%s completed in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// startProfiles starts a CPU profile and/or arms a heap profile write. The
+// returned stop is idempotent: it flushes the CPU profile and captures the
+// heap profile (after a GC, so the numbers reflect retained memory, not
+// garbage awaiting collection).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fastbench: -cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fastbench: -memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fastbench: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fastbench: -memprofile:", err)
+			}
+		}
+	}, nil
 }

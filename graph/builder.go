@@ -145,6 +145,7 @@ func (b *Builder) Build() (*Graph, error) {
 			}
 		}
 	}
+	g.buildLabelIndex()
 	return g, nil
 }
 

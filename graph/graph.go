@@ -32,6 +32,10 @@ type Graph struct {
 	// edgeLabels, when non-nil, is aligned with neighbors: the label of
 	// half-edge v→neighbors[i] is edgeLabels[i] (see edgelabel.go).
 	edgeLabels []EdgeLabel
+	// lidx groups every vertex's adjacency into label runs (labelindex.go)
+	// so per-label neighbourhood probes are subslice reads, not filter
+	// scans. Built once by every constructor.
+	lidx *labelIndex
 }
 
 // NumVertices returns |V(G)|.
@@ -92,27 +96,29 @@ func (g *Graph) VerticesWithLabel(l Label) []VertexID {
 // LabelFrequency returns the number of vertices with label l.
 func (g *Graph) LabelFrequency(l Label) int { return len(g.VerticesWithLabel(l)) }
 
-// NeighborsWithLabel returns the neighbours of v whose label is l, appended
-// to dst (which may be nil). The result stays sorted because adjacency is.
+// NeighborsWithLabel returns the neighbours of v whose label is l, sorted
+// ascending. With a nil dst the result is a zero-copy subslice of the label
+// index and must not be modified; a non-nil dst gets the run appended, as
+// before the index existed.
 func (g *Graph) NeighborsWithLabel(v VertexID, l Label, dst []VertexID) []VertexID {
-	for _, w := range g.Neighbors(v) {
-		if g.labels[w] == l {
-			dst = append(dst, w)
+	lo, hi := g.labelRun(v, l)
+	if dst == nil {
+		if lo == hi {
+			return nil
 		}
+		// Full-slice expression: an append by the caller copies instead of
+		// writing into the shared index.
+		return g.lidx.nbrs[lo:hi:hi]
 	}
-	return dst
+	return append(dst, g.lidx.nbrs[lo:hi]...)
 }
 
-// DegreeWithLabel counts neighbours of v labelled l. Used by the
-// neighbourhood-label-frequency (NLF) candidate filter.
+// DegreeWithLabel counts neighbours of v labelled l — one run-length read
+// against the label index. Used by the neighbourhood-label-frequency (NLF)
+// candidate filter.
 func (g *Graph) DegreeWithLabel(v VertexID, l Label) int {
-	n := 0
-	for _, w := range g.Neighbors(v) {
-		if g.labels[w] == l {
-			n++
-		}
-	}
-	return n
+	lo, hi := g.labelRun(v, l)
+	return int(hi - lo)
 }
 
 // SizeBytes returns an estimate of the in-memory footprint of the CSR arrays
@@ -152,7 +158,7 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	return nil
+	return g.validateLabelIndex()
 }
 
 // String summarises the graph.

@@ -299,6 +299,22 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			g.maxDegree = d
 		}
 	}
+	// Corrupt offsets or out-of-range neighbours must fail before the label
+	// index walks the adjacency.
+	if g.offsets[0] != 0 || g.offsets[n] != int64(nn) {
+		return nil, fmt.Errorf("graph io: corrupt binary graph: offsets endpoints [%d,%d]", g.offsets[0], g.offsets[n])
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return nil, fmt.Errorf("graph io: corrupt binary graph: offsets not monotone at %d", v)
+		}
+	}
+	for _, w := range g.neighbors {
+		if int(w) >= n {
+			return nil, fmt.Errorf("graph io: corrupt binary graph: neighbour %d out of range (n=%d)", w, n)
+		}
+	}
+	g.buildLabelIndex()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("graph io: corrupt binary graph: %v", err)
 	}

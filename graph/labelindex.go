@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+var (
+	errMissingLabelIndex = errors.New("graph: label index missing (constructor skipped buildLabelIndex)")
+	errLabelIndexShape   = errors.New("graph: label index inconsistent with CSR adjacency")
+)
+
+// labelIndex is a secondary CSR over the adjacency in which every vertex's
+// neighbours are grouped into runs by neighbour label (runs ordered by
+// label, ids ascending within a run). It makes NeighborsWithLabel a
+// zero-copy subslice and DegreeWithLabel a run-length read — the probes the
+// CST construction passes (label filtering, NLF, per-label intersection)
+// perform once per candidate, on the host's critical path while the
+// (modelled) FPGA idles.
+//
+// nbrs has the same per-vertex extents as Graph.neighbors, so run ends are
+// derived from the primary offsets: the last run of v ends at offsets[v+1].
+type labelIndex struct {
+	nbrs []VertexID // len(neighbors); per-vertex, grouped by (label, id)
+	// elabels is aligned with nbrs when the graph is edge-labeled, so the
+	// label-restricted view carries half-edge labels too; nil otherwise.
+	elabels   []EdgeLabel
+	runOff    []int64 // len n+1: label runs of v are indices [runOff[v], runOff[v+1]); int64 like the primary offsets (total runs is bounded by half-edges, which exceed int32)
+	runLabels []Label // label of each run, ascending within a vertex
+	runStarts []int64 // absolute start of each run in nbrs
+}
+
+// buildLabelIndex constructs the index; every Graph constructor calls it
+// once the primary CSR and labels are final. Cost is O(|E| + runs) via a
+// per-label counting pass (scratch is generation-free: only touched labels
+// are reset).
+func (g *Graph) buildLabelIndex() {
+	n := g.NumVertices()
+	idx := &labelIndex{
+		nbrs:   make([]VertexID, len(g.neighbors)),
+		runOff: make([]int64, n+1),
+	}
+	if g.edgeLabels != nil {
+		idx.elabels = make([]EdgeLabel, len(g.neighbors))
+	}
+	cnt := make([]int64, g.numLabels) // per-label cursor/count for one vertex
+	var touched []Label
+	place := make([]int64, g.numLabels)
+	for v := 0; v < n; v++ {
+		adj := g.Neighbors(VertexID(v))
+		touched = touched[:0]
+		for _, w := range adj {
+			l := g.labels[w]
+			if cnt[l] == 0 {
+				touched = append(touched, l)
+			}
+			cnt[l]++
+		}
+		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		base := g.offsets[v]
+		for _, l := range touched {
+			idx.runLabels = append(idx.runLabels, l)
+			idx.runStarts = append(idx.runStarts, base)
+			place[l] = base
+			base += cnt[l]
+		}
+		// Second pass walks adj in ascending-id order, so ids stay sorted
+		// within each label run.
+		for i, w := range adj {
+			l := g.labels[w]
+			p := place[l]
+			idx.nbrs[p] = w
+			if idx.elabels != nil {
+				idx.elabels[p] = g.edgeLabels[g.offsets[v]+int64(i)]
+			}
+			place[l] = p + 1
+		}
+		for _, l := range touched {
+			cnt[l] = 0
+		}
+		idx.runOff[v+1] = int64(len(idx.runLabels))
+	}
+	g.lidx = idx
+}
+
+// labelRun returns the [lo, hi) extent in lidx.nbrs holding v's neighbours
+// labelled l; lo == hi when v has none.
+func (g *Graph) labelRun(v VertexID, l Label) (int64, int64) {
+	idx := g.lidx
+	rs, re := int(idx.runOff[v]), int(idx.runOff[v+1])
+	labels := idx.runLabels[rs:re]
+	k := sort.Search(len(labels), func(k int) bool { return labels[k] >= l })
+	if k == len(labels) || labels[k] != l {
+		return 0, 0
+	}
+	lo := idx.runStarts[rs+k]
+	if rs+k+1 < re {
+		return lo, idx.runStarts[rs+k+1]
+	}
+	return lo, g.offsets[v+1]
+}
+
+// NeighborsWithLabelAndEdgeLabels returns v's neighbours labelled l together
+// with the matching half-edge labels (nil for edge-unlabeled graphs), both
+// aliasing the label index's storage. Ids are ascending.
+func (g *Graph) NeighborsWithLabelAndEdgeLabels(v VertexID, l Label) ([]VertexID, []EdgeLabel) {
+	lo, hi := g.labelRun(v, l)
+	if lo == hi {
+		return nil, nil
+	}
+	if g.lidx.elabels == nil {
+		return g.lidx.nbrs[lo:hi:hi], nil
+	}
+	return g.lidx.nbrs[lo:hi:hi], g.lidx.elabels[lo:hi:hi]
+}
+
+// validateLabelIndex checks the label index against the primary CSR: same
+// multiset of neighbours per vertex, runs label-ascending, ids ascending
+// within runs, edge labels carried over. Graph.Validate calls it.
+func (g *Graph) validateLabelIndex() error {
+	idx := g.lidx
+	if idx == nil {
+		return errMissingLabelIndex
+	}
+	n := g.NumVertices()
+	if len(idx.nbrs) != len(g.neighbors) || len(idx.runOff) != n+1 {
+		return errLabelIndexShape
+	}
+	for v := 0; v < n; v++ {
+		rs, re := int(idx.runOff[v]), int(idx.runOff[v+1])
+		total := int64(0)
+		for k := rs; k < re; k++ {
+			if k > rs && idx.runLabels[k-1] >= idx.runLabels[k] {
+				return errLabelIndexShape
+			}
+			lo := idx.runStarts[k]
+			hi := g.offsets[v+1]
+			if k+1 < re {
+				hi = idx.runStarts[k+1]
+			}
+			if lo < g.offsets[v] || hi < lo || hi > g.offsets[v+1] {
+				return errLabelIndexShape
+			}
+			for p := lo; p < hi; p++ {
+				w := idx.nbrs[p]
+				if g.labels[w] != idx.runLabels[k] || !g.HasEdge(VertexID(v), w) {
+					return errLabelIndexShape
+				}
+				if p > lo && idx.nbrs[p-1] >= w {
+					return errLabelIndexShape
+				}
+			}
+			total += hi - lo
+		}
+		if total != g.offsets[v+1]-g.offsets[v] {
+			return errLabelIndexShape
+		}
+	}
+	return nil
+}

@@ -115,6 +115,24 @@ type Options struct {
 	// kernel stops, reporting Stopped. Hosts use it to make a shared
 	// embedding limit exact across concurrently running kernels.
 	Take func() bool
+	// Scratch, when non-nil, supplies the reusable per-run buffers (the
+	// partial-mapping arena, level buffers, root index). A Scratch may be
+	// reused across sequential runs — hosts pool them — but never by two
+	// runs concurrently. Nil means the run allocates a private one.
+	Scratch *Scratch
+}
+
+// Scratch is the kernel's reusable memory: a level-major arena backing
+// every partial mapping (the software stand-in for the BRAM partial-results
+// buffer, which the hardware sizes once at (|V(q)|−1)·No slots and never
+// allocates from again), the per-level partial descriptors, and the root
+// index sequence. Run sizes it from (|V(q)|, Config.No) on entry, growing
+// monotonically, so a pooled Scratch amortises to zero steady-state
+// allocation per kernel run.
+type Scratch struct {
+	maps     []cst.CandIndex
+	partials []partial
+	rootIdx  []cst.CandIndex
 }
 
 // partial is an entry of the intermediate results buffer P: the candidate
@@ -175,9 +193,22 @@ type runState struct {
 	checks [][]graph.QueryVertex
 	// parentPos[d] is the order position of O[d]'s tree parent.
 	parentPos []int
+	// Hot-path hoists, resolved once in prepare so round performs zero map
+	// lookups and zero indirect calls per candidate: parentAdj[d] is the
+	// CST adjacency the Generator walks at depth d, checkAdj[d]/checkPos[d]
+	// (aligned with checks[d]) are the Edge Validator's probe targets, and
+	// candAt[d] is C(O[d]) for the Visited Validator's id recovery.
+	parentAdj []*cst.Adj
+	checkAdj  [][]*cst.Adj
+	checkPos  [][]int32
+	candAt    [][]graph.VertexID
 
 	levels  [][]partial     // levels[d]: partials with d vertices mapped
 	rootIdx []cst.CandIndex // identity sequence over C(root)
+	scratch *Scratch
+	// mapBase[d] is where level d's mapping arena begins in scratch.maps;
+	// slot i of level d is maps[mapBase[d]+i*d : mapBase[d]+(i+1)*d].
+	mapBase []int
 	counter *fpgasim.Counter
 	timing  *timing
 
@@ -208,11 +239,25 @@ func (r *runState) takeOne() bool {
 
 func (r *runState) prepare() {
 	nq := r.c.Query.NumVertices()
+	no := r.opts.Config.No
+	sc := r.opts.Scratch
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	r.scratch = sc
+
 	r.checks = make([][]graph.QueryVertex, nq)
 	r.parentPos = make([]int, nq)
+	r.parentAdj = make([]*cst.Adj, nq)
+	r.checkAdj = make([][]*cst.Adj, nq)
+	r.checkPos = make([][]int32, nq)
+	r.candAt = make([][]graph.VertexID, nq)
 	for d, u := range r.o {
+		r.candAt[d] = r.c.Candidates(u)
 		if d > 0 {
-			r.parentPos[d] = r.pos[r.c.Tree.Parent[u]]
+			up := r.c.Tree.Parent[u]
+			r.parentPos[d] = r.pos[up]
+			r.parentAdj[d] = r.c.Edge(up, u)
 		}
 		for _, un := range r.c.Query.Neighbors(u) {
 			if un == r.c.Tree.Parent[u] {
@@ -220,32 +265,70 @@ func (r *runState) prepare() {
 			}
 			if r.pos[un] < d {
 				r.checks[d] = append(r.checks[d], un)
+				r.checkAdj[d] = append(r.checkAdj[d], r.c.Edge(u, un))
+				r.checkPos[d] = append(r.checkPos[d], int32(r.pos[un]))
 			}
 		}
 	}
-	r.rootIdx = make([]cst.CandIndex, len(r.c.Candidates(r.o[0])))
+
+	// Partial-mapping arena: level d holds at most No partials (one round's
+	// output) of mapping width d, and deepest-first scheduling guarantees a
+	// level is empty whenever a round refills it, so level-major slots are
+	// reused round after round with no per-partial allocation.
+	r.mapBase = make([]int, nq)
+	total := 0
+	for d := 1; d < nq; d++ {
+		r.mapBase[d] = total
+		total += no * d
+	}
+	if cap(sc.maps) < total {
+		sc.maps = make([]cst.CandIndex, total)
+	}
+	sc.maps = sc.maps[:total]
+	np := 1 + (nq-1)*no
+	if cap(sc.partials) < np {
+		sc.partials = make([]partial, np)
+	}
+	sc.partials = sc.partials[:np]
+
+	nroot := len(r.c.Candidates(r.o[0]))
+	if cap(sc.rootIdx) < nroot {
+		sc.rootIdx = make([]cst.CandIndex, nroot)
+	}
+	r.rootIdx = sc.rootIdx[:nroot]
 	for i := range r.rootIdx {
 		r.rootIdx[i] = cst.CandIndex(i)
 	}
+
 	// Level 0 is a single empty partial whose cursor walks C(root),
 	// so arbitrarily large root candidate sets respect the No bound.
 	r.levels = make([][]partial, nq)
-	r.levels[0] = []partial{{m: nil, cur: 0}}
+	sc.partials[0] = partial{m: nil, cur: 0}
+	r.levels[0] = sc.partials[0:1:1]
+	for d := 1; d < nq; d++ {
+		lo := 1 + (d-1)*no
+		r.levels[d] = sc.partials[lo : lo : lo+no]
+	}
 	if r.c.IsEmpty() {
 		r.levels[0] = nil
 	}
+}
+
+// mapSlot returns the arena-backed mapping array for the idx-th partial of
+// level d.
+func (r *runState) mapSlot(d, idx int) []cst.CandIndex {
+	lo := r.mapBase[d] + idx*d
+	return r.scratch.maps[lo : lo+d : lo+d]
 }
 
 // candidatesOf returns the candidate list the Generator reads for extending
 // p at depth d: all of C(root) at depth 0, otherwise the CST adjacency of
 // the mapped parent candidate.
 func (r *runState) candidatesOf(d int, p *partial) []cst.CandIndex {
-	u := r.o[d]
 	if d == 0 {
 		return r.rootIdx
 	}
-	up := r.c.Tree.Parent[u]
-	return r.c.Adjacency(up, u, p.m[r.parentPos[d]])
+	return r.parentAdj[d].Neighbors(p.m[r.parentPos[d]])
 }
 
 // execute is Algorithm 4's main loop: while the buffer has work, run one
@@ -345,19 +428,20 @@ func (r *runState) round(d int) {
 			nTn += int64(len(checkList))
 			// Visited validation (Algorithm 6): the newly mapped data
 			// vertex must be fresh.
-			v := r.c.Vertex(u, ci)
+			v := r.candAt[d][ci]
 			valid := true
 			for pos2, mi := range p.m {
-				if r.c.Vertex(r.o[pos2], mi) == v {
+				if r.candAt[pos2][mi] == v {
 					valid = false
 					break
 				}
 			}
 			// Edge validation (Algorithm 7): the new candidate must be
-			// CST-adjacent to every earlier non-tree neighbour's mapping.
+			// CST-adjacent to every earlier non-tree neighbour's mapping —
+			// each probe one hoisted-adjacency binary search.
 			if valid {
-				for _, un := range checkList {
-					if !r.c.HasCandEdge(u, un, ci, p.m[r.pos[un]]) {
+				for k := range checkList {
+					if !r.checkAdj[d][k].Has(ci, p.m[r.checkPos[d][k]]) {
 						valid = false
 						break
 					}
@@ -375,7 +459,7 @@ func (r *runState) round(d int) {
 				if r.opts.Collect || r.opts.Emit != nil {
 					e := make(graph.Embedding, len(r.o))
 					for pos2, mi := range p.m {
-						e[r.o[pos2]] = r.c.Vertex(r.o[pos2], mi)
+						e[r.o[pos2]] = r.candAt[pos2][mi]
 					}
 					e[u] = v
 					if r.opts.Collect {
@@ -386,7 +470,9 @@ func (r *runState) round(d int) {
 					}
 				}
 			} else {
-				m := make([]cst.CandIndex, d+1)
+				// Store back into the next level's arena slot instead of a
+				// fresh allocation per partial.
+				m := r.mapSlot(d+1, len(nextLv))
 				copy(m, p.m)
 				m[d] = ci
 				nextLv = append(nextLv, partial{m: m})

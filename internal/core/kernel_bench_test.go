@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"fastmatch/graph"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/order"
+	"fastmatch/ldbc"
+)
+
+// benchPlan builds the (CST, order) pair the kernel benchmarks run over,
+// mirroring host.Prepare without importing it (host depends on core).
+func benchPlan(b *testing.B, queryName string, basePersons int) (*cst.CST, order.Order) {
+	b.Helper()
+	g := ldbc.Generate(ldbc.Config{BasePersons: basePersons, Seed: 42})
+	q, err := ldbc.QueryByName(queryName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := order.SelectRoot(q, g)
+	tree := order.BuildBFSTree(q, root)
+	c := cst.Build(q, g, tree)
+	return c, order.PathBased(tree, c)
+}
+
+// BenchmarkKernelRound measures one full kernel execution over an
+// unpartitioned CST — the Run loop is all batch rounds, so ns/op and
+// allocs/op track exactly the per-round hot path (Generator, Visited
+// Validator, Edge Validator, Synchronizer).
+func BenchmarkKernelRound(b *testing.B) {
+	for _, name := range []string{"q1", "q5"} {
+		c, o := benchPlan(b, name, 200)
+		cfg := fpgasim.DefaultConfig()
+		opts := Options{Variant: VariantSep, Config: cfg}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var count int64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(c, o, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if count == 0 {
+					count = res.Count
+				} else if res.Count != count {
+					b.Fatalf("count drift: %d then %d", count, res.Count)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelRoundScratch is BenchmarkKernelRound with one reused
+// Scratch — the steady state of host.Match's sync.Pool, where the arena is
+// allocated once and every later run borrows it.
+func BenchmarkKernelRoundScratch(b *testing.B) {
+	for _, name := range []string{"q1", "q5"} {
+		c, o := benchPlan(b, name, 200)
+		cfg := fpgasim.DefaultConfig()
+		opts := Options{Variant: VariantSep, Config: cfg, Scratch: new(Scratch)}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(c, o, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelRoundCollect includes embedding materialisation, whose
+// per-embedding allocations are inherent to the Collect contract.
+func BenchmarkKernelRoundCollect(b *testing.B) {
+	c, o := benchPlan(b, "q1", 200)
+	cfg := fpgasim.DefaultConfig()
+	opts := Options{Variant: VariantSep, Config: cfg, Collect: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c, o, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink graph.VertexID
+
+// BenchmarkVertexLookup pins the cost of the innermost CST probe the
+// validators perform per candidate.
+func BenchmarkVertexLookup(b *testing.B) {
+	c, _ := benchPlan(b, "q1", 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = c.Vertex(0, 0)
+	}
+}

@@ -93,10 +93,12 @@ type poItem struct {
 	edgeLeft    int
 }
 
-// tnTask is one edge-validation task (Algorithm 7's (v, vn, i) triple).
+// tnTask is one edge-validation task (Algorithm 7's (v, vn, i) triple); k
+// indexes the round's check list, so the validator probes the hoisted
+// adjacency checkAdj[d][k] directly.
 type tnTask struct {
 	item *poItem
-	un   graph.QueryVertex
+	k    int
 }
 
 // stage is a pipelined unit: it accepts one input every II cycles and makes
@@ -234,9 +236,9 @@ func (r *streamSim) simulateRound(d int) {
 			if r.opts.Collect || r.opts.Emit != nil {
 				e := make(graph.Embedding, len(r.o))
 				for pos2, mi := range it.parent.m {
-					e[r.o[pos2]] = r.c.Vertex(r.o[pos2], mi)
+					e[r.o[pos2]] = r.candAt[pos2][mi]
 				}
-				e[u] = r.c.Vertex(u, it.ci)
+				e[u] = r.candAt[d][it.ci]
 				if r.opts.Collect {
 					r.collected = append(r.collected, e)
 				}
@@ -246,7 +248,7 @@ func (r *streamSim) simulateRound(d int) {
 			}
 			return
 		}
-		m := make([]cst.CandIndex, d+1)
+		m := r.mapSlot(d+1, len(nextLv))
 		copy(m, it.parent.m)
 		m[d] = it.ci
 		nextLv = append(nextLv, partial{m: m})
@@ -293,9 +295,9 @@ func (r *streamSim) simulateRound(d int) {
 		}
 		if it, ok := visOut.pop(now); ok {
 			it.visitedOK = true
-			v := r.c.Vertex(u, it.ci)
+			v := r.candAt[d][it.ci]
 			for pos2, mi := range it.parent.m {
-				if r.c.Vertex(r.o[pos2], mi) == v {
+				if r.candAt[pos2][mi] == v {
 					it.visitedOK = false
 					break
 				}
@@ -316,9 +318,9 @@ func (r *streamSim) simulateRound(d int) {
 				} else if tng.canAccept(now) && tnFIFO.Len()+len(checkList) <= cap {
 					tnInFIFO.Pop()
 					at := tng.accept(now)
-					for _, un := range checkList {
+					for k := range checkList {
 						nTn++
-						tngOut.push(at, tnTask{item: it, un: un})
+						tngOut.push(at, tnTask{item: it, k: k})
 					}
 				}
 			}
@@ -337,7 +339,7 @@ func (r *streamSim) simulateRound(d int) {
 		}
 		if t, ok := edgOut.pop(now); ok {
 			it := t.item
-			if !r.c.HasCandEdge(u, t.un, it.ci, it.parent.m[r.pos[t.un]]) {
+			if !r.checkAdj[d][t.k].Has(it.ci, it.parent.m[r.checkPos[d][t.k]]) {
 				it.edgeOK = false
 			}
 			it.edgeLeft--

@@ -1,6 +1,8 @@
 package cst
 
 import (
+	"sort"
+
 	"fastmatch/graph"
 	"fastmatch/internal/order"
 )
@@ -11,13 +13,15 @@ import (
 // constraint — every data vertex participating in an embedding of q stays in
 // its candidate set — holds because each pass only removes vertices that
 // cannot appear in any embedding.
+//
+// Build sits on the host's critical path (the modelled FPGA idles until the
+// first partition arrives), so every pass leans on the graph's label index:
+// candidate filtering scans only same-label vertices, the reachability
+// passes probe only same-label neighbourhood runs, and adjacency
+// construction intersects label-restricted runs instead of whole adjacency
+// lists.
 func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
-	c := &CST{
-		Query: q,
-		Tree:  t,
-		Cand:  make([][]graph.VertexID, q.NumVertices()),
-		adj:   make(map[edgeKey]*adjList),
-	}
+	c := newCST(q, t)
 
 	// Line 2/4: compute candidates from local features (label, degree and
 	// neighbourhood label frequency).
@@ -27,9 +31,9 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 
 	// Membership tests use a generation-stamped array instead of hash
 	// sets: marking a candidate set costs one pass and queries are O(1)
-	// with no per-pass allocation — CST construction is on the host's
-	// critical path (the FPGA idles until the first partition arrives), so
-	// its constant factor matters.
+	// with no per-pass allocation. Candidates of a query vertex all carry
+	// its label, so the reachability probe walks only the matching label
+	// run of each neighbourhood instead of the whole adjacency list.
 	stamp := make([]uint32, g.NumVertices())
 	var gen uint32
 	mark := func(vs []graph.VertexID) {
@@ -38,8 +42,8 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 			stamp[v] = gen
 		}
 	}
-	anyNeighborMarked := func(v graph.VertexID) bool {
-		for _, w := range g.Neighbors(v) {
+	anyNeighborMarked := func(v graph.VertexID, l graph.Label) bool {
+		for _, w := range g.NeighborsWithLabel(v, l, nil) {
 			if stamp[w] == gen {
 				return true
 			}
@@ -54,10 +58,11 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 			if u == t.Root {
 				continue
 			}
+			lp := q.Label(t.Parent[u])
 			mark(c.Cand[t.Parent[u]])
 			kept := c.Cand[u][:0]
 			for _, v := range c.Cand[u] {
-				if anyNeighborMarked(v) {
+				if anyNeighborMarked(v, lp) {
 					kept = append(kept, v)
 				}
 			}
@@ -75,10 +80,11 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 		}
 		kept := c.Cand[u]
 		for _, uc := range t.Children[u] {
+			lc := q.Label(uc)
 			mark(c.Cand[uc])
 			out := kept[:0]
 			for _, v := range kept {
-				if anyNeighborMarked(v) {
+				if anyNeighborMarked(v, lc) {
 					out = append(out, v)
 				}
 			}
@@ -110,17 +116,30 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 
 // localCandidates returns the data vertices conforming with u's local
 // features: same label, at least u's degree, and at least u's per-label
-// neighbour counts (the NLF filter used by CFL/DAF/CECI).
+// neighbour counts (the NLF filter used by CFL/DAF/CECI). The NLF map is
+// hoisted into a sorted slice once per query vertex so the per-candidate
+// loop performs no map iteration, and each per-label degree is one
+// label-index run-length read.
 func localCandidates(q *graph.Query, g *graph.Graph, u graph.QueryVertex) []graph.VertexID {
+	type labelNeed struct {
+		l    graph.Label
+		need int
+	}
 	nlf := q.NeighborLabelCounts(u)
+	needs := make([]labelNeed, 0, len(nlf))
+	for l, need := range nlf {
+		needs = append(needs, labelNeed{l, need})
+	}
+	sort.Slice(needs, func(i, j int) bool { return needs[i].l < needs[j].l })
+	minDeg := q.Degree(u)
 	var out []graph.VertexID
 	for _, v := range g.VerticesWithLabel(q.Label(u)) {
-		if g.Degree(v) < q.Degree(u) {
+		if g.Degree(v) < minDeg {
 			continue
 		}
 		ok := true
-		for l, need := range nlf {
-			if g.DegreeWithLabel(v, l) < need {
+		for _, ln := range needs {
+			if g.DegreeWithLabel(v, ln.l) < ln.need {
 				ok = false
 				break
 			}
@@ -132,21 +151,23 @@ func localCandidates(q *graph.Query, g *graph.Graph, u graph.QueryVertex) []grap
 	return out
 }
 
-// buildAdj fills adj[{from,to}] by intersecting each from-candidate's data
-// adjacency with C(to). Both inputs are sorted, so a merge intersection
-// costs O(d_G(v) + |C(to)|) per candidate. When the query edge carries a
+// buildAdj fills the from → to adjacency by intersecting each
+// from-candidate's label-restricted data adjacency (the run of neighbours
+// labelled like `to`, a zero-copy subslice of the label index) with C(to).
+// Both inputs are sorted, so a merge intersection costs
+// O(d^label_G(v) + |C(to)|) per candidate. When the query edge carries a
 // label, only data edges with a matching half-edge label survive — the
 // edge-labeled extension of Section II.
 func (c *CST) buildAdj(g *graph.Graph, from, to graph.QueryVertex) {
 	src, dst := c.Cand[from], c.Cand[to]
+	lt := c.Query.Label(to)
 	want := c.Query.EdgeLabel(from, to)
 	wantRev := c.Query.EdgeLabel(to, from)
-	a := &adjList{Offsets: make([]int32, len(src)+1)}
+	a := &Adj{Offsets: make([]int32, len(src)+1)}
 	for i, v := range src {
-		adj := g.Neighbors(v)
-		elabels := g.EdgeLabels(v)
-		// Merge-intersect adj (sorted vertex ids) with dst (sorted ids),
-		// emitting dst *indices*.
+		adj, elabels := g.NeighborsWithLabelAndEdgeLabels(v, lt)
+		// Merge-intersect adj (sorted vertex ids within the label run) with
+		// dst (sorted ids, all labelled lt), emitting dst *indices*.
 		ai, di := 0, 0
 		for ai < len(adj) && di < len(dst) {
 			switch {
@@ -171,5 +192,5 @@ func (c *CST) buildAdj(g *graph.Graph, from, to graph.QueryVertex) {
 		}
 		a.Offsets[i+1] = int32(len(a.Targets))
 	}
-	c.adj[edgeKey{from, to}] = a
+	c.setAdj(from, to, a)
 }

@@ -40,10 +40,12 @@ type ConcurrentOptions struct {
 //
 // In ordered mode the caller's goroutine delivers process calls and Steal
 // offers in the byte-identical sequential order while workers speculatively
-// restrict ahead; a piece Steal accepts simply has its precomputed subtree
-// discarded. This is the mode host.Match uses: Algorithm 3's δ routing sees
-// partitions in the exact order the sequential pipeline does, keeping the
-// δ split, partition counts and embedding totals deterministic.
+// restrict ahead; a piece Steal accepts has its subtree marked abandoned, so
+// speculating workers skip its descendants instead of materialising pieces
+// the drain will discard (already-computed pieces are simply dropped). This
+// is the mode host.Match uses: Algorithm 3's δ routing sees partitions in
+// the exact order the sequential pipeline does, keeping the δ split,
+// partition counts and embedding totals deterministic.
 //
 // The return value counts processed plus stolen pieces, exactly like
 // Partition (deterministic in ordered mode and whenever cfg.Steal is nil).
@@ -60,11 +62,13 @@ func PartitionConcurrent(c *CST, o order.Order, cfg PartitionConfig, opt Concurr
 // partitionPool is a bounded LIFO task pool. LIFO scheduling makes the
 // workers expand the split tree depth-first, which keeps the set of live
 // intermediate CSTs close to the sequential recursion's footprint instead of
-// materialising a whole breadth-first frontier.
+// materialising a whole breadth-first frontier. Every worker owns one
+// restrictScratch handed to each task it runs, so the restrict steps reuse
+// their bookkeeping buffers across tasks instead of allocating per piece.
 type partitionPool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	stack  []func()
+	stack  []func(*restrictScratch)
 	active int
 }
 
@@ -74,7 +78,7 @@ func newPartitionPool() *partitionPool {
 	return p
 }
 
-func (p *partitionPool) push(t func()) {
+func (p *partitionPool) push(t func(*restrictScratch)) {
 	p.mu.Lock()
 	p.stack = append(p.stack, t)
 	p.mu.Unlock()
@@ -84,6 +88,7 @@ func (p *partitionPool) push(t func()) {
 // run is one worker's loop: pop and execute tasks until the stack is empty
 // and no task is running anywhere (a running task may still push new ones).
 func (p *partitionPool) run() {
+	sc := &restrictScratch{}
 	p.mu.Lock()
 	for {
 		for len(p.stack) == 0 && p.active > 0 {
@@ -97,7 +102,7 @@ func (p *partitionPool) run() {
 		p.stack = p.stack[:len(p.stack)-1]
 		p.active++
 		p.mu.Unlock()
-		t()
+		t(sc)
 		p.mu.Lock()
 		p.active--
 		if p.active == 0 && len(p.stack) == 0 {
@@ -135,9 +140,9 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 		defer stealMu.Unlock()
 		return cfg.Steal(cur)
 	}
-	var handle func(cur *CST, index int)
-	var handleChunk func(cur *CST, index, i, k int)
-	handle = func(cur *CST, index int) {
+	var handle func(sc *restrictScratch, cur *CST, index int)
+	var handleChunk func(sc *restrictScratch, cur *CST, index, i, k int)
+	handle = func(sc *restrictScratch, cur *CST, index int) {
 		for {
 			if cfg.cancelled() {
 				return
@@ -158,18 +163,18 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 			}
 			for i := 1; i < k; i++ {
 				i := i
-				pool.push(func() { handleChunk(cur, index, i, k) })
+				pool.push(func(sc *restrictScratch) { handleChunk(sc, cur, index, i, k) })
 			}
-			handleChunk(cur, index, 0, k)
+			handleChunk(sc, cur, index, 0, k)
 			return
 		}
 	}
-	handleChunk = func(cur *CST, index, i, k int) {
+	handleChunk = func(sc *restrictScratch, cur *CST, index, i, k int) {
 		if cfg.cancelled() {
 			return
 		}
 		u := o[index]
-		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i))
+		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i), sc)
 		if part.IsEmpty() {
 			return // restriction stranded a branch: no embeddings here
 		}
@@ -178,12 +183,12 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 			process(part)
 			count.Add(1)
 		case len(part.Cand[u]) == 1:
-			handle(part, index+1)
+			handle(sc, part, index+1)
 		default:
-			handle(part, index)
+			handle(sc, part, index)
 		}
 	}
-	pool.push(func() { handle(c, 0) })
+	pool.push(func(sc *restrictScratch) { handle(sc, c, 0) })
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -205,13 +210,43 @@ type onode struct {
 	piece    *CST     // non-nil: emit (Fits, or atomic with the order exhausted)
 	steal    *CST     // non-nil: violating; offer Steal, then descend children
 	children []*onode // in sequential (chunk) order
+	// parent links the node to the split-tree node it was speculated under;
+	// stolen is set by the drain when cfg.Steal takes this node. A worker
+	// about to compute a node first walks the parent chain: any stolen
+	// ancestor means the drain will never visit this subtree, so the
+	// restrict work would be pure waste and is skipped (the node reads as
+	// an empty restriction; its ready channel still closes).
+	parent *onode
+	stolen atomic.Bool
 }
+
+// abandoned reports whether this node or any ancestor was taken by Steal.
+// The chain is as deep as the split tree, which is logarithmic in practice.
+func (n *onode) abandoned() bool {
+	for a := n; a != nil; a = a.parent {
+		if a.stolen.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// testOrderedHook, when non-nil, receives ordered-mode lifecycle events:
+// "chunk-start" before a speculative chunk task's skip checks,
+// "chunk-restrict" when the task proceeds to its restrict, and "stolen"
+// right after the drain marks a Steal-taken node. Tests install it (before
+// the producer starts, removed after it returns) to hold workers at the
+// gate until a Steal decision lands, making the speculation-skip behaviour
+// deterministic to observe. Always nil in production.
+var testOrderedHook func(event string)
 
 // partitionOrdered computes the split tree on the pool while the caller's
 // goroutine drains it in the byte-identical sequential order. Workers run
-// ahead of Steal decisions speculatively: a stolen subtree's precomputed
-// pieces are discarded, trading some wasted restrict work (δ-shares are a
-// small fraction of pieces) for a deterministic schedule.
+// ahead of Steal decisions speculatively: once the drain lets Steal take a
+// node, the node is marked stolen and speculating workers skip every
+// descendant not yet computed (pieces already materialised are discarded) —
+// the waste is bounded by the restricts in flight at decision time instead
+// of the whole stolen subtree.
 //
 // Speculation is not backpressured: when process is much slower than
 // restrict (kernel execution inline, or a blocking channel send), workers
@@ -225,10 +260,10 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 
 	// computeNode fills n for one rec(cur, index) invocation; computeChunk
 	// is one iteration of rec's split loop (the restrict task).
-	var computeNode func(n *onode, cur *CST, index int)
-	var computeChunk func(n *onode, cur *CST, index, i, k int)
-	computeNode = func(n *onode, cur *CST, index int) {
-		if cfg.cancelled() {
+	var computeNode func(sc *restrictScratch, n *onode, cur *CST, index int)
+	var computeChunk func(sc *restrictScratch, n *onode, cur *CST, index, i, k int)
+	computeNode = func(sc *restrictScratch, n *onode, cur *CST, index int) {
+		if cfg.cancelled() || n.abandoned() {
 			// Abandon speculation: the node reads as an empty restriction,
 			// and ready must still close or the drain would block on it.
 			close(n.ready)
@@ -244,10 +279,10 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		if k <= 1 {
 			// Sequential rec(cur, index+1): one child node so the drain
 			// replays the repeated Steal offer at the next order position.
-			child := &onode{ready: make(chan struct{})}
+			child := &onode{ready: make(chan struct{}), parent: n}
 			n.children = []*onode{child}
 			close(n.ready)
-			computeNode(child, cur, index+1)
+			computeNode(sc, child, cur, index+1)
 			return
 		}
 		// Work from a local snapshot of the children: once ready closes, the
@@ -256,23 +291,29 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		// path may touch the field (or index through it) past this point.
 		children := make([]*onode, k)
 		for i := range children {
-			children[i] = &onode{ready: make(chan struct{})}
+			children[i] = &onode{ready: make(chan struct{}), parent: n}
 		}
 		n.children = children
 		close(n.ready)
 		for i := 1; i < k; i++ {
 			child, i := children[i], i
-			pool.push(func() { computeChunk(child, cur, index, i, k) })
+			pool.push(func(sc *restrictScratch) { computeChunk(sc, child, cur, index, i, k) })
 		}
-		computeChunk(children[0], cur, index, 0, k)
+		computeChunk(sc, children[0], cur, index, 0, k)
 	}
-	computeChunk = func(n *onode, cur *CST, index, i, k int) {
-		if cfg.cancelled() {
+	computeChunk = func(sc *restrictScratch, n *onode, cur *CST, index, i, k int) {
+		if testOrderedHook != nil {
+			testOrderedHook("chunk-start")
+		}
+		if cfg.cancelled() || n.abandoned() {
 			close(n.ready)
 			return
 		}
+		if testOrderedHook != nil {
+			testOrderedHook("chunk-restrict")
+		}
 		u := o[index]
-		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i))
+		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i), sc)
 		if part.IsEmpty() {
 			close(n.ready) // empty node: drain skips it
 			return
@@ -283,11 +324,11 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		}
 		// A fitting part short-circuits to a leaf inside computeNode, so
 		// this covers all three arms of the sequential switch.
-		computeNode(n, part, next)
+		computeNode(sc, n, part, next)
 	}
 
 	root := &onode{ready: make(chan struct{})}
-	pool.push(func() { computeNode(root, c, 0) })
+	pool.push(func(sc *restrictScratch) { computeNode(sc, root, c, 0) })
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -316,8 +357,15 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 			return // empty restriction
 		}
 		if cfg.Steal != nil && cfg.Steal(n.steal) {
+			// Mark before returning: speculating workers poll the chain and
+			// stop expanding this subtree; whatever they already built is
+			// simply never drained.
+			n.stolen.Store(true)
+			if testOrderedHook != nil {
+				testOrderedHook("stolen")
+			}
 			count++
-			return // stolen: the speculated subtree is discarded
+			return
 		}
 		for _, child := range n.children {
 			drain(child)

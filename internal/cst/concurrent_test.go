@@ -134,3 +134,84 @@ func TestPartitionConcurrentStealSerialized(t *testing.T) {
 		t.Errorf("count %d != processed %d + stolen %d", n, processed.Load(), stolen)
 	}
 }
+
+// TestPartitionOrderedStealSkipsSpeculation: once the drain's Steal takes a
+// node, speculating workers must skip its descendants instead of
+// materialising restricts the drain will discard. The hook holds every
+// speculative chunk task at its gate until the root's Steal decision has
+// been marked; with the whole tree under a stolen root, no task may then
+// proceed to a restrict.
+func TestPartitionOrderedStealSkipsSpeculation(t *testing.T) {
+	c, o, cfg := ldbcCST(t, "q2")
+	if cfg.Fits(c) {
+		t.Fatal("root must violate the thresholds for this scenario")
+	}
+	release := make(chan struct{})
+	var restricts atomic.Int32
+	testOrderedHook = func(event string) {
+		switch event {
+		case "chunk-start":
+			<-release
+		case "chunk-restrict":
+			restricts.Add(1)
+		case "stolen":
+			close(release)
+		}
+	}
+	defer func() { testOrderedHook = nil }()
+	stole := false
+	cfg.Steal = func(p *CST) bool {
+		if stole {
+			return false
+		}
+		stole = true // first offer is the root: take the whole tree
+		return true
+	}
+	pieces := 0
+	n := PartitionConcurrent(c, o, cfg, ConcurrentOptions{Workers: 4, Ordered: true},
+		func(*CST) { pieces++ })
+	if !stole {
+		t.Fatal("Steal was never offered")
+	}
+	if n != 1 || pieces != 0 {
+		t.Fatalf("count=%d pieces=%d after stealing the root, want 1/0", n, pieces)
+	}
+	if got := restricts.Load(); got != 0 {
+		t.Errorf("workers restricted %d chunks under a stolen root, want 0", got)
+	}
+}
+
+// TestPartitionOrderedStealMidTreeParity: stealing a mid-tree subtree (with
+// skip marks active) still delivers every piece outside it, in the exact
+// sequential order, with the exact sequential count.
+func TestPartitionOrderedStealMidTreeParity(t *testing.T) {
+	c, o, cfg := ldbcCST(t, "q3")
+	// Sequential reference: accept the third offer.
+	runWith := func(run func(PartitionConfig, func(*CST)) int) (pieces []int64, count int) {
+		offers := 0
+		cfg := cfg
+		cfg.Steal = func(p *CST) bool {
+			offers++
+			return offers == 3
+		}
+		count = run(cfg, func(p *CST) { pieces = append(pieces, Enumerate(p, o, nil)) })
+		return pieces, count
+	}
+	wantPieces, wantCount := runWith(func(cfg PartitionConfig, process func(*CST)) int {
+		return Partition(c, o, cfg, process)
+	})
+	gotPieces, gotCount := runWith(func(cfg PartitionConfig, process func(*CST)) int {
+		return PartitionConcurrent(c, o, cfg, ConcurrentOptions{Workers: 4, Ordered: true}, process)
+	})
+	if gotCount != wantCount {
+		t.Fatalf("count %d, sequential %d", gotCount, wantCount)
+	}
+	if len(gotPieces) != len(wantPieces) {
+		t.Fatalf("%d pieces, sequential %d", len(gotPieces), len(wantPieces))
+	}
+	for i := range gotPieces {
+		if gotPieces[i] != wantPieces[i] {
+			t.Fatalf("piece %d has %d embeddings, sequential %d", i, gotPieces[i], wantPieces[i])
+		}
+	}
+}

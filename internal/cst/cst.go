@@ -22,32 +22,41 @@ import (
 // embedding is reported.
 type CandIndex = int32
 
-// edgeKey identifies a directed candidate-adjacency relation (From → To)
-// for a query edge {From, To}.
-type edgeKey struct {
-	From, To graph.QueryVertex
-}
-
-// adjList is a CSR adjacency over candidate indices: the neighbours of
-// candidate i of the source vertex are Targets[Offsets[i]:Offsets[i+1]],
-// each a candidate index of the destination vertex, sorted ascending.
-type adjList struct {
+// Adj is a CSR adjacency over candidate indices for one directed query edge
+// from → to: the neighbours of candidate i of the source vertex are
+// Targets[Offsets[i]:Offsets[i+1]], each a candidate index of the
+// destination vertex, sorted ascending. It models one BRAM-resident array
+// of the paper's CST layout; callers on the kernel hot path hoist the *Adj
+// per (depth, check) once and probe it with zero per-candidate lookups.
+type Adj struct {
 	Offsets []int32
 	Targets []CandIndex
 }
 
-func (a *adjList) neighbors(i CandIndex) []CandIndex {
+// Neighbors returns N^{from}_{to}(i), aliasing the CSR storage.
+func (a *Adj) Neighbors(i CandIndex) []CandIndex {
 	return a.Targets[a.Offsets[i]:a.Offsets[i+1]]
 }
 
-func (a *adjList) degree(i CandIndex) int {
+// Degree returns |N^{from}_{to}(i)|.
+func (a *Adj) Degree(i CandIndex) int {
 	return int(a.Offsets[i+1] - a.Offsets[i])
 }
 
-func (a *adjList) has(i, j CandIndex) bool {
-	t := a.neighbors(i)
-	k := sort.Search(len(t), func(k int) bool { return t[k] >= j })
-	return k < len(t) && t[k] == j
+// Has reports whether j ∈ N^{from}_{to}(i) — the O(1) edge-existence probe
+// the FPGA's Edge Validator performs (Algorithm 7); in software it is a
+// hand-rolled binary search (no closure, called per edge-validation task).
+func (a *Adj) Has(i, j CandIndex) bool {
+	lo, hi := int(a.Offsets[i]), int(a.Offsets[i+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.Targets[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < int(a.Offsets[i+1]) && a.Targets[lo] == j
 }
 
 // CST is a candidate search tree for (q, G). Adjacency is stored for both
@@ -58,13 +67,40 @@ type CST struct {
 	Tree  *order.Tree
 	// Cand[u] lists the candidate data vertices of query vertex u, sorted.
 	Cand [][]graph.VertexID
-	adj  map[edgeKey]*adjList
+	// adj is a dense |V(q)|×|V(q)| table indexed from*nq+to — query
+	// vertices are small ints, so edge lookup is one multiply-add and one
+	// load instead of a map probe. Entries are non-nil exactly for the
+	// directed versions of q's edges.
+	adj []*Adj
 
 	// Size and degree statistics are queried on every partition decision,
 	// so they are memoised; a CST is immutable once built.
 	statsOnce sync.Once
 	sizeBytes int64
 	maxDeg    int
+}
+
+// newCST returns a CST shell with the candidate and dense adjacency tables
+// allocated for q's vertex count.
+func newCST(q *graph.Query, t *order.Tree) *CST {
+	nq := q.NumVertices()
+	return &CST{
+		Query: q,
+		Tree:  t,
+		Cand:  make([][]graph.VertexID, nq),
+		adj:   make([]*Adj, nq*nq),
+	}
+}
+
+// Edge returns the adjacency of the directed query edge from → to, or nil
+// when {from,to} is not an edge of q. Hot paths hoist the result.
+func (c *CST) Edge(from, to graph.QueryVertex) *Adj {
+	return c.adj[from*len(c.Cand)+to]
+}
+
+// setAdj installs the adjacency for from → to.
+func (c *CST) setAdj(from, to graph.QueryVertex, a *Adj) {
+	c.adj[from*len(c.Cand)+to] = a
 }
 
 // Candidates returns C(u) as data-vertex ids (sorted, aliasing storage).
@@ -76,7 +112,7 @@ func (c *CST) CandCount(u graph.QueryVertex) int { return len(c.Cand[u]) }
 // AvgBranch returns the average adjacency-list length from candidates of up
 // towards uc (order.Estimator).
 func (c *CST) AvgBranch(up, uc graph.QueryVertex) float64 {
-	a := c.adj[edgeKey{up, uc}]
+	a := c.Edge(up, uc)
 	if a == nil || len(c.Cand[up]) == 0 {
 		return 0
 	}
@@ -91,14 +127,13 @@ func (c *CST) Vertex(u graph.QueryVertex, i CandIndex) graph.VertexID {
 // Adjacency returns N^{from}_{to}(i): candidate indices of `to` adjacent to
 // candidate i of `from`. {from,to} must be a query edge.
 func (c *CST) Adjacency(from, to graph.QueryVertex, i CandIndex) []CandIndex {
-	return c.adj[edgeKey{from, to}].neighbors(i)
+	return c.Edge(from, to).Neighbors(i)
 }
 
 // HasCandEdge reports whether candidates i of `from` and j of `to` are
-// adjacent in the CST. This is the O(1) edge-existence check the FPGA's
-// Edge Validator performs (Algorithm 7); in software it binary-searches.
+// adjacent in the CST.
 func (c *CST) HasCandEdge(from, to graph.QueryVertex, i, j CandIndex) bool {
-	return c.adj[edgeKey{from, to}].has(i, j)
+	return c.Edge(from, to).Has(i, j)
 }
 
 // CandIndexOf returns the candidate index of data vertex v within C(u), or
@@ -133,9 +168,12 @@ func (c *CST) computeCachedStats() {
 			c.sizeBytes += int64(len(cands)) * 4
 		}
 		for _, a := range c.adj {
+			if a == nil {
+				continue
+			}
 			c.sizeBytes += int64(len(a.Offsets))*4 + int64(len(a.Targets))*4
 			for i := 0; i+1 < len(a.Offsets); i++ {
-				if d := a.degree(CandIndex(i)); d > c.maxDeg {
+				if d := a.Degree(CandIndex(i)); d > c.maxDeg {
 					c.maxDeg = d
 				}
 			}
@@ -155,9 +193,15 @@ func (c *CST) IsEmpty() bool {
 }
 
 // Validate checks the CST's structural invariants: sorted candidate sets,
-// within-range adjacency targets, symmetric adjacency for both edge
-// directions, and adjacency only between genuine data-graph edges.
+// the dense adjacency table shaped for exactly q's edges (both directions
+// present, non-edges nil), within-range adjacency targets, symmetric
+// adjacency for both edge directions, and adjacency only between genuine
+// data-graph edges.
 func (c *CST) Validate(g *graph.Graph) error {
+	nq := c.Query.NumVertices()
+	if len(c.Cand) != nq || len(c.adj) != nq*nq {
+		return fmt.Errorf("cst: dense tables sized (%d, %d), want (%d, %d)", len(c.Cand), len(c.adj), nq, nq*nq)
+	}
 	for u, cands := range c.Cand {
 		for i := 1; i < len(cands); i++ {
 			if cands[i-1] >= cands[i] {
@@ -165,25 +209,37 @@ func (c *CST) Validate(g *graph.Graph) error {
 			}
 		}
 	}
-	for key, a := range c.adj {
-		if len(a.Offsets) != len(c.Cand[key.From])+1 {
-			return fmt.Errorf("cst: adj %v offsets length %d, want %d", key, len(a.Offsets), len(c.Cand[key.From])+1)
-		}
-		rev := c.adj[edgeKey{key.To, key.From}]
-		if rev == nil {
-			return fmt.Errorf("cst: missing reverse adjacency for %v", key)
-		}
-		for i := 0; i < len(c.Cand[key.From]); i++ {
-			for _, j := range a.neighbors(CandIndex(i)) {
-				if int(j) >= len(c.Cand[key.To]) {
-					return fmt.Errorf("cst: adj %v target %d out of range", key, j)
+	for from := 0; from < nq; from++ {
+		for to := 0; to < nq; to++ {
+			a := c.Edge(from, to)
+			if !c.Query.HasEdge(from, to) {
+				if a != nil {
+					return fmt.Errorf("cst: adjacency (%d→%d) present for a non-edge of q", from, to)
 				}
-				if g != nil && !g.HasEdge(c.Cand[key.From][i], c.Cand[key.To][j]) {
-					return fmt.Errorf("cst: adj %v claims edge (%d,%d) absent from G",
-						key, c.Cand[key.From][i], c.Cand[key.To][j])
-				}
-				if !rev.has(j, CandIndex(i)) {
-					return fmt.Errorf("cst: adj %v entry (%d,%d) not mirrored", key, i, j)
+				continue
+			}
+			if a == nil {
+				return fmt.Errorf("cst: missing adjacency for query edge %d→%d", from, to)
+			}
+			if len(a.Offsets) != len(c.Cand[from])+1 {
+				return fmt.Errorf("cst: adj %d→%d offsets length %d, want %d", from, to, len(a.Offsets), len(c.Cand[from])+1)
+			}
+			rev := c.Edge(to, from)
+			if rev == nil {
+				return fmt.Errorf("cst: missing reverse adjacency for %d→%d", from, to)
+			}
+			for i := 0; i < len(c.Cand[from]); i++ {
+				for _, j := range a.Neighbors(CandIndex(i)) {
+					if int(j) >= len(c.Cand[to]) {
+						return fmt.Errorf("cst: adj %d→%d target %d out of range", from, to, j)
+					}
+					if g != nil && !g.HasEdge(c.Cand[from][i], c.Cand[to][j]) {
+						return fmt.Errorf("cst: adj %d→%d claims edge (%d,%d) absent from G",
+							from, to, c.Cand[from][i], c.Cand[to][j])
+					}
+					if !rev.Has(j, CandIndex(i)) {
+						return fmt.Errorf("cst: adj %d→%d entry (%d,%d) not mirrored", from, to, i, j)
+					}
 				}
 			}
 		}
@@ -206,7 +262,9 @@ func (c *CST) ComputeStats() Stats {
 		s.CandTotal += len(cands)
 	}
 	for _, a := range c.adj {
-		s.AdjEntries += len(a.Targets)
+		if a != nil {
+			s.AdjEntries += len(a.Targets)
+		}
 	}
 	s.AdjEntries /= 2 // both directions stored
 	return s

@@ -68,6 +68,7 @@ func (cfg PartitionConfig) Fits(c *CST) bool {
 // catches a divergence.
 func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) int {
 	count := 0
+	sc := &restrictScratch{} // one scratch serves the whole recursion
 	var rec func(cur *CST, index int)
 	rec = func(cur *CST, index int) {
 		if cfg.cancelled() {
@@ -101,7 +102,7 @@ func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) i
 				return
 			}
 			chunk := evenChunk(len(cur.Cand[u]), k, i)
-			part := restrict(cur, u, chunk)
+			part := restrict(cur, u, chunk, sc)
 			if part.IsEmpty() {
 				continue // restriction stranded a branch: no embeddings here
 			}
@@ -152,25 +153,71 @@ func evenChunk(n, k, i int) [2]int {
 	return [2]int{lo, hi}
 }
 
+// restrictScratch holds restrict's per-call working state so that repeated
+// restrict steps — the sequential recursion, and every worker of the
+// concurrent producers — reuse buffers instead of allocating them per piece.
+// Only bookkeeping lives here; everything that escapes into the produced
+// CST is freshly allocated. A scratch is single-goroutine state: the
+// sequential partitioner owns one, and each concurrent pool worker owns one.
+type restrictScratch struct {
+	inSub    []bool
+	changed  []bool
+	kept     [][]bool      // per vertex in u's subtree: which candidate indices survive
+	keptList [][]CandIndex // kept indices, discovery order
+	remap    [][]CandIndex // old index -> new index or -1
+}
+
+// grow sizes the scratch for an n-vertex query and clears the per-vertex
+// flags; the inner buffers are cleared lazily where they are (re)used.
+func (sc *restrictScratch) grow(n int) {
+	if cap(sc.inSub) < n {
+		sc.inSub = make([]bool, n)
+		sc.changed = make([]bool, n)
+		sc.kept = make([][]bool, n)
+		sc.keptList = make([][]CandIndex, n)
+		sc.remap = make([][]CandIndex, n)
+	}
+	sc.inSub = sc.inSub[:n]
+	sc.changed = sc.changed[:n]
+	sc.kept = sc.kept[:n]
+	sc.keptList = sc.keptList[:n]
+	sc.remap = sc.remap[:n]
+	clear(sc.inSub)
+	clear(sc.changed)
+}
+
+// clearedBools returns b resized to n with all entries false, reusing its
+// capacity when possible.
+func clearedBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
 // restrict builds a new CST from cur with C(u) limited to the given index
 // chunk. Vertices preceding u in the order keep all candidates (lines 7-8 of
 // Algorithm 2); vertices in u's tree subtree keep only candidates that can
 // reach the chunk through tree edges (lines 9-12) — every other vertex
 // trivially reaches the chunk through the unrestricted prefix. Adjacency
 // lists are rebuilt against the kept candidates (line 13).
-func restrict(cur *CST, u graph.QueryVertex, chunk [2]int) *CST {
+func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) *CST {
 	t := cur.Tree
 	n := cur.Query.NumVertices()
 
-	// kept[w] marks which candidate indices of w survive; nil means all of
-	// them (vertices outside u's subtree are never restricted, so they
-	// carry no per-candidate bookkeeping at all).
-	kept := make([][]bool, n)
-	keptList := make([][]CandIndex, n) // kept indices, discovery order
-	inSubtree := subtreeOf(t, u)
+	sc.grow(n)
+	// inSub[w] marks u's tree subtree: only those vertices carry
+	// per-candidate bookkeeping at all (everything else keeps its whole
+	// candidate set).
+	inSub := sc.inSub
+	markSubtree(t, u, inSub)
+	kept, keptList := sc.kept, sc.keptList
 	for w := 0; w < n; w++ {
-		if inSubtree[w] {
-			kept[w] = make([]bool, len(cur.Cand[w]))
+		if inSub[w] {
+			kept[w] = clearedBools(kept[w], len(cur.Cand[w]))
+			keptList[w] = keptList[w][:0]
 		}
 	}
 	for i := chunk[0]; i < chunk[1]; i++ {
@@ -182,18 +229,21 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int) *CST {
 	// proportional to its own size rather than the whole CST — this is
 	// what keeps recursive partitioning of large CSTs near-linear.
 	for _, w := range t.BFSOrder {
-		if !inSubtree[w] || w == u {
+		if !inSub[w] || w == u {
 			continue
 		}
 		wp := t.Parent[w] // wp is in the subtree too (only u's parent is outside)
+		adj := cur.Edge(wp, w)
+		kw, lw := kept[w], keptList[w]
 		for _, pi := range keptList[wp] {
-			for _, ci := range cur.Adjacency(wp, w, pi) {
-				if !kept[w][ci] {
-					kept[w][ci] = true
-					keptList[w] = append(keptList[w], ci)
+			for _, ci := range adj.Neighbors(pi) {
+				if !kw[ci] {
+					kw[ci] = true
+					lw = append(lw, ci)
 				}
 			}
 		}
+		keptList[w] = lw
 	}
 
 	// Materialise the restricted CST: remap candidate indices, then filter
@@ -203,75 +253,70 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int) *CST {
 	// copied — CSTs are immutable after construction, and this turns the
 	// recursive partitioning of a large CST from quadratic copying into
 	// work proportional to the restricted subtrees only.
-	part := &CST{
-		Query: cur.Query,
-		Tree:  t,
-		Cand:  make([][]graph.VertexID, n),
-		adj:   make(map[edgeKey]*adjList),
-	}
-	changed := make([]bool, n)
-	remap := make([][]CandIndex, n) // old index -> new index or -1
+	part := newCST(cur.Query, t)
+	changed, remap := sc.changed, sc.remap
 	for w := 0; w < n; w++ {
-		allKept := kept[w] == nil
-		if !allKept {
-			allKept = true
-			for i := range kept[w] {
-				if !kept[w][i] {
-					allKept = false
-					break
-				}
-			}
-		}
-		if allKept {
+		// keptList holds distinct indices, so full length means all kept.
+		if !inSub[w] || len(keptList[w]) == len(cur.Cand[w]) {
 			part.Cand[w] = cur.Cand[w]
 			continue
 		}
 		changed[w] = true
-		remap[w] = make([]CandIndex, len(cur.Cand[w]))
-		for i := range remap[w] {
-			remap[w][i] = -1
+		if cap(remap[w]) < len(cur.Cand[w]) {
+			remap[w] = make([]CandIndex, len(cur.Cand[w]))
 		}
+		remap[w] = remap[w][:len(cur.Cand[w])]
+		newCand := make([]graph.VertexID, 0, len(keptList[w]))
 		for i, v := range cur.Cand[w] {
 			if kept[w][i] {
-				remap[w][i] = CandIndex(len(part.Cand[w]))
-				part.Cand[w] = append(part.Cand[w], v)
+				remap[w][i] = CandIndex(len(newCand))
+				newCand = append(newCand, v)
+			} else {
+				remap[w][i] = -1
 			}
 		}
+		part.Cand[w] = newCand
 	}
-	for key, a := range cur.adj {
-		if !changed[key.From] && !changed[key.To] {
-			part.adj[key] = a // share: both endpoints untouched
-			continue
-		}
-		na := &adjList{Offsets: make([]int32, len(part.Cand[key.From])+1)}
-		for i := range cur.Cand[key.From] {
-			ni := CandIndex(i)
-			if changed[key.From] {
-				ni = remap[key.From][i]
-				if ni < 0 {
-					continue
-				}
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			a := cur.Edge(from, to)
+			if a == nil {
+				continue
 			}
-			for _, j := range a.neighbors(CandIndex(i)) {
-				nj := j
-				if changed[key.To] {
-					nj = remap[key.To][j]
-					if nj < 0 {
+			if !changed[from] && !changed[to] {
+				part.setAdj(from, to, a) // share: both endpoints untouched
+				continue
+			}
+			na := &Adj{Offsets: make([]int32, len(part.Cand[from])+1)}
+			for i := range cur.Cand[from] {
+				ni := CandIndex(i)
+				if changed[from] {
+					ni = remap[from][i]
+					if ni < 0 {
 						continue
 					}
 				}
-				na.Targets = append(na.Targets, nj)
+				for _, j := range a.Neighbors(CandIndex(i)) {
+					nj := j
+					if changed[to] {
+						nj = remap[to][j]
+						if nj < 0 {
+							continue
+						}
+					}
+					na.Targets = append(na.Targets, nj)
+				}
+				na.Offsets[ni+1] = int32(len(na.Targets))
 			}
-			na.Offsets[ni+1] = int32(len(na.Targets))
+			part.setAdj(from, to, na)
 		}
-		part.adj[key] = na
 	}
 	return part
 }
 
-// subtreeOf marks u and all its tree descendants.
-func subtreeOf(t *order.Tree, u graph.QueryVertex) []bool {
-	in := make([]bool, t.Query.NumVertices())
+// markSubtree sets in[w] for u and all its tree descendants; in must be
+// pre-cleared and len(in) == |V(q)|.
+func markSubtree(t *order.Tree, u graph.QueryVertex, in []bool) {
 	in[u] = true
 	// BFSOrder lists parents before children, so one pass suffices.
 	for _, w := range t.BFSOrder {
@@ -280,5 +325,4 @@ func subtreeOf(t *order.Tree, u graph.QueryVertex) []bool {
 		}
 	}
 	in[u] = true
-	return in
 }

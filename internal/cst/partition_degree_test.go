@@ -89,6 +89,14 @@ func TestPartitionEmptyPartsSkipped(t *testing.T) {
 	})
 }
 
+// subtreeOf is markSubtree with a fresh marker, the pre-scratch shape the
+// tests below were written against.
+func subtreeOf(t *order.Tree, u graph.QueryVertex) []bool {
+	in := make([]bool, t.Query.NumVertices())
+	markSubtree(t, u, in)
+	return in
+}
+
 // TestSubtreeOf covers the subtree marker used by restriction.
 func TestSubtreeOf(t *testing.T) {
 	q := graph.MustQuery("t", []graph.Label{0, 1, 2, 3, 4},

@@ -1,0 +1,100 @@
+package cst
+
+import (
+	"strings"
+	"testing"
+
+	"fastmatch/graph"
+)
+
+// corruptibleCST builds a small real CST (Fig. 4 shape) the corruption tests
+// below can damage; each test re-derives a fresh one.
+func corruptibleCST(t *testing.T) *CST {
+	t.Helper()
+	c := fig4CST()
+	if err := c.Validate(nil); err != nil {
+		t.Fatalf("fixture CST invalid: %v", err)
+	}
+	return c
+}
+
+// TestValidateDenseLayout covers the dense-adjacency invariants Validate
+// must catch: a mis-sized table, adjacency installed for a non-edge of q, a
+// missing reverse direction, an out-of-range target and a broken mirror.
+func TestValidateDenseLayout(t *testing.T) {
+	t.Run("table-size", func(t *testing.T) {
+		c := corruptibleCST(t)
+		c.adj = c.adj[:len(c.adj)-1]
+		if err := c.Validate(nil); err == nil || !strings.Contains(err.Error(), "dense tables") {
+			t.Errorf("truncated adj table not caught: %v", err)
+		}
+	})
+	t.Run("non-edge-adjacency", func(t *testing.T) {
+		c := corruptibleCST(t)
+		// {1,2} is not an edge of the fig4 query (edges: 0-1, 0-2, 1-3).
+		c.setAdj(1, 2, &Adj{Offsets: make([]int32, len(c.Cand[1])+1)})
+		if err := c.Validate(nil); err == nil || !strings.Contains(err.Error(), "non-edge") {
+			t.Errorf("non-edge adjacency not caught: %v", err)
+		}
+	})
+	t.Run("missing-reverse", func(t *testing.T) {
+		c := corruptibleCST(t)
+		c.setAdj(1, 0, nil)
+		if err := c.Validate(nil); err == nil ||
+			!(strings.Contains(err.Error(), "missing reverse") || strings.Contains(err.Error(), "missing adjacency")) {
+			t.Errorf("missing reverse adjacency not caught: %v", err)
+		}
+	})
+	t.Run("out-of-range-target", func(t *testing.T) {
+		c := corruptibleCST(t)
+		a := c.Edge(0, 1)
+		a.Targets[0] = CandIndex(len(c.Cand[1])) // one past the end
+		if err := c.Validate(nil); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("out-of-range target not caught: %v", err)
+		}
+	})
+	t.Run("broken-mirror", func(t *testing.T) {
+		c := corruptibleCST(t)
+		// Drop every edge from the reverse direction but keep the forward
+		// entries: each forward entry is now unmirrored.
+		rev := c.Edge(1, 0)
+		rev.Targets = rev.Targets[:0]
+		for i := range rev.Offsets {
+			rev.Offsets[i] = 0
+		}
+		if err := c.Validate(nil); err == nil || !strings.Contains(err.Error(), "not mirrored") {
+			t.Errorf("broken mirror not caught: %v", err)
+		}
+	})
+	t.Run("edge-absent-from-G", func(t *testing.T) {
+		c := corruptibleCST(t)
+		// A data graph sharing the candidate id space but missing the
+		// claimed edges: every adjacency entry must fail the G cross-check.
+		b := graph.NewBuilder(12, 1)
+		for i := 0; i < 12; i++ {
+			b.AddVertex(0)
+		}
+		b.AddEdge(0, 11)
+		g := b.MustBuild()
+		if err := c.Validate(g); err == nil || !strings.Contains(err.Error(), "absent from G") {
+			t.Errorf("phantom data edge not caught: %v", err)
+		}
+	})
+}
+
+// TestValidateAcceptsBuiltAndRestricted: Build outputs and restrict outputs
+// (which share unchanged adjacency lists with their parent) both satisfy the
+// dense-layout invariants against the originating graph.
+func TestValidateAcceptsBuiltAndRestricted(t *testing.T) {
+	c, o, cfg := ldbcCST(t, "q2")
+	pieces := 0
+	Partition(c, o, cfg, func(p *CST) {
+		pieces++
+		if err := p.Validate(nil); err != nil {
+			t.Fatalf("piece %d invalid: %v", pieces, err)
+		}
+	})
+	if pieces < 2 {
+		t.Fatalf("partition produced %d pieces; thresholds not tight enough", pieces)
+	}
+}

@@ -17,16 +17,17 @@ import (
 // cands[u] lists data vertices; adjOut maps "from,to" pairs to per-candidate
 // target index lists.
 func makeSyntheticCST(q *graph.Query, tr *order.Tree, cands [][]graph.VertexID, adjPairs map[[2]graph.QueryVertex][][]CandIndex) *CST {
-	c := &CST{Query: q, Tree: tr, Cand: cands, adj: make(map[edgeKey]*adjList)}
+	c := newCST(q, tr)
+	c.Cand = cands
 	for pair, lists := range adjPairs {
-		a := &adjList{Offsets: make([]int32, len(cands[pair[0]])+1)}
+		a := &Adj{Offsets: make([]int32, len(cands[pair[0]])+1)}
 		for i, targets := range lists {
 			a.Targets = append(a.Targets, targets...)
 			a.Offsets[i+1] = int32(len(a.Targets))
 		}
-		c.adj[edgeKey{pair[0], pair[1]}] = a
+		c.setAdj(pair[0], pair[1], a)
 		// Mirror.
-		rev := &adjList{Offsets: make([]int32, len(cands[pair[1]])+1)}
+		rev := &Adj{Offsets: make([]int32, len(cands[pair[1]])+1)}
 		buckets := make([][]CandIndex, len(cands[pair[1]]))
 		for i, targets := range lists {
 			for _, j := range targets {
@@ -37,7 +38,7 @@ func makeSyntheticCST(q *graph.Query, tr *order.Tree, cands [][]graph.VertexID, 
 			rev.Targets = append(rev.Targets, b...)
 			rev.Offsets[j+1] = int32(len(rev.Targets))
 		}
-		c.adj[edgeKey{pair[1], pair[0]}] = rev
+		c.setAdj(pair[1], pair[0], rev)
 	}
 	return c
 }

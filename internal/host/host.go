@@ -153,6 +153,21 @@ func (c Config) runPartition(root *cst.CST, o order.Order, process func(*cst.CST
 	return cst.Partition(root, o, c.Partition, process)
 }
 
+// kernelScratch pools core.Scratch values across kernel runs — and across
+// Match calls, since the pool is package-level — so steady-state serving
+// performs no per-run arena allocation: each kernel execution borrows the
+// partial-mapping arena for its duration and returns it when done.
+var kernelScratch = sync.Pool{New: func() any { return new(core.Scratch) }}
+
+// runKernel executes one kernel over p with a pooled scratch.
+func runKernel(p *cst.CST, o order.Order, opts core.Options) (core.Result, error) {
+	s := kernelScratch.Get().(*core.Scratch)
+	opts.Scratch = s
+	res, err := core.Run(p, o, opts)
+	kernelScratch.Put(s)
+	return res, err
+}
+
 // Plan is the output of Phase 1: everything Match derives from (q, g)
 // before partitioning starts. A Plan is immutable after Prepare and safe to
 // share between concurrent Match calls — the CST is read-only during
@@ -422,7 +437,7 @@ func matchSequential(cfg Config, ct *runControl, rep *Report, c *cst.CST, o orde
 		if cfg.Pool != nil && !ct.acquirePool(cfg.Pool) {
 			return // cancelled while queued behind other tenants
 		}
-		res, err := core.Run(p, o, kopts)
+		res, err := runKernel(p, o, kopts)
 		if cfg.Pool != nil {
 			<-cfg.Pool
 		}
@@ -621,7 +636,7 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 					}
 					continue
 				}
-				res, err := core.Run(p, o, kopts)
+				res, err := runKernel(p, o, kopts)
 				var cycles int64
 				if err == nil {
 					cycles = res.Cycles
