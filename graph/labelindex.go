@@ -2,6 +2,7 @@ package graph
 
 import (
 	"errors"
+	"slices"
 	"sort"
 )
 
@@ -56,7 +57,7 @@ func (g *Graph) buildLabelIndex() {
 			}
 			cnt[l]++
 		}
-		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		slices.Sort(touched)
 		base := g.offsets[v]
 		for _, l := range touched {
 			idx.runLabels = append(idx.runLabels, l)

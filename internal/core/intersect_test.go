@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fastmatch/internal/cst"
+)
+
+// oracleHas is the binary-search membership check the kernel used before the
+// gallop/bitset strategies — the reference both are pitted against.
+func oracleHas(rl []cst.CandIndex, ci cst.CandIndex) bool {
+	i := sort.Search(len(rl), func(k int) bool { return rl[k] >= ci })
+	return i < len(rl) && rl[i] == ci
+}
+
+// randomList draws a sorted duplicate-free candidate list from [0, universe).
+// Skew concentrates mass near the low end (long runs the gallop cursor must
+// skip) when true; otherwise the list is uniform.
+func randomList(rng *rand.Rand, universe, size int, skew bool) []cst.CandIndex {
+	seen := make(map[int32]bool, size)
+	out := make([]cst.CandIndex, 0, size)
+	for len(out) < size {
+		var v int32
+		if skew {
+			// Square the uniform draw: density ~1/sqrt near zero.
+			f := rng.Float64()
+			v = int32(f * f * float64(universe))
+		} else {
+			v = int32(rng.Intn(universe))
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, cst.CandIndex(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ascendingProbes draws an ascending probe sequence: roughly half the probes
+// are real list members (hits), the rest uniform misses, mirroring how the
+// kernel consumes a partial's candidate list in order.
+func ascendingProbes(rng *rand.Rand, rl []cst.CandIndex, universe, n int) []cst.CandIndex {
+	probes := make([]cst.CandIndex, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rl) > 0 && rng.Intn(2) == 0 {
+			probes = append(probes, rl[rng.Intn(len(rl))])
+		} else {
+			probes = append(probes, cst.CandIndex(rng.Intn(universe)))
+		}
+	}
+	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+	return probes
+}
+
+// TestGallopProbeMatchesOracle pits the monotone gallop cursor against the
+// binary-search oracle on randomized skewed and dense lists. The cursor's
+// contract — probes within one batch never decrease — is exactly what the
+// kernel guarantees, so the sequences here are sorted before probing.
+func TestGallopProbeMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		universe := 1 + rng.Intn(2000)
+		size := rng.Intn(universe)
+		skew := trial%2 == 0
+		rl := randomList(rng, universe, size, skew)
+		probes := ascendingProbes(rng, rl, universe, rng.Intn(300))
+
+		g := gallopState{rl: rl}
+		for i, ci := range probes {
+			got := g.probe(ci)
+			want := oracleHas(rl, ci)
+			if got != want {
+				t.Fatalf("trial %d (skew=%v, |rl|=%d): probe #%d ci=%d: gallop=%v oracle=%v",
+					trial, skew, len(rl), i, ci, got, want)
+			}
+		}
+	}
+}
+
+// TestGallopProbeDuplicates: repeated probes of the same value (the kernel
+// batch can carry equal candidate indices across partials after a cursor
+// reset, and within a batch after a hit) must all agree with the oracle.
+func TestGallopProbeDuplicates(t *testing.T) {
+	rl := []cst.CandIndex{2, 5, 5, 9}
+	g := gallopState{rl: rl}
+	for _, probe := range []struct {
+		ci   cst.CandIndex
+		want bool
+	}{{2, true}, {2, true}, {5, true}, {5, true}, {7, false}, {7, false}, {9, true}} {
+		if got := g.probe(probe.ci); got != probe.want {
+			t.Fatalf("probe(%d) = %v, want %v", probe.ci, got, probe.want)
+		}
+	}
+}
+
+// TestGallopTo checks the doubling-then-binary-search seek lands on the first
+// position >= target for exhaustive small cases.
+func TestGallopTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		universe := 1 + rng.Intn(200)
+		rl := randomList(rng, universe, rng.Intn(universe), trial%2 == 0)
+		cur := int32(0)
+		if len(rl) > 0 {
+			cur = int32(rng.Intn(len(rl) + 1))
+		}
+		target := cst.CandIndex(rng.Intn(universe + 1))
+		got := gallopTo(rl, cur, target)
+		want := cur
+		for int(want) < len(rl) && rl[want] < target {
+			want++
+		}
+		if got != want {
+			t.Fatalf("trial %d: gallopTo(|rl|=%d, cur=%d, target=%d) = %d, want %d",
+				trial, len(rl), cur, target, got, want)
+		}
+	}
+}
+
+// TestBitsetMarkMatchesOracle replicates the kernel's bitset strategy — mark
+// every member of a reverse list, then word-test each probe — and pits it
+// against the oracle on the same randomized lists. Unlike the gallop cursor
+// the bitset has no monotonicity requirement, so probes here are unsorted.
+func TestBitsetMarkMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		universe := 1 + rng.Intn(2000)
+		rl := randomList(rng, universe, rng.Intn(universe), trial%2 == 0)
+
+		words := make([]uint64, bitsetWords(universe))
+		for _, ci := range rl {
+			words[ci>>6] |= 1 << (uint(ci) & 63)
+		}
+		for i := 0; i < 300; i++ {
+			ci := cst.CandIndex(rng.Intn(universe))
+			got := words[ci>>6]&(1<<(uint(ci)&63)) != 0
+			if want := oracleHas(rl, ci); got != want {
+				t.Fatalf("trial %d: bitset(%d) = %v, oracle = %v", trial, ci, got, want)
+			}
+		}
+	}
+}
+
+// TestBitsetWords pins the word-count arithmetic at the boundaries.
+func TestBitsetWords(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	} {
+		if got := bitsetWords(tc.n); got != tc.want {
+			t.Errorf("bitsetWords(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

@@ -11,6 +11,13 @@
 // modules, Eq. 2), FAST-TASK (task parallelism via FIFOs, Eq. 3) and
 // FAST-SEP (split tv/tn generators, Eq. 4). All variants return identical
 // embedding sets; only the cycle accounting differs.
+//
+// Run's edge validation picks an intersection strategy per check slot at
+// prepare time — a monotone galloping cursor over the reverse CSR adjacency
+// list by default, or a lazily marked candidate bitset (the software
+// analogue of the paper's BRAM bitmaps) for high-degree slots; see
+// intersect.go for the selection rule. Simulate keeps the plain binary
+// search, which also serves as the oracle for the strategy property tests.
 package core
 
 import (
@@ -131,8 +138,15 @@ type Options struct {
 // allocation per kernel run.
 type Scratch struct {
 	maps     []cst.CandIndex
+	vmaps    []graph.VertexID
 	partials []partial
 	rootIdx  []cst.CandIndex
+	// Bitset-strategy state (see intersect.go): one bit arena shared by all
+	// bitset check slots plus the candidate index each slot currently has
+	// marked (-1 when clean). prepare re-derives the slot layout and resets
+	// both, so a pooled Scratch can cross runs over different CSTs.
+	bitWords []uint64
+	markedMj []cst.CandIndex
 }
 
 // partial is an entry of the intermediate results buffer P: the candidate
@@ -141,7 +155,11 @@ type Scratch struct {
 // No budget, the paper maps the first batch and resumes the rest later
 // (Section VI-B).
 type partial struct {
-	m   []cst.CandIndex
+	m []cst.CandIndex
+	// mv mirrors m with the mapped data vertices, so the Visited Validator
+	// scans one contiguous array instead of re-deriving each id through
+	// candAt — the hardware keeps exactly this duplicated column in BRAM.
+	mv  []graph.VertexID
 	cur int32
 }
 
@@ -194,14 +212,28 @@ type runState struct {
 	// parentPos[d] is the order position of O[d]'s tree parent.
 	parentPos []int
 	// Hot-path hoists, resolved once in prepare so round performs zero map
-	// lookups and zero indirect calls per candidate: parentAdj[d] is the
-	// CST adjacency the Generator walks at depth d, checkAdj[d]/checkPos[d]
-	// (aligned with checks[d]) are the Edge Validator's probe targets, and
-	// candAt[d] is C(O[d]) for the Visited Validator's id recovery.
-	parentAdj []*cst.Adj
-	checkAdj  [][]*cst.Adj
+	// lookups, zero pointer derefs and zero indirect calls per candidate:
+	// parentAdj[d] is the CSR view (two slice headers, copied by value out
+	// of the CST's flat arenas) the Generator walks at depth d,
+	// checkAdj[d]/checkPos[d] (aligned with checks[d]) are the Edge
+	// Validator's probe targets, and candAt[d] is C(O[d]) for the Visited
+	// Validator's id recovery.
+	parentAdj []cst.Adj
+	checkAdj  [][]cst.Adj
 	checkPos  [][]int32
 	candAt    [][]graph.VertexID
+	// Adaptive edge validation (intersect.go): checkRev[d] mirrors
+	// checkAdj[d] with the reverse CSR views, checkStrat[d] the per-slot
+	// strategy, slotOf[d] the global slot id (indexing scratch.markedMj and,
+	// through bitBase, the scratch bit arena). gallopRevs/gallopCurs are the
+	// per-round cursor state for the gallop slots of the level being
+	// expanded, reset per partial.
+	checkRev   [][]cst.Adj
+	checkStrat [][]strategy
+	slotOf     [][]int32
+	bitBase    []int
+	checkBits  [][][]uint64 // bitset slots: pre-cut word windows, else nil
+	gallop     []gallopState
 
 	levels  [][]partial     // levels[d]: partials with d vertices mapped
 	rootIdx []cst.CandIndex // identity sequence over C(root)
@@ -248,10 +280,14 @@ func (r *runState) prepare() {
 
 	r.checks = make([][]graph.QueryVertex, nq)
 	r.parentPos = make([]int, nq)
-	r.parentAdj = make([]*cst.Adj, nq)
-	r.checkAdj = make([][]*cst.Adj, nq)
+	r.parentAdj = make([]cst.Adj, nq)
+	r.checkAdj = make([][]cst.Adj, nq)
 	r.checkPos = make([][]int32, nq)
 	r.candAt = make([][]graph.VertexID, nq)
+	r.checkRev = make([][]cst.Adj, nq)
+	r.checkStrat = make([][]strategy, nq)
+	r.slotOf = make([][]int32, nq)
+	nSlots, maxChecks := 0, 0
 	for d, u := range r.o {
 		r.candAt[d] = r.c.Candidates(u)
 		if d > 0 {
@@ -264,9 +300,67 @@ func (r *runState) prepare() {
 				continue
 			}
 			if r.pos[un] < d {
+				fwd := r.c.Edge(u, un)
 				r.checks[d] = append(r.checks[d], un)
-				r.checkAdj[d] = append(r.checkAdj[d], r.c.Edge(u, un))
+				r.checkAdj[d] = append(r.checkAdj[d], fwd)
 				r.checkPos[d] = append(r.checkPos[d], int32(r.pos[un]))
+				r.checkRev[d] = append(r.checkRev[d], r.c.Edge(un, u))
+				// Strategy (intersect.go): slots whose forward lists are
+				// long on average pay off a per-mj bitset mark; the rest
+				// gallop a cursor over the reverse list.
+				strat := stratGallop
+				if nc := len(r.candAt[d]); nc > 0 && len(fwd.Targets) >= bitsetMinAvgDeg*nc {
+					strat = stratBitset
+				}
+				r.checkStrat[d] = append(r.checkStrat[d], strat)
+				r.slotOf[d] = append(r.slotOf[d], int32(nSlots))
+				nSlots++
+			}
+		}
+		if len(r.checks[d]) > maxChecks {
+			maxChecks = len(r.checks[d])
+		}
+	}
+	// Bitset arena layout: bitBase[slot] is the word offset of the slot's
+	// bitset over C(O[d]); gallop slots occupy no words. The arena and the
+	// marked indices are reset here because a pooled Scratch crosses runs
+	// whose slot layouts differ.
+	r.bitBase = make([]int, nSlots)
+	words := 0
+	for d := range r.o {
+		for k, strat := range r.checkStrat[d] {
+			if strat != stratBitset {
+				continue
+			}
+			r.bitBase[r.slotOf[d][k]] = words
+			words += bitsetWords(len(r.candAt[d]))
+		}
+	}
+	if cap(sc.bitWords) < words {
+		sc.bitWords = make([]uint64, words)
+	}
+	sc.bitWords = sc.bitWords[:words]
+	clear(sc.bitWords)
+	if cap(sc.markedMj) < nSlots {
+		sc.markedMj = make([]cst.CandIndex, nSlots)
+	}
+	sc.markedMj = sc.markedMj[:nSlots]
+	for i := range sc.markedMj {
+		sc.markedMj[i] = -1
+	}
+	r.gallop = make([]gallopState, maxChecks)
+	// Pre-cut each bitset slot's word window once; the probe loop then
+	// indexes a stable slice instead of re-deriving arena offsets.
+	r.checkBits = make([][][]uint64, nq)
+	for d := range r.o {
+		if len(r.checkStrat[d]) == 0 {
+			continue
+		}
+		r.checkBits[d] = make([][]uint64, len(r.checkStrat[d]))
+		for k, strat := range r.checkStrat[d] {
+			if strat == stratBitset {
+				base := r.bitBase[r.slotOf[d][k]]
+				r.checkBits[d][k] = sc.bitWords[base : base+bitsetWords(len(r.candAt[d]))]
 			}
 		}
 	}
@@ -283,8 +377,10 @@ func (r *runState) prepare() {
 	}
 	if cap(sc.maps) < total {
 		sc.maps = make([]cst.CandIndex, total)
+		sc.vmaps = make([]graph.VertexID, total)
 	}
 	sc.maps = sc.maps[:total]
+	sc.vmaps = sc.vmaps[:total]
 	np := 1 + (nq-1)*no
 	if cap(sc.partials) < np {
 		sc.partials = make([]partial, np)
@@ -314,11 +410,11 @@ func (r *runState) prepare() {
 	}
 }
 
-// mapSlot returns the arena-backed mapping array for the idx-th partial of
-// level d.
-func (r *runState) mapSlot(d, idx int) []cst.CandIndex {
+// mapSlot returns the arena-backed mapping arrays (candidate indices and
+// mirrored data vertices) for the idx-th partial of level d.
+func (r *runState) mapSlot(d, idx int) ([]cst.CandIndex, []graph.VertexID) {
 	lo := r.mapBase[d] + idx*d
-	return r.scratch.maps[lo : lo+d : lo+d]
+	return r.scratch.maps[lo : lo+d : lo+d], r.scratch.vmaps[lo : lo+d : lo+d]
 }
 
 // candidatesOf returns the candidate list the Generator reads for extending
@@ -409,10 +505,49 @@ func (r *runState) round(d int) {
 	// vertices mapped... they extend *to* depth d+1 by matching O[d].
 	checkList := r.checksFor(d)
 
+	// Hoist the level's per-check state out of the candidate loop: slice
+	// headers for the candidate array and probe metadata, plus the scratch
+	// bitset arena — the loop below touches only contiguous locals.
+	candHere := r.candAt[d]
+	checkPos := r.checkPos[d]
+	checkStrat := r.checkStrat[d]
+	checkRev := r.checkRev[d]
+	checkBits := r.checkBits[d]
+	slots := r.slotOf[d]
+	marked := r.scratch.markedMj
+
 	budget := int64(cfg.No)
 	i := 0
 	for i < len(level) && nPo < budget {
 		p := &level[i]
+		// Per-partial probe setup (Algorithm 7's batch form): every check's
+		// counterpart mapping mj is fixed for the whole batch, and the
+		// candidates below arrive in strictly ascending ci order. Gallop
+		// slots pin the reverse list of mj and reset their cursor; bitset
+		// slots mark mj's reverse list once, cached across partials that
+		// share the mapping (markedMj) — clearing walks the old list, so the
+		// arena never needs a full wipe between partials.
+		for k := range checkList {
+			mj := p.m[checkPos[k]]
+			if checkStrat[k] == stratGallop {
+				r.gallop[k] = gallopState{rl: checkRev[k].Neighbors(mj)}
+				continue
+			}
+			slot := slots[k]
+			if marked[slot] == mj {
+				continue
+			}
+			bits := checkBits[k]
+			if old := marked[slot]; old >= 0 {
+				for _, cj := range checkRev[k].Neighbors(old) {
+					bits[cj>>6] &^= 1 << (uint(cj) & 63)
+				}
+			}
+			for _, cj := range checkRev[k].Neighbors(mj) {
+				bits[cj>>6] |= 1 << (uint(cj) & 63)
+			}
+			marked[slot] = mj
+		}
 		cands := r.candidatesOf(d, p)
 		avail := cands[p.cur:]
 		pops++
@@ -428,20 +563,29 @@ func (r *runState) round(d int) {
 			nTn += int64(len(checkList))
 			// Visited validation (Algorithm 6): the newly mapped data
 			// vertex must be fresh.
-			v := r.candAt[d][ci]
+			v := candHere[ci]
 			valid := true
-			for pos2, mi := range p.m {
-				if r.candAt[pos2][mi] == v {
+			for _, w := range p.mv {
+				if w == v {
 					valid = false
 					break
 				}
 			}
 			// Edge validation (Algorithm 7): the new candidate must be
 			// CST-adjacent to every earlier non-tree neighbour's mapping —
-			// each probe one hoisted-adjacency binary search.
+			// each probe one bitset word test or one monotone cursor
+			// advance, never a per-candidate binary search.
 			if valid {
 				for k := range checkList {
-					if !r.checkAdj[d][k].Has(ci, p.m[r.checkPos[d][k]]) {
+					if checkStrat[k] == stratBitset {
+						bits := checkBits[k]
+						if bits[ci>>6]&(1<<(uint(ci)&63)) == 0 {
+							valid = false
+							break
+						}
+						continue
+					}
+					if !r.gallop[k].probe(ci) {
 						valid = false
 						break
 					}
@@ -458,8 +602,8 @@ func (r *runState) round(d int) {
 				r.count++
 				if r.opts.Collect || r.opts.Emit != nil {
 					e := make(graph.Embedding, len(r.o))
-					for pos2, mi := range p.m {
-						e[r.o[pos2]] = r.candAt[pos2][mi]
+					for pos2, w := range p.mv {
+						e[r.o[pos2]] = w
 					}
 					e[u] = v
 					if r.opts.Collect {
@@ -472,10 +616,12 @@ func (r *runState) round(d int) {
 			} else {
 				// Store back into the next level's arena slot instead of a
 				// fresh allocation per partial.
-				m := r.mapSlot(d+1, len(nextLv))
+				m, mv := r.mapSlot(d+1, len(nextLv))
 				copy(m, p.m)
+				copy(mv, p.mv)
 				m[d] = ci
-				nextLv = append(nextLv, partial{m: m})
+				mv[d] = v
+				nextLv = append(nextLv, partial{m: m, mv: mv})
 			}
 		}
 		if r.stopped {

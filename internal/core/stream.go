@@ -175,7 +175,10 @@ func (r *streamSim) simulateRound(d int) {
 		// Copy the parent mapping: the level slice is compacted below,
 		// which would otherwise overwrite the storage these items read
 		// during the timed phase.
-		parent := &partial{m: append([]cst.CandIndex(nil), p.m...)}
+		parent := &partial{
+			m:  append([]cst.CandIndex(nil), p.m...),
+			mv: append([]graph.VertexID(nil), p.mv...),
+		}
 		for _, ci := range avail[:take] {
 			pending = append(pending, &poItem{parent: parent, ci: ci, edgeOK: true, edgeLeft: len(checkList)})
 		}
@@ -235,8 +238,8 @@ func (r *streamSim) simulateRound(d int) {
 			r.count++
 			if r.opts.Collect || r.opts.Emit != nil {
 				e := make(graph.Embedding, len(r.o))
-				for pos2, mi := range it.parent.m {
-					e[r.o[pos2]] = r.candAt[pos2][mi]
+				for pos2, w := range it.parent.mv {
+					e[r.o[pos2]] = w
 				}
 				e[u] = r.candAt[d][it.ci]
 				if r.opts.Collect {
@@ -248,10 +251,12 @@ func (r *streamSim) simulateRound(d int) {
 			}
 			return
 		}
-		m := r.mapSlot(d+1, len(nextLv))
+		m, mv := r.mapSlot(d+1, len(nextLv))
 		copy(m, it.parent.m)
+		copy(mv, it.parent.mv)
 		m[d] = it.ci
-		nextLv = append(nextLv, partial{m: m})
+		mv[d] = r.candAt[d][it.ci]
+		nextLv = append(nextLv, partial{m: m, mv: mv})
 	}
 	// ready enqueues an item for the Synchronizer once both verdicts are in.
 	ready := func(it *poItem) {
@@ -296,8 +301,8 @@ func (r *streamSim) simulateRound(d int) {
 		if it, ok := visOut.pop(now); ok {
 			it.visitedOK = true
 			v := r.candAt[d][it.ci]
-			for pos2, mi := range it.parent.m {
-				if r.candAt[pos2][mi] == v {
+			for _, w := range it.parent.mv {
+				if w == v {
 					it.visitedOK = false
 					break
 				}

@@ -1,6 +1,7 @@
 package cst
 
 import (
+	"fmt"
 	"testing"
 
 	"fastmatch/internal/order"
@@ -76,5 +77,49 @@ func BenchmarkPartitionConcurrent(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		PartitionConcurrent(c, o, cfg, ConcurrentOptions{Workers: 2, Ordered: true}, func(*CST) {})
+	}
+}
+
+// BenchmarkCSTBuildWorkers measures the parallel stamp-probe build across
+// pool sizes; workers=1 is the serial Build baseline on the same input.
+func BenchmarkCSTBuildWorkers(b *testing.B) {
+	g := ldbc.Generate(ldbc.Config{BasePersons: 200, Seed: 42})
+	q, err := ldbc.QueryByName("q5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := order.SelectRoot(q, g)
+	tree := order.BuildBFSTree(q, root)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := BuildWorkers(q, g, tree, workers)
+				if c.IsEmpty() {
+					b.Fatal("empty CST")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerate measures the prepared Enumerator's count-only walk — a
+// pooled enumerator Reset against the same CST each iteration, the shape
+// host.Match's inactive-counter path runs per partition piece.
+func BenchmarkEnumerate(b *testing.B) {
+	for _, name := range []string{"q1", "q5"} {
+		c, o, _ := benchInput(b, name, 200)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var e Enumerator
+			var n int64
+			for i := 0; i < b.N; i++ {
+				e.Reset(c, o)
+				n = e.Run(nil)
+			}
+			if n == 0 {
+				b.Fatal("no embeddings")
+			}
+		})
 	}
 }

@@ -2,6 +2,7 @@ package cst
 
 import (
 	"sort"
+	"sync"
 
 	"fastmatch/graph"
 	"fastmatch/internal/order"
@@ -13,27 +14,61 @@ import (
 // constraint — every data vertex participating in an embedding of q stays in
 // its candidate set — holds because each pass only removes vertices that
 // cannot appear in any embedding.
-//
-// Build sits on the host's critical path (the modelled FPGA idles until the
-// first partition arrives), so every pass leans on the graph's label index:
+func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
+	return BuildWorkers(q, g, t, 1)
+}
+
+// parallelBuildMin is the candidate-set size below which a stamp-probe pass
+// stays serial: goroutine fan-out only pays for itself on large sets.
+const parallelBuildMin = 1024
+
+// BuildWorkers is Build with the per-level stamp-probe passes run
+// data-parallel over candidate vertices, bounded by workers. Build sits on
+// the host's critical path (the modelled FPGA idles until the first
+// partition arrives), so every pass leans on the graph's label index:
 // candidate filtering scans only same-label vertices, the reachability
 // passes probe only same-label neighbourhood runs, and adjacency
 // construction intersects label-restricted runs instead of whole adjacency
-// lists.
-func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
+// lists. The result is identical to Build's for any worker count — each
+// pass marks serially, probes in order-preserving chunks, and the barrier
+// between passes keeps the level order of Algorithm 1.
+func BuildWorkers(q *graph.Query, g *graph.Graph, t *order.Tree, workers int) *CST {
+	if workers < 1 {
+		workers = 1
+	}
 	c := newCST(q, t)
 
 	// Line 2/4: compute candidates from local features (label, degree and
-	// neighbourhood label frequency).
-	for u := 0; u < q.NumVertices(); u++ {
-		c.Cand[u] = localCandidates(q, g, u)
+	// neighbourhood label frequency). Query vertices are independent here,
+	// so they fan out across the worker budget.
+	nq := q.NumVertices()
+	if workers > 1 && nq > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for u := 0; u < nq; u++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(u graph.QueryVertex) {
+				defer wg.Done()
+				c.Cand[u] = localCandidates(q, g, u)
+				<-sem
+			}(u)
+		}
+		wg.Wait()
+	} else {
+		for u := 0; u < nq; u++ {
+			c.Cand[u] = localCandidates(q, g, u)
+		}
 	}
 
 	// Membership tests use a generation-stamped array instead of hash
 	// sets: marking a candidate set costs one pass and queries are O(1)
 	// with no per-pass allocation. Candidates of a query vertex all carry
 	// its label, so the reachability probe walks only the matching label
-	// run of each neighbourhood instead of the whole adjacency list.
+	// run of each neighbourhood instead of the whole adjacency list. Marking
+	// is serial; the probe over the filtered set is chunked across workers
+	// (stamps are read-only while probing, and the join barrier orders each
+	// probe pass after its mark).
 	stamp := make([]uint32, g.NumVertices())
 	var gen uint32
 	mark := func(vs []graph.VertexID) {
@@ -42,13 +77,16 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 			stamp[v] = gen
 		}
 	}
-	anyNeighborMarked := func(v graph.VertexID, l graph.Label) bool {
-		for _, w := range g.NeighborsWithLabel(v, l, nil) {
-			if stamp[w] == gen {
-				return true
+	probe := func(vs []graph.VertexID, l graph.Label) []graph.VertexID {
+		myGen := gen
+		return parallelKeep(vs, workers, func(v graph.VertexID) bool {
+			for _, w := range g.NeighborsWithLabel(v, l, nil) {
+				if stamp[w] == myGen {
+					return true
+				}
 			}
-		}
-		return false
+			return false
+		})
 	}
 
 	// Lines 3-7: top-down construction. A candidate of u survives only if
@@ -58,15 +96,8 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 			if u == t.Root {
 				continue
 			}
-			lp := q.Label(t.Parent[u])
 			mark(c.Cand[t.Parent[u]])
-			kept := c.Cand[u][:0]
-			for _, v := range c.Cand[u] {
-				if anyNeighborMarked(v, lp) {
-					kept = append(kept, v)
-				}
-			}
-			c.Cand[u] = kept
+			c.Cand[u] = probe(c.Cand[u], q.Label(t.Parent[u]))
 		}
 	}
 	topDown()
@@ -75,22 +106,10 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 	// every tree child uc has at least one candidate adjacent to v.
 	for i := len(t.BFSOrder) - 1; i >= 0; i-- {
 		u := t.BFSOrder[i]
-		if len(t.Children[u]) == 0 {
-			continue
-		}
-		kept := c.Cand[u]
 		for _, uc := range t.Children[u] {
-			lc := q.Label(uc)
 			mark(c.Cand[uc])
-			out := kept[:0]
-			for _, v := range kept {
-				if anyNeighborMarked(v, lc) {
-					out = append(out, v)
-				}
-			}
-			kept = out
+			c.Cand[u] = probe(c.Cand[u], q.Label(uc))
 		}
-		c.Cand[u] = kept
 	}
 
 	// One more top-down pass: bottom-up refinement may have removed parent
@@ -100,18 +119,82 @@ func Build(q *graph.Query, g *graph.Graph, t *order.Tree) *CST {
 	topDown()
 
 	// Build adjacency lists for tree edges and (lines 15-19) non-tree
-	// candidate neighbours, both directions.
+	// candidate neighbours, both directions, into the CST's flat CSR arenas.
+	// Candidate counts are final here, so the offsets arena is exact.
+	dir := directedEdges(t)
+	offTotal := 0
+	for _, e := range dir {
+		offTotal += len(c.Cand[e[0]]) + 1
+	}
+	for _, cands := range c.Cand {
+		c.sizeBytes += int64(len(cands)) * 4
+	}
+	asm := newAdjAssembler(offTotal, nil, len(dir))
+	for _, e := range dir {
+		c.buildAdjInto(g, e[0], e[1], &asm)
+	}
+	asm.finish(c)
+	return c
+}
+
+// directedEdges lists both directions of every query edge, tree edges first
+// in BFS order — the construction order the dense adjacency table is filled
+// in.
+func directedEdges(t *order.Tree) [][2]graph.QueryVertex {
+	dir := make([][2]graph.QueryVertex, 0, 2*(len(t.BFSOrder)-1+len(t.NonTreeEdges)))
 	for _, u := range t.BFSOrder {
 		if u != t.Root {
-			c.buildAdj(g, t.Parent[u], u)
-			c.buildAdj(g, u, t.Parent[u])
+			dir = append(dir, [2]graph.QueryVertex{t.Parent[u], u}, [2]graph.QueryVertex{u, t.Parent[u]})
 		}
 	}
 	for _, e := range t.NonTreeEdges {
-		c.buildAdj(g, e[0], e[1])
-		c.buildAdj(g, e[1], e[0])
+		dir = append(dir, [2]graph.QueryVertex{e[0], e[1]}, [2]graph.QueryVertex{e[1], e[0]})
 	}
-	return c
+	return dir
+}
+
+// parallelKeep filters vs in place, preserving order, with the predicate
+// evaluated in parallel chunks when the set is large enough to amortise the
+// fan-out. Each chunk compacts within its own extent, then a serial pass
+// packs the kept runs to the front — exactly the elements (and order) the
+// serial filter keeps.
+func parallelKeep(vs []graph.VertexID, workers int, keep func(graph.VertexID) bool) []graph.VertexID {
+	if workers <= 1 || len(vs) < parallelBuildMin {
+		out := vs[:0]
+		for _, v := range vs {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	chunk := (len(vs) + workers - 1) / workers
+	nchunks := (len(vs) + chunk - 1) / chunk
+	kept := make([]int, nchunks)
+	var wg sync.WaitGroup
+	for i := 0; i < nchunks; i++ {
+		lo := i * chunk
+		hi := min(lo+chunk, len(vs))
+		wg.Add(1)
+		go func(i int, part []graph.VertexID) {
+			defer wg.Done()
+			n := 0
+			for _, v := range part {
+				if keep(v) {
+					part[n] = v
+					n++
+				}
+			}
+			kept[i] = n
+		}(i, vs[lo:hi])
+	}
+	wg.Wait()
+	out := vs[:0]
+	for i := 0; i < nchunks; i++ {
+		lo := i * chunk
+		out = append(out, vs[lo:lo+kept[i]]...)
+	}
+	return out
 }
 
 // localCandidates returns the data vertices conforming with u's local
@@ -151,20 +234,24 @@ func localCandidates(q *graph.Query, g *graph.Graph, u graph.QueryVertex) []grap
 	return out
 }
 
-// buildAdj fills the from → to adjacency by intersecting each
+// buildAdjInto fills the from → to adjacency by intersecting each
 // from-candidate's label-restricted data adjacency (the run of neighbours
 // labelled like `to`, a zero-copy subslice of the label index) with C(to).
 // Both inputs are sorted, so a merge intersection costs
 // O(d^label_G(v) + |C(to)|) per candidate. When the query edge carries a
 // label, only data edges with a matching half-edge label survive — the
-// edge-labeled extension of Section II.
-func (c *CST) buildAdj(g *graph.Graph, from, to graph.QueryVertex) {
+// edge-labeled extension of Section II. Rows land in the assembler's shared
+// arenas; the view is installed at finish time.
+func (c *CST) buildAdjInto(g *graph.Graph, from, to graph.QueryVertex, asm *adjAssembler) {
 	src, dst := c.Cand[from], c.Cand[to]
 	lt := c.Query.Label(to)
 	want := c.Query.EdgeLabel(from, to)
 	wantRev := c.Query.EdgeLabel(to, from)
-	a := &Adj{Offsets: make([]int32, len(src)+1)}
+	off := asm.begin(len(src))
+	tgtLo := len(asm.tgt)
+	var maxDeg int32
 	for i, v := range src {
+		rowLo := len(asm.tgt)
 		adj, elabels := g.NeighborsWithLabelAndEdgeLabels(v, lt)
 		// Merge-intersect adj (sorted vertex ids within the label run) with
 		// dst (sorted ids, all labelled lt), emitting dst *indices*.
@@ -184,13 +271,16 @@ func (c *CST) buildAdj(g *graph.Graph, from, to graph.QueryVertex) {
 					ok = g.HasEdgeLabeled(adj[ai], v, wantRev)
 				}
 				if ok {
-					a.Targets = append(a.Targets, CandIndex(di))
+					asm.tgt = append(asm.tgt, CandIndex(di))
 				}
 				ai++
 				di++
 			}
 		}
-		a.Offsets[i+1] = int32(len(a.Targets))
+		off[i+1] = int32(len(asm.tgt) - tgtLo)
+		if d := int32(len(asm.tgt) - rowLo); d > maxDeg {
+			maxDeg = d
+		}
 	}
-	c.setAdj(from, to, a)
+	asm.commit(from, to, len(src), tgtLo, maxDeg)
 }

@@ -11,7 +11,6 @@ package cst
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"fastmatch/graph"
 	"fastmatch/internal/order"
@@ -22,31 +21,45 @@ import (
 // embedding is reported.
 type CandIndex = int32
 
-// Adj is a CSR adjacency over candidate indices for one directed query edge
-// from → to: the neighbours of candidate i of the source vertex are
+// Adj is a CSR adjacency view over candidate indices for one directed query
+// edge from → to: the neighbours of candidate i of the source vertex are
 // Targets[Offsets[i]:Offsets[i+1]], each a candidate index of the
-// destination vertex, sorted ascending. It models one BRAM-resident array
-// of the paper's CST layout; callers on the kernel hot path hoist the *Adj
-// per (depth, check) once and probe it with zero per-candidate lookups.
+// destination vertex, sorted ascending. It models one BRAM-resident array of
+// the paper's CST layout. Adj is a value type: Offsets and Targets are
+// subslices of the owning CST's flat index arenas (or, for adjacency a
+// restricted piece shares with its parent, of the parent's arenas), so hot
+// paths hoist the two slice headers once and then touch only contiguous
+// int32 arrays — no per-candidate pointer deref.
 type Adj struct {
 	Offsets []int32
 	Targets []CandIndex
+
+	// maxDeg caches the longest list in this adjacency so restricted pieces
+	// can fold shared (aliased) edges into their δD statistic in O(1).
+	maxDeg int32
 }
 
+// Valid reports whether this view carries an adjacency at all; the dense
+// per-CST edge table holds a zero Adj for every non-edge of q.
+func (a Adj) Valid() bool { return a.Offsets != nil }
+
 // Neighbors returns N^{from}_{to}(i), aliasing the CSR storage.
-func (a *Adj) Neighbors(i CandIndex) []CandIndex {
+func (a Adj) Neighbors(i CandIndex) []CandIndex {
 	return a.Targets[a.Offsets[i]:a.Offsets[i+1]]
 }
 
 // Degree returns |N^{from}_{to}(i)|.
-func (a *Adj) Degree(i CandIndex) int {
+func (a Adj) Degree(i CandIndex) int {
 	return int(a.Offsets[i+1] - a.Offsets[i])
 }
 
 // Has reports whether j ∈ N^{from}_{to}(i) — the O(1) edge-existence probe
 // the FPGA's Edge Validator performs (Algorithm 7); in software it is a
-// hand-rolled binary search (no closure, called per edge-validation task).
-func (a *Adj) Has(i, j CandIndex) bool {
+// hand-rolled binary search. The kernel's batch rounds use the adaptive
+// galloping/bitset intersection instead (candidates arrive sorted, so a
+// cursor amortises the search); Has remains the oracle those strategies are
+// property-tested against, and the probe Simulate and Enumerate use.
+func (a Adj) Has(i, j CandIndex) bool {
 	lo, hi := int(a.Offsets[i]), int(a.Offsets[i+1])
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -67,15 +80,18 @@ type CST struct {
 	Tree  *order.Tree
 	// Cand[u] lists the candidate data vertices of query vertex u, sorted.
 	Cand [][]graph.VertexID
-	// adj is a dense |V(q)|×|V(q)| table indexed from*nq+to — query
-	// vertices are small ints, so edge lookup is one multiply-add and one
-	// load instead of a map probe. Entries are non-nil exactly for the
-	// directed versions of q's edges.
-	adj []*Adj
+	// adj is a dense |V(q)|×|V(q)| table of CSR views indexed from*nq+to —
+	// query vertices are small ints, so edge lookup is one multiply-add.
+	// Entries are Valid exactly for the directed versions of q's edges, and
+	// the views point into the flat offset/target arenas built by
+	// adjAssembler (one arena pair per CST; a restricted piece's unchanged
+	// edges alias its parent's arenas instead of copying).
+	adj []Adj
 
 	// Size and degree statistics are queried on every partition decision,
-	// so they are memoised; a CST is immutable once built.
-	statsOnce sync.Once
+	// so they are computed eagerly when construction finishes (Build,
+	// restrict and the test fixtures all call recomputeStats or fold the
+	// stats in while assembling); a CST is immutable once built.
 	sizeBytes int64
 	maxDeg    int
 }
@@ -88,18 +104,25 @@ func newCST(q *graph.Query, t *order.Tree) *CST {
 		Query: q,
 		Tree:  t,
 		Cand:  make([][]graph.VertexID, nq),
-		adj:   make([]*Adj, nq*nq),
+		adj:   make([]Adj, nq*nq),
 	}
 }
 
-// Edge returns the adjacency of the directed query edge from → to, or nil
-// when {from,to} is not an edge of q. Hot paths hoist the result.
-func (c *CST) Edge(from, to graph.QueryVertex) *Adj {
+// Edge returns the adjacency view of the directed query edge from → to; the
+// view is invalid (zero) when {from,to} is not an edge of q. Hot paths hoist
+// the returned value — two slice headers — once per run.
+func (c *CST) Edge(from, to graph.QueryVertex) Adj {
 	return c.adj[from*len(c.Cand)+to]
 }
 
-// setAdj installs the adjacency for from → to.
-func (c *CST) setAdj(from, to graph.QueryVertex, a *Adj) {
+// edgeRef returns a pointer into the dense table; construction and the
+// corruption tests use it, everything else goes through the Edge value view.
+func (c *CST) edgeRef(from, to graph.QueryVertex) *Adj {
+	return &c.adj[from*len(c.Cand)+to]
+}
+
+// setAdj installs the adjacency view for from → to.
+func (c *CST) setAdj(from, to graph.QueryVertex, a Adj) {
 	c.adj[from*len(c.Cand)+to] = a
 }
 
@@ -113,7 +136,7 @@ func (c *CST) CandCount(u graph.QueryVertex) int { return len(c.Cand[u]) }
 // towards uc (order.Estimator).
 func (c *CST) AvgBranch(up, uc graph.QueryVertex) float64 {
 	a := c.Edge(up, uc)
-	if a == nil || len(c.Cand[up]) == 0 {
+	if !a.Valid() || len(c.Cand[up]) == 0 {
 		return 0
 	}
 	return float64(len(a.Targets)) / float64(len(c.Cand[up]))
@@ -149,36 +172,38 @@ func (c *CST) CandIndexOf(u graph.QueryVertex, v graph.VertexID) CandIndex {
 
 // SizeBytes returns |CST|: 4 bytes per candidate entry plus the CSR
 // adjacency arrays, the quantity the δS partition threshold bounds.
-func (c *CST) SizeBytes() int64 {
-	c.computeCachedStats()
-	return c.sizeBytes
-}
+func (c *CST) SizeBytes() int64 { return c.sizeBytes }
 
 // MaxCandDegree returns D_CST, the longest candidate adjacency list in any
 // direction; the δD threshold bounds it because the FPGA's array-partition
 // ports cap the width of an O(1) membership probe.
-func (c *CST) MaxCandDegree() int {
-	c.computeCachedStats()
-	return c.maxDeg
-}
+func (c *CST) MaxCandDegree() int { return c.maxDeg }
 
-func (c *CST) computeCachedStats() {
-	c.statsOnce.Do(func() {
-		for _, cands := range c.Cand {
-			c.sizeBytes += int64(len(cands)) * 4
+// recomputeStats derives the partition statistics from scratch, including
+// every view's cached maxDeg. Construction paths that assemble adjacency
+// incrementally fold the stats in as they go; this full scan serves the
+// synthetic fixtures that install adjacency directly via setAdj.
+func (c *CST) recomputeStats() {
+	c.sizeBytes, c.maxDeg = 0, 0
+	for _, cands := range c.Cand {
+		c.sizeBytes += int64(len(cands)) * 4
+	}
+	for i := range c.adj {
+		a := &c.adj[i]
+		if !a.Valid() {
+			continue
 		}
-		for _, a := range c.adj {
-			if a == nil {
-				continue
-			}
-			c.sizeBytes += int64(len(a.Offsets))*4 + int64(len(a.Targets))*4
-			for i := 0; i+1 < len(a.Offsets); i++ {
-				if d := a.Degree(CandIndex(i)); d > c.maxDeg {
-					c.maxDeg = d
-				}
+		c.sizeBytes += int64(len(a.Offsets))*4 + int64(len(a.Targets))*4
+		a.maxDeg = 0
+		for i := 0; i+1 < len(a.Offsets); i++ {
+			if d := int32(a.Offsets[i+1] - a.Offsets[i]); d > a.maxDeg {
+				a.maxDeg = d
 			}
 		}
-	})
+		if int(a.maxDeg) > c.maxDeg {
+			c.maxDeg = int(a.maxDeg)
+		}
+	}
 }
 
 // IsEmpty reports whether any candidate set is empty, in which case the CST
@@ -194,9 +219,9 @@ func (c *CST) IsEmpty() bool {
 
 // Validate checks the CST's structural invariants: sorted candidate sets,
 // the dense adjacency table shaped for exactly q's edges (both directions
-// present, non-edges nil), within-range adjacency targets, symmetric
-// adjacency for both edge directions, and adjacency only between genuine
-// data-graph edges.
+// present, non-edges invalid), within-range adjacency targets, symmetric
+// adjacency for both edge directions, adjacency only between genuine
+// data-graph edges, and partition statistics consistent with the layout.
 func (c *CST) Validate(g *graph.Graph) error {
 	nq := c.Query.NumVertices()
 	if len(c.Cand) != nq || len(c.adj) != nq*nq {
@@ -209,26 +234,35 @@ func (c *CST) Validate(g *graph.Graph) error {
 			}
 		}
 	}
+	var sizeBytes int64
+	maxDeg := 0
+	for _, cands := range c.Cand {
+		sizeBytes += int64(len(cands)) * 4
+	}
 	for from := 0; from < nq; from++ {
 		for to := 0; to < nq; to++ {
 			a := c.Edge(from, to)
 			if !c.Query.HasEdge(from, to) {
-				if a != nil {
+				if a.Valid() {
 					return fmt.Errorf("cst: adjacency (%d→%d) present for a non-edge of q", from, to)
 				}
 				continue
 			}
-			if a == nil {
+			if !a.Valid() {
 				return fmt.Errorf("cst: missing adjacency for query edge %d→%d", from, to)
 			}
 			if len(a.Offsets) != len(c.Cand[from])+1 {
 				return fmt.Errorf("cst: adj %d→%d offsets length %d, want %d", from, to, len(a.Offsets), len(c.Cand[from])+1)
 			}
 			rev := c.Edge(to, from)
-			if rev == nil {
+			if !rev.Valid() {
 				return fmt.Errorf("cst: missing reverse adjacency for %d→%d", from, to)
 			}
+			sizeBytes += int64(len(a.Offsets))*4 + int64(len(a.Targets))*4
 			for i := 0; i < len(c.Cand[from]); i++ {
+				if d := a.Degree(CandIndex(i)); d > maxDeg {
+					maxDeg = d
+				}
 				for _, j := range a.Neighbors(CandIndex(i)) {
 					if int(j) >= len(c.Cand[to]) {
 						return fmt.Errorf("cst: adj %d→%d target %d out of range", from, to, j)
@@ -243,6 +277,10 @@ func (c *CST) Validate(g *graph.Graph) error {
 				}
 			}
 		}
+	}
+	if c.sizeBytes != sizeBytes || c.maxDeg != maxDeg {
+		return fmt.Errorf("cst: cached stats (size %d, maxDeg %d) disagree with layout (size %d, maxDeg %d)",
+			c.sizeBytes, c.maxDeg, sizeBytes, maxDeg)
 	}
 	return nil
 }
@@ -261,11 +299,89 @@ func (c *CST) ComputeStats() Stats {
 	for _, cands := range c.Cand {
 		s.CandTotal += len(cands)
 	}
-	for _, a := range c.adj {
-		if a != nil {
-			s.AdjEntries += len(a.Targets)
+	for i := range c.adj {
+		if c.adj[i].Valid() {
+			s.AdjEntries += len(c.adj[i].Targets)
 		}
 	}
 	s.AdjEntries /= 2 // both directions stored
 	return s
+}
+
+// pendingAdj records one directed edge's extents in an adjAssembler's
+// arenas; the view is installed only at finish time because target appends
+// may move the arena mid-build.
+type pendingAdj struct {
+	from, to     graph.QueryVertex
+	offLo, offN  int
+	tgtLo, tgtHi int
+	maxDeg       int32
+}
+
+// adjAssembler accumulates the CSR adjacency of every edge a CST owns into
+// two flat arenas: an exactly pre-sized offsets arena (candidate counts are
+// final before adjacency construction starts) and an append-grown targets
+// buffer. finish copies the targets into an exactly-sized arena, installs
+// the per-edge views, and folds the partition statistics into the CST —
+// so a built CST performs O(1) allocations for all of its adjacency, and
+// restrict can reuse the grow buffer across pieces via restrictScratch.
+type adjAssembler struct {
+	off    []int32
+	tgt    []CandIndex
+	offCur int
+	edges  []pendingAdj
+}
+
+// newAdjAssembler sizes the assembler: offTotal is the exact total offset
+// count across the edges to be built, tgtBuf an optional reusable grow
+// buffer, edgeCap the number of directed edges expected.
+func newAdjAssembler(offTotal int, tgtBuf []CandIndex, edgeCap int) adjAssembler {
+	return adjAssembler{
+		off:   make([]int32, offTotal),
+		tgt:   tgtBuf[:0],
+		edges: make([]pendingAdj, 0, edgeCap),
+	}
+}
+
+// begin opens the CSR rows for one directed edge with nSrc source
+// candidates and returns the edge-local offsets slice (offsets[0] is
+// already 0; the caller writes offsets[i+1] relative to its own target
+// count, exactly like a standalone Adj).
+func (asm *adjAssembler) begin(nSrc int) []int32 {
+	off := asm.off[asm.offCur : asm.offCur+nSrc+1]
+	off[0] = 0
+	return off
+}
+
+// commit closes the edge opened by the last begin, recording its extents
+// and longest list.
+func (asm *adjAssembler) commit(from, to graph.QueryVertex, nSrc, tgtLo int, maxDeg int32) {
+	asm.edges = append(asm.edges, pendingAdj{
+		from: from, to: to,
+		offLo: asm.offCur, offN: nSrc + 1,
+		tgtLo: tgtLo, tgtHi: len(asm.tgt),
+		maxDeg: maxDeg,
+	})
+	asm.offCur += nSrc + 1
+}
+
+// finish installs every committed edge's view into c and folds the edges'
+// size/degree contributions into c's partition statistics (the caller seeds
+// those with the candidate bytes and any shared edges first).
+func (asm *adjAssembler) finish(c *CST) []CandIndex {
+	arena := make([]CandIndex, len(asm.tgt))
+	copy(arena, asm.tgt)
+	for _, e := range asm.edges {
+		offHi, tgtN := e.offLo+e.offN, e.tgtHi-e.tgtLo
+		c.setAdj(e.from, e.to, Adj{
+			Offsets: asm.off[e.offLo:offHi:offHi],
+			Targets: arena[e.tgtLo:e.tgtHi:e.tgtHi],
+			maxDeg:  e.maxDeg,
+		})
+		c.sizeBytes += int64(e.offN)*4 + int64(tgtN)*4
+		if int(e.maxDeg) > c.maxDeg {
+			c.maxDeg = int(e.maxDeg)
+		}
+	}
+	return asm.tgt // hand the grow buffer back for reuse
 }

@@ -70,11 +70,18 @@ func EnumerateParallel(c *CST, o order.Order, cfg PartitionConfig, workers int) 
 		workers = 1
 	}
 	var total atomic.Int64
+	var enums sync.Pool // *Enumerator per draining goroutine, reused across pieces
 	PartitionConcurrent(c, o, cfg, ConcurrentOptions{Workers: workers}, func(p *CST) {
 		if cfg.cancelled() {
 			return
 		}
-		total.Add(Enumerate(p, o, nil))
+		e, _ := enums.Get().(*Enumerator)
+		if e == nil {
+			e = new(Enumerator)
+		}
+		e.Reset(p, o)
+		total.Add(e.Run(nil))
+		enums.Put(e)
 	})
 	return total.Load()
 }

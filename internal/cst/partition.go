@@ -165,6 +165,7 @@ type restrictScratch struct {
 	kept     [][]bool      // per vertex in u's subtree: which candidate indices survive
 	keptList [][]CandIndex // kept indices, discovery order
 	remap    [][]CandIndex // old index -> new index or -1
+	tgtBuf   []CandIndex   // adjAssembler grow buffer, recycled across pieces
 }
 
 // grow sizes the scratch for an n-vertex query and clears the per-vertex
@@ -250,44 +251,79 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) 
 	// every adjacency list through the remap. Vertices outside u's subtree
 	// keep their candidate sets verbatim, so any adjacency list between
 	// two unchanged vertices is shared with the parent CST rather than
-	// copied — CSTs are immutable after construction, and this turns the
-	// recursive partitioning of a large CST from quadratic copying into
-	// work proportional to the restricted subtrees only.
+	// copied (its views alias the parent's arenas) — CSTs are immutable
+	// after construction, and this turns the recursive partitioning of a
+	// large CST from quadratic copying into work proportional to the
+	// restricted subtrees only. Everything the piece owns lands in per-piece
+	// arenas — one candidate arena, one offsets arena, one targets arena —
+	// so a restrict step performs O(1) allocations regardless of how many
+	// vertices changed; the targets grow buffer is recycled through sc.
 	part := newCST(cur.Query, t)
 	changed, remap := sc.changed, sc.remap
+	totalKept := 0
 	for w := 0; w < n; w++ {
 		// keptList holds distinct indices, so full length means all kept.
-		if !inSub[w] || len(keptList[w]) == len(cur.Cand[w]) {
+		if inSub[w] && len(keptList[w]) != len(cur.Cand[w]) {
+			changed[w] = true
+			totalKept += len(keptList[w])
+		}
+	}
+	candArena := make([]graph.VertexID, 0, totalKept)
+	for w := 0; w < n; w++ {
+		if !changed[w] {
 			part.Cand[w] = cur.Cand[w]
 			continue
 		}
-		changed[w] = true
 		if cap(remap[w]) < len(cur.Cand[w]) {
 			remap[w] = make([]CandIndex, len(cur.Cand[w]))
 		}
 		remap[w] = remap[w][:len(cur.Cand[w])]
-		newCand := make([]graph.VertexID, 0, len(keptList[w]))
+		lo := len(candArena)
 		for i, v := range cur.Cand[w] {
 			if kept[w][i] {
-				remap[w][i] = CandIndex(len(newCand))
-				newCand = append(newCand, v)
+				remap[w][i] = CandIndex(len(candArena) - lo)
+				candArena = append(candArena, v)
 			} else {
 				remap[w][i] = -1
 			}
 		}
-		part.Cand[w] = newCand
+		part.Cand[w] = candArena[lo:len(candArena):len(candArena)]
 	}
+	for _, cands := range part.Cand {
+		part.sizeBytes += int64(len(cands)) * 4
+	}
+
+	// Adjacency: share untouched edges (folding their size and cached
+	// longest-list into the piece's partition stats in O(1)), rebuild the
+	// rest through the remap into the piece's own arenas.
+	offTotal, rebuilt := 0, 0
 	for from := 0; from < n; from++ {
 		for to := 0; to < n; to++ {
-			a := cur.Edge(from, to)
-			if a == nil {
+			a := cur.edgeRef(from, to)
+			if !a.Valid() {
 				continue
 			}
 			if !changed[from] && !changed[to] {
-				part.setAdj(from, to, a) // share: both endpoints untouched
+				part.setAdj(from, to, *a) // share: both endpoints untouched
+				part.sizeBytes += int64(len(a.Offsets))*4 + int64(len(a.Targets))*4
+				if int(a.maxDeg) > part.maxDeg {
+					part.maxDeg = int(a.maxDeg)
+				}
 				continue
 			}
-			na := &Adj{Offsets: make([]int32, len(part.Cand[from])+1)}
+			offTotal += len(part.Cand[from]) + 1
+			rebuilt++
+		}
+	}
+	asm := newAdjAssembler(offTotal, sc.tgtBuf, rebuilt)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			a := cur.edgeRef(from, to)
+			if !a.Valid() || (!changed[from] && !changed[to]) {
+				continue
+			}
+			off := asm.begin(len(part.Cand[from]))
+			tgtLo := len(asm.tgt)
 			for i := range cur.Cand[from] {
 				ni := CandIndex(i)
 				if changed[from] {
@@ -304,13 +340,20 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) 
 							continue
 						}
 					}
-					na.Targets = append(na.Targets, nj)
+					asm.tgt = append(asm.tgt, nj)
 				}
-				na.Offsets[ni+1] = int32(len(na.Targets))
+				off[ni+1] = int32(len(asm.tgt) - tgtLo)
 			}
-			part.setAdj(from, to, na)
+			var maxDeg int32
+			for r := 0; r+1 < len(off); r++ {
+				if d := off[r+1] - off[r]; d > maxDeg {
+					maxDeg = d
+				}
+			}
+			asm.commit(from, to, len(part.Cand[from]), tgtLo, maxDeg)
 		}
 	}
+	sc.tgtBuf = asm.finish(part)
 	return part
 }
 

@@ -32,14 +32,14 @@ func TestValidateDenseLayout(t *testing.T) {
 	t.Run("non-edge-adjacency", func(t *testing.T) {
 		c := corruptibleCST(t)
 		// {1,2} is not an edge of the fig4 query (edges: 0-1, 0-2, 1-3).
-		c.setAdj(1, 2, &Adj{Offsets: make([]int32, len(c.Cand[1])+1)})
+		c.setAdj(1, 2, Adj{Offsets: make([]int32, len(c.Cand[1])+1)})
 		if err := c.Validate(nil); err == nil || !strings.Contains(err.Error(), "non-edge") {
 			t.Errorf("non-edge adjacency not caught: %v", err)
 		}
 	})
 	t.Run("missing-reverse", func(t *testing.T) {
 		c := corruptibleCST(t)
-		c.setAdj(1, 0, nil)
+		c.setAdj(1, 0, Adj{})
 		if err := c.Validate(nil); err == nil ||
 			!(strings.Contains(err.Error(), "missing reverse") || strings.Contains(err.Error(), "missing adjacency")) {
 			t.Errorf("missing reverse adjacency not caught: %v", err)
@@ -57,7 +57,7 @@ func TestValidateDenseLayout(t *testing.T) {
 		c := corruptibleCST(t)
 		// Drop every edge from the reverse direction but keep the forward
 		// entries: each forward entry is now unmirrored.
-		rev := c.Edge(1, 0)
+		rev := c.edgeRef(1, 0)
 		rev.Targets = rev.Targets[:0]
 		for i := range rev.Offsets {
 			rev.Offsets[i] = 0

@@ -20,14 +20,14 @@ func makeSyntheticCST(q *graph.Query, tr *order.Tree, cands [][]graph.VertexID, 
 	c := newCST(q, tr)
 	c.Cand = cands
 	for pair, lists := range adjPairs {
-		a := &Adj{Offsets: make([]int32, len(cands[pair[0]])+1)}
+		a := Adj{Offsets: make([]int32, len(cands[pair[0]])+1)}
 		for i, targets := range lists {
 			a.Targets = append(a.Targets, targets...)
 			a.Offsets[i+1] = int32(len(a.Targets))
 		}
 		c.setAdj(pair[0], pair[1], a)
 		// Mirror.
-		rev := &Adj{Offsets: make([]int32, len(cands[pair[1]])+1)}
+		rev := Adj{Offsets: make([]int32, len(cands[pair[1]])+1)}
 		buckets := make([][]CandIndex, len(cands[pair[1]]))
 		for i, targets := range lists {
 			for _, j := range targets {
@@ -40,6 +40,9 @@ func makeSyntheticCST(q *graph.Query, tr *order.Tree, cands [][]graph.VertexID, 
 		}
 		c.setAdj(pair[1], pair[0], rev)
 	}
+	// Adjacency was installed directly, bypassing the arena assembler that
+	// normally folds in the partition statistics.
+	c.recomputeStats()
 	return c
 }
 

@@ -163,28 +163,42 @@ func (ct *runControl) err() error {
 	return ct.emitErr
 }
 
+// enumerators pools prepared cst.Enumerator state across δ-share drains —
+// and across Match calls, the pool being package-level — so steady-state
+// serving re-derives no per-drain check lists and the count-only paths run
+// allocation-free.
+var enumerators = sync.Pool{New: func() any { return new(cst.Enumerator) }}
+
 // enumerateShare drains one CPU δ-share partition under the control's
-// budget and returns the number of embeddings counted. The inactive path is
-// the pre-context drain, byte for byte.
+// budget and returns the number of embeddings counted. The count-only paths
+// never materialise an embedding; the emitting paths keep the
+// fresh-embedding contract (callers may retain what they receive).
 func enumerateShare(ct *runControl, p *cst.CST, o order.Order, collect bool, sink *[]graph.Embedding) int64 {
+	e := enumerators.Get().(*cst.Enumerator)
+	defer enumerators.Put(e)
+	e.Reset(p, o)
 	if !ct.active() {
-		return cst.Enumerate(p, o, func(e graph.Embedding) bool {
-			if collect {
-				*sink = append(*sink, e)
-			}
+		if !collect {
+			return e.Run(nil)
+		}
+		return e.Run(func(em graph.Embedding) bool {
+			*sink = append(*sink, em)
 			return true
 		})
 	}
+	if !collect && ct.emit == nil {
+		return e.RunCounted(ct.take)
+	}
 	var n int64
-	cst.Enumerate(p, o, func(e graph.Embedding) bool {
+	e.Run(func(em graph.Embedding) bool {
 		if !ct.take() {
 			return false
 		}
 		n++
 		if collect {
-			*sink = append(*sink, e)
+			*sink = append(*sink, em)
 		}
-		return ct.send(e)
+		return ct.send(em)
 	})
 	return n
 }

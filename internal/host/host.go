@@ -193,7 +193,7 @@ func Prepare(ctx context.Context, q *graph.Query, g *graph.Graph, cfg Config) (*
 	cfg = cfg.withDefaults(q)
 	root := order.SelectRoot(q, g)
 	tree := order.BuildBFSTree(q, root)
-	c := cst.Build(q, g, tree)
+	c := cst.BuildWorkers(q, g, tree, cfg.PartitionWorkers)
 	o := cfg.ExplicitOrder
 	if o == nil {
 		switch cfg.Strategy {
