@@ -1,0 +1,394 @@
+package fast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors. The Router wraps them with the method and graph name,
+// so errors.Is identifies the shed reason regardless of the message — and
+// the HTTP front end maps them to machine-readable reasons (429/504).
+var (
+	// ErrQueueFull reports a call shed immediately because the tenant's
+	// bounded admission queue was full. Nothing ran; no Result is returned.
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrDeadlineDoomed reports a call shed immediately because its
+	// deadline minus the estimated queue wait could not cover the tenant's
+	// observed p50 service time — queueing it would only burn queue slots
+	// on work guaranteed to time out. Errors wrapping it also match
+	// context.DeadlineExceeded, so deadline-sensitive callers need no new
+	// case.
+	ErrDeadlineDoomed = errors.New("deadline cannot survive admission queue")
+	// ErrQueueTimeout reports a call whose context fired while it waited in
+	// the admission queue: it was admitted to the queue but never to the
+	// budget. Errors wrapping it also wrap the context's own error
+	// (context.DeadlineExceeded or context.Canceled), and the call returns
+	// a zero partial Result, the same shape a cut-short running call has.
+	ErrQueueTimeout = errors.New("deadline expired while queued for admission")
+)
+
+// DefaultMaxQueue is the per-tenant admission-queue bound a Router uses
+// when RouterOptions.MaxQueue is 0.
+const DefaultMaxQueue = 64
+
+// latencyHistBuckets spans 1µs (bucket 0) to ~2^39µs ≈ 6 days (top
+// bucket), log₂-spaced — coarse, but p50/p99 only steer shedding and
+// dashboards, not billing.
+const latencyHistBuckets = 40
+
+// latencyHist is a fixed-size log₂-bucketed latency histogram. observe is
+// lock-free (atomic adds), so the serving path never serialises on
+// observability; quantiles are read as the upper bound of the bucket the
+// rank falls in.
+type latencyHist struct {
+	count   atomic.Int64
+	buckets [latencyHistBuckets]atomic.Int64
+}
+
+// bucketFor maps a duration to its bucket: i holds [2^(i-1), 2^i) µs, with
+// sub-µs durations in bucket 0.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= latencyHistBuckets {
+		i = latencyHistBuckets - 1
+	}
+	return i
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+}
+
+// bucketUpper is the inclusive upper bound reported for bucket i: 2^i µs.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile
+// (0 < q <= 1), or 0 when nothing has been observed.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < latencyHistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(latencyHistBuckets - 1)
+}
+
+// admitter is the Router's admission controller: a weighted token
+// dispenser sized to the shared worker budget, with one bounded FIFO queue
+// per tenant and deadline-aware shedding. It sits in front of the engines'
+// kernel pool — one grant admits one routed call, which then draws its
+// kernel tokens from the untouched `pool` channel — replacing the
+// symmetric first-come pool queue with explicit, observable admission.
+//
+// Fairness rule: tenant i's share is max(1, capacity·wᵢ/Σw). A tenant
+// below its share is always grantable while capacity remains; a tenant at
+// or over its share may borrow idle capacity only while no other tenant is
+// waiting, and on every release the freed slot goes to the queued tenant
+// with the largest share deficit — so a heavy tenant can use an idle
+// budget but can never hold a light tenant below its share.
+type admitter struct {
+	capacity int
+	maxQueue int
+
+	mu      sync.Mutex
+	total   int // outstanding grants across all tenants
+	tenants map[string]*admTenant
+}
+
+// admTenant is one graph's admission state. It survives SwapGraph (same
+// name, same tenant) and is replaced by RemoveGraph+AddGraph, mirroring
+// the Router's counters semantics.
+type admTenant struct {
+	name     string
+	weight   int
+	inflight int
+	queue    []*admWaiter
+
+	admitted      int64
+	shedQueueFull int64
+	shedDoomed    int64
+	queueTimeouts int64
+
+	hist latencyHist
+}
+
+// admWaiter is one queued call. ready closes exactly once: with grant set
+// (admitted) or err set (tenant removed). A waiter that gives up removes
+// itself from the queue under the admitter lock, so grant/give-up cannot
+// race into a lost token.
+type admWaiter struct {
+	ready chan struct{}
+	grant *admGrant
+	err   error
+}
+
+// admGrant is one admitted call's token; release returns it and records
+// the observed service time into the tenant's histogram.
+type admGrant struct {
+	t     *admTenant
+	start time.Time
+}
+
+func newAdmitter(capacity, maxQueue int) *admitter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	switch {
+	case maxQueue == 0:
+		maxQueue = DefaultMaxQueue
+	case maxQueue < 0:
+		maxQueue = 0 // explicit "no queue": shed whenever a grant isn't immediate
+	}
+	return &admitter{
+		capacity: capacity,
+		maxQueue: maxQueue,
+		tenants:  make(map[string]*admTenant),
+	}
+}
+
+// register installs a fresh tenant under name with the given weight
+// (clamped to >= 1). Callers serialise registry mutation (Router.mu).
+func (a *admitter) register(name string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	a.mu.Lock()
+	a.tenants[name] = &admTenant{name: name, weight: weight}
+	a.mu.Unlock()
+}
+
+// unregister removes name's tenant and fails its queued waiters with
+// ErrUnknownGraph. Grants still in flight stay valid — their release finds
+// the tenant struct through the grant, not the map.
+func (a *admitter) unregister(name string) {
+	a.mu.Lock()
+	t, ok := a.tenants[name]
+	if !ok {
+		a.mu.Unlock()
+		return
+	}
+	delete(a.tenants, name)
+	waiters := t.queue
+	t.queue = nil
+	for _, w := range waiters {
+		w.err = ErrUnknownGraph
+		close(w.ready)
+	}
+	// The departed tenant's share redistributes; someone else may now admit.
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// share is tenant t's guaranteed slot count: max(1, capacity·w/Σw).
+// Called with a.mu held.
+func (a *admitter) share(t *admTenant) int {
+	sum := 0
+	for _, o := range a.tenants {
+		sum += o.weight
+	}
+	if sum <= 0 {
+		return 1
+	}
+	s := a.capacity * t.weight / sum
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// canGrant reports whether a new arrival for t may take a slot right now.
+// Called with a.mu held.
+func (a *admitter) canGrant(t *admTenant) bool {
+	if a.total >= a.capacity {
+		return false
+	}
+	if len(t.queue) > 0 {
+		return false // FIFO within the tenant: no jumping its own queue
+	}
+	if t.inflight < a.share(t) {
+		return true
+	}
+	// At or over its share: borrow idle capacity only while nobody waits.
+	for _, o := range a.tenants {
+		if o != t && len(o.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// grantLocked hands freed capacity to queued waiters, largest share
+// deficit first (ties broken by name for determinism). Called with a.mu
+// held, after anything that frees capacity or changes shares.
+func (a *admitter) grantLocked() {
+	for a.total < a.capacity {
+		var best *admTenant
+		bestDef := math.MinInt
+		for _, t := range a.tenants {
+			if len(t.queue) == 0 {
+				continue
+			}
+			def := a.share(t) - t.inflight
+			if best == nil || def > bestDef || (def == bestDef && t.name < best.name) {
+				best, bestDef = t, def
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		best.inflight++
+		a.total++
+		best.admitted++
+		w.grant = &admGrant{t: best, start: time.Now()}
+		close(w.ready)
+	}
+}
+
+// admit asks for one call's budget grant for tenant name. The ctx must
+// already carry the call's effective deadline (the Router applies
+// WithTimeout before admitting, so queue time burns the caller's budget,
+// not a fresh one). It returns immediately with a grant when the tenant's
+// share allows it; otherwise it sheds (ErrQueueFull, ErrDeadlineDoomed) or
+// queues until granted, the tenant disappears, or ctx fires
+// (ErrQueueTimeout wrapping the context's error).
+func (a *admitter) admit(ctx context.Context, name string) (*admGrant, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a.mu.Lock()
+	t, ok := a.tenants[name]
+	if !ok {
+		a.mu.Unlock()
+		return nil, ErrUnknownGraph
+	}
+	if a.canGrant(t) {
+		t.inflight++
+		a.total++
+		t.admitted++
+		a.mu.Unlock()
+		return &admGrant{t: t, start: time.Now()}, nil
+	}
+	// The call must wait. Shed instead when the queue is full…
+	if len(t.queue) >= a.maxQueue {
+		t.shedQueueFull++
+		a.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	// …or when its deadline is already doomed: the tenant drains roughly
+	// share slots per observed p50 period, so a request entering behind
+	// len(queue) waiters expects ~(len+1)·p50/share of queue wait and then
+	// ~p50 of service. A fresh tenant (no history yet) never sheds on this
+	// estimate — it has nothing to estimate with.
+	if deadline, hasDeadline := ctx.Deadline(); hasDeadline {
+		if p50 := t.hist.quantile(0.50); p50 > 0 {
+			wait := time.Duration(len(t.queue)+1) * p50 / time.Duration(a.share(t))
+			if time.Until(deadline) < wait+p50 {
+				t.shedDoomed++
+				a.mu.Unlock()
+				return nil, fmt.Errorf("%w (%w)", ErrDeadlineDoomed, context.DeadlineExceeded)
+			}
+		}
+	}
+	w := &admWaiter{ready: make(chan struct{})}
+	t.queue = append(t.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return w.grant, nil
+	case <-ctx.Done():
+	}
+	// ctx fired while queued. The grant may have landed concurrently: if the
+	// waiter already left the queue, honor whatever it was handed (the
+	// engine will observe the fired ctx immediately anyway).
+	a.mu.Lock()
+	for i, o := range t.queue {
+		if o == w {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			t.queueTimeouts++
+			a.mu.Unlock()
+			return nil, fmt.Errorf("%w (%w)", ErrQueueTimeout, ctx.Err())
+		}
+	}
+	a.mu.Unlock()
+	<-w.ready // off the queue: the verdict is committed and ready is closed
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.grant, nil
+}
+
+// release returns a grant, records the call's service time and wakes the
+// neediest waiter.
+func (a *admitter) release(g *admGrant) {
+	g.t.hist.observe(time.Since(g.start))
+	a.mu.Lock()
+	g.t.inflight--
+	a.total--
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// admissionStats is one tenant's admission snapshot, folded into
+// GraphStats by Router.Stats.
+type admissionStats struct {
+	weight        int
+	queueDepth    int
+	admitted      int64
+	shedQueueFull int64
+	shedDoomed    int64
+	queueTimeouts int64
+	p50, p99      time.Duration
+}
+
+// stats snapshots tenant name's admission state; ok is false when the
+// tenant is not registered.
+func (a *admitter) stats(name string) (admissionStats, bool) {
+	a.mu.Lock()
+	t, ok := a.tenants[name]
+	if !ok {
+		a.mu.Unlock()
+		return admissionStats{}, false
+	}
+	s := admissionStats{
+		weight:        t.weight,
+		queueDepth:    len(t.queue),
+		admitted:      t.admitted,
+		shedQueueFull: t.shedQueueFull,
+		shedDoomed:    t.shedDoomed,
+		queueTimeouts: t.queueTimeouts,
+	}
+	a.mu.Unlock()
+	// Quantiles read atomics; no need to hold the admission lock.
+	s.p50 = t.hist.quantile(0.50)
+	s.p99 = t.hist.quantile(0.99)
+	return s, true
+}

@@ -1,0 +1,436 @@
+package fast
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+// TestAdmitterQueueFullShed: a tenant whose bounded queue is full sheds
+// arrivals immediately with ErrQueueFull — they never block, never count as
+// calls, and the shed is visible in the stats.
+func TestAdmitterQueueFullShed(t *testing.T) {
+	a := newAdmitter(1, -1) // capacity 1, queueing disabled
+	a.register("a", 1)
+
+	g, err := a.admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := a.admit(context.Background(), "a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("admit with zero queue = %v, want ErrQueueFull", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("queue-full shed took %v, want immediate", elapsed)
+	}
+	s, ok := a.stats("a")
+	if !ok || s.shedQueueFull != 1 || s.admitted != 1 {
+		t.Errorf("stats = %+v, want shedQueueFull 1, admitted 1", s)
+	}
+	a.release(g)
+
+	// With a bounded queue of 2: one grant in flight, two queued, the third
+	// arrival sheds.
+	b := newAdmitter(1, 2)
+	b.register("a", 1)
+	g, err = b.admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g, err := b.admit(context.Background(), "a"); err == nil {
+				b.release(g)
+			} else {
+				t.Errorf("queued admit failed: %v", err)
+			}
+		}()
+	}
+	// Wait for both waiters to be queued before probing the bound.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if s, _ := b.stats("a"); s.queueDepth == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := b.admit(context.Background(), "a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("admit over full queue = %v, want ErrQueueFull", err)
+	}
+	b.release(g) // drains the queue: each waiter releases its own grant
+	wg.Wait()
+}
+
+// TestAdmitterDoomedShed: with service history established, a request whose
+// deadline cannot cover the estimated queue wait plus one p50 service time
+// is rejected on arrival — ErrDeadlineDoomed, matching
+// context.DeadlineExceeded — instead of occupying a queue slot it is
+// guaranteed to time out in. A tenant with no history never doomed-sheds.
+func TestAdmitterDoomedShed(t *testing.T) {
+	a := newAdmitter(1, 8)
+	a.register("a", 1)
+	g, err := a.admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No history: a hopeless deadline still queues (and times out there).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	_, err = a.admit(ctx, "a")
+	cancel()
+	if !errors.Is(err, ErrQueueTimeout) || errors.Is(err, ErrDeadlineDoomed) {
+		t.Fatalf("fresh-tenant admit = %v, want ErrQueueTimeout (never doomed without history)", err)
+	}
+
+	// Seed p50 ≈ 1s of observed service time; now the same deadline is doomed.
+	for i := 0; i < 8; i++ {
+		g.t.hist.observe(time.Second)
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = a.admit(ctx, "a")
+	if !errors.Is(err, ErrDeadlineDoomed) {
+		t.Fatalf("admit = %v, want ErrDeadlineDoomed", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("doomed shed error %v should match context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("doomed shed took %v, want immediate rejection", elapsed)
+	}
+	// A roomy deadline with the same history queues normally.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() {
+		g2, err := a.admit(ctx2, "a")
+		if err == nil {
+			a.release(g2)
+		}
+		done <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if s, _ := a.stats("a"); s.queueDepth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("roomy-deadline admit never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.release(g)
+	if err := <-done; err != nil {
+		t.Fatalf("queued admit after release = %v, want grant", err)
+	}
+	s, _ := a.stats("a")
+	if s.shedDoomed != 1 || s.queueTimeouts != 1 {
+		t.Errorf("stats = %+v, want shedDoomed 1, queueTimeouts 1", s)
+	}
+}
+
+// TestAdmitterWeightedShares: a heavy tenant may borrow idle capacity, but
+// once a light tenant has waiters, every freed slot goes to the tenant with
+// the largest share deficit — the heavy tenant cannot hold the light one
+// below its guaranteed share.
+func TestAdmitterWeightedShares(t *testing.T) {
+	a := newAdmitter(4, 8)
+	a.register("heavy", 3) // share = max(1, 4·3/4) = 3
+	a.register("light", 1) // share = max(1, 4·1/4) = 1
+
+	// Idle borrow: heavy can take the whole budget while light is idle.
+	grants := make([]*admGrant, 0, 4)
+	for i := 0; i < 4; i++ {
+		g, err := a.admit(context.Background(), "heavy")
+		if err != nil {
+			t.Fatalf("heavy borrow grant %d: %v", i, err)
+		}
+		grants = append(grants, g)
+	}
+
+	// Light arrives: must queue (budget is full) but must win the next free
+	// slot over heavy's own backlog — its deficit (1-0) beats heavy's (3-4).
+	type outcome struct {
+		tenant string
+		err    error
+	}
+	results := make(chan outcome, 2)
+	admitAsync := func(tenant string) {
+		go func() {
+			g, err := a.admit(context.Background(), tenant)
+			if err == nil {
+				defer a.release(g)
+			}
+			results <- outcome{tenant, err}
+		}()
+	}
+	admitAsync("heavy") // heavy backlog first, to prove FIFO is per-tenant
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if s, _ := a.stats("heavy"); s.queueDepth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heavy waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	admitAsync("light")
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if s, _ := a.stats("light"); s.queueDepth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("light waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	a.release(grants[0])
+	first := <-results
+	if first.tenant != "light" || first.err != nil {
+		t.Fatalf("first freed slot went to %q (err %v), want light — heavy starved light's share", first.tenant, first.err)
+	}
+	a.release(grants[1])
+	second := <-results
+	if second.tenant != "heavy" || second.err != nil {
+		t.Fatalf("second freed slot went to %q (err %v), want heavy", second.tenant, second.err)
+	}
+	for _, g := range grants[2:] {
+		a.release(g)
+	}
+
+	// While light has a waiter, heavy at-or-over its share cannot take a new
+	// slot even if one is momentarily free (no borrow past share under
+	// contention).
+	hs, _ := a.stats("heavy")
+	ls, _ := a.stats("light")
+	if hs.admitted != 5 || ls.admitted != 1 {
+		t.Errorf("admitted heavy %d light %d, want 5 and 1", hs.admitted, ls.admitted)
+	}
+}
+
+// TestRouterDoomedShedUnderSaturatedBudget is the PR's acceptance check at
+// the Router layer: with the whole worker budget blocked and service
+// history established, a request whose deadline cannot survive the queue is
+// rejected immediately — returning in far less time than the queue would
+// take to drain — rather than waiting out its deadline in line.
+func TestRouterDoomedShedUnderSaturatedBudget(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 1, Engine: engineTestOptions(1)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ldbc.QueryByName("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the tenant's observed service time at ~1s per call.
+	r.adm.mu.Lock()
+	tn := r.adm.tenants["a"]
+	r.adm.mu.Unlock()
+	for i := 0; i < 8; i++ {
+		tn.hist.observe(time.Second)
+	}
+
+	// Saturate the budget: a hog stream blocks in emit, holding its grant.
+	var once sync.Once
+	started := make(chan struct{})
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := r.MatchStream(context.Background(), "a", q, func(graph.Embedding) error {
+			once.Do(func() { close(started) })
+			<-block
+			return nil
+		})
+		if err != nil {
+			t.Errorf("hog stream: %v", err)
+		}
+	}()
+	<-started
+
+	start := time.Now()
+	res, err := r.MatchContext(context.Background(), "a", q, WithTimeout(50*time.Millisecond))
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlineDoomed) {
+		t.Fatalf("victim error = %v, want ErrDeadlineDoomed", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("victim error %v should match context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Errorf("doomed shed returned a Result: %+v", res)
+	}
+	// The queue would drain only when the hog unblocks (seconds away, and
+	// its own p50 estimate says ~2s); immediate rejection must be far under
+	// that. 1s is a generous CI ceiling that still proves "did not wait".
+	if elapsed > time.Second {
+		t.Errorf("doomed request returned after %v, want immediate rejection ≪ queue drain time", elapsed)
+	}
+
+	close(block)
+	<-done
+	s := r.Stats()["a"]
+	if s.ShedDoomed != 1 {
+		t.Errorf("ShedDoomed = %d, want 1", s.ShedDoomed)
+	}
+	if s.Calls != 1 || s.Failures != 0 {
+		t.Errorf("shed call leaked into Calls/Failures: %+v", s)
+	}
+	if s.Admitted != 1 {
+		t.Errorf("Admitted = %d, want 1 (the hog)", s.Admitted)
+	}
+	if s.P50Latency == 0 {
+		t.Errorf("P50Latency = 0, want nonzero after hog release")
+	}
+}
+
+// TestRouterBatchMixedFailureAttribution: a mixed batch must attribute
+// failures per query from the batch's own per-index errors — not record the
+// joined aggregate against every query — and take exactly one admission
+// grant however many queries it carries.
+func TestRouterBatchMixedFailureAttribution(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(1)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	q1, err := ldbc.QueryByName("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ldbc.QueryByName("q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, want2 := routerWant(t, q1, gA), routerWant(t, q2, gA)
+
+	qs := []*graph.Query{q1, nil, q2}
+	results, err := r.MatchBatchContext(context.Background(), "a", qs)
+	if err == nil {
+		t.Fatal("mixed batch returned nil error, want aggregate naming query 1")
+	}
+	if len(results) != 3 {
+		t.Fatalf("len(results) = %d, want 3", len(results))
+	}
+	if results[0] == nil || results[0].Count != want1 {
+		t.Errorf("results[0] = %+v, want count %d", results[0], want1)
+	}
+	if results[1] != nil {
+		t.Errorf("results[1] = %+v, want nil for the failed query", results[1])
+	}
+	if results[2] == nil || results[2].Count != want2 {
+		t.Errorf("results[2] = %+v, want count %d", results[2], want2)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "query 1") || strings.Contains(msg, "query 0") || strings.Contains(msg, "query 2") {
+		t.Errorf("aggregate error %q should name exactly query 1", msg)
+	}
+
+	s := r.Stats()["a"]
+	if s.Calls != 3 {
+		t.Errorf("Calls = %d, want 3 (each query counts)", s.Calls)
+	}
+	if s.Failures != 1 {
+		t.Errorf("Failures = %d, want 1 — aggregate error must not be charged to every query", s.Failures)
+	}
+	if s.Partials != 0 {
+		t.Errorf("Partials = %d, want 0", s.Partials)
+	}
+	if s.Admitted != 1 {
+		t.Errorf("Admitted = %d, want 1 (one grant per batch)", s.Admitted)
+	}
+}
+
+// TestAdmitRacesSwapRemove: concurrent admits racing SwapGraph and
+// RemoveGraph/AddGraph must never deadlock, leak grants, or surface any
+// error other than the admission verdicts and ErrUnknownGraph. Run under
+// -race in CI.
+func TestAdmitRacesSwapRemove(t *testing.T) {
+	gA, gB := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(1), MaxQueue: 4})
+	if err := r.AddGraph("x", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ldbc.QueryByName("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := r.MatchContext(context.Background(), "x", q, WithTimeout(50*time.Millisecond))
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrUnknownGraph),
+					errors.Is(err, ErrQueueFull),
+					errors.Is(err, ErrDeadlineDoomed),
+					errors.Is(err, ErrQueueTimeout),
+					errors.Is(err, context.DeadlineExceeded):
+					// expected under mutation and a tiny deadline
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+				_ = res
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				_ = r.SwapGraph("x", gB)
+			case 1:
+				_ = r.RemoveGraph("x")
+			case 2:
+				_ = r.AddGraph("x", gA, nil)
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The registry may or may not hold x at shutdown; whatever tenant exists
+	// must carry a consistent snapshot (queue fully drained).
+	if s, ok := r.Stats()["x"]; ok && s.QueueDepth != 0 {
+		t.Errorf("queue depth %d after drain, want 0", s.QueueDepth)
+	}
+	if served.Load() == 0 {
+		t.Error("no call ever served during the race — admission wedged?")
+	}
+}

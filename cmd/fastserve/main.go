@@ -1,0 +1,133 @@
+// Command fastserve runs the HTTP/JSON serving front end over a
+// fast.Router: named LDBC queries or explicit label/edge queries against
+// one or more registered graphs, behind deadline-aware admission control.
+//
+// Usage:
+//
+//	fastserve -addr :8080 -graphs social
+//	fastserve -graphs hot=DG03@3,cold=DG01 -workers 8 -maxqueue 128
+//	fastserve -graphs prod=/data/prod.bin -base 400 -seed 42
+//
+// Each -graphs entry is name[=source][@weight]:
+//
+//	name            generate an LDBC graph (-sf/-base/-seed; seeds step by
+//	                one per generated graph so names differ)
+//	name=DG01       an LDBC dataset preset (DG01, DG03, DG10, DG60)
+//	name=path.bin   a graph.WriteBinary file
+//	@weight         the tenant's share weight of the worker budget (>= 1)
+//
+// Endpoints, request shapes and the /metrics exposition are documented on
+// fast.Server; queries named in requests resolve through ldbc.QueryByName.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	fast "fastmatch"
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		graphs   = flag.String("graphs", "social", "comma-separated graphs to serve: name[=dataset|=path.bin][@weight]")
+		workers  = flag.Int("workers", 0, "shared worker budget (default GOMAXPROCS)")
+		maxQueue = flag.Int("maxqueue", 0, "per-tenant admission queue bound (0 = default, negative disables queuing)")
+		timeout  = flag.Duration("timeout", 0, "default per-call timeout applied as every tenant's SLO ceiling; 0 = none")
+		sf       = flag.Float64("sf", 1, "LDBC scale factor for generated graphs")
+		base     = flag.Int("base", 0, "BasePersons scale knob for generated graphs (default 200)")
+		seed     = flag.Int64("seed", 42, "generator seed for generated graphs")
+	)
+	flag.Parse()
+
+	router := fast.NewRouter(fast.RouterOptions{Workers: *workers, MaxQueue: *maxQueue})
+	genSeed := *seed
+	for _, spec := range strings.Split(*graphs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, source, weight, err := parseSpec(spec)
+		if err != nil {
+			log.Fatalf("fastserve: -graphs %q: %v", spec, err)
+		}
+		g, desc, err := loadGraph(source, *sf, *base, genSeed)
+		if err != nil {
+			log.Fatalf("fastserve: graph %s: %v", name, err)
+		}
+		if source == "" {
+			genSeed++
+		}
+		var defaults []fast.MatchOption
+		if weight > 0 {
+			defaults = append(defaults, fast.WithWeight(weight))
+		}
+		if *timeout > 0 {
+			defaults = append(defaults, fast.WithTimeout(*timeout))
+		}
+		if err := router.AddGraph(name, g, nil, defaults...); err != nil {
+			log.Fatalf("fastserve: %v", err)
+		}
+		log.Printf("serving %s: %s (%d vertices, %d edges, weight %d)",
+			name, desc, g.NumVertices(), g.NumEdges(), max(weight, 1))
+	}
+	if len(router.Graphs()) == 0 {
+		fmt.Fprintln(os.Stderr, "fastserve: no graphs to serve")
+		os.Exit(2)
+	}
+
+	server := fast.NewServer(router, fast.ServerOptions{QueryByName: ldbc.QueryByName})
+	log.Printf("listening on %s (%d workers)", *addr, router.Workers())
+	log.Fatal(http.ListenAndServe(*addr, server))
+}
+
+// parseSpec splits name[=source][@weight].
+func parseSpec(spec string) (name, source string, weight int, err error) {
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		w, err := strconv.Atoi(spec[at+1:])
+		if err != nil || w < 1 {
+			return "", "", 0, fmt.Errorf("weight %q: want an integer >= 1", spec[at+1:])
+		}
+		weight, spec = w, spec[:at]
+	}
+	name, source, _ = strings.Cut(spec, "=")
+	if name == "" {
+		return "", "", 0, fmt.Errorf("empty graph name")
+	}
+	return name, source, weight, nil
+}
+
+// loadGraph resolves a -graphs source: empty generates, a dataset name uses
+// its preset, anything else reads a binary graph file.
+func loadGraph(source string, sf float64, base int, seed int64) (*graph.Graph, string, error) {
+	if source == "" {
+		cfg := ldbc.Config{ScaleFactor: sf, BasePersons: base, Seed: seed}
+		return ldbc.Generate(cfg), fmt.Sprintf("generated sf=%g seed=%d", sf, seed), nil
+	}
+	for _, preset := range ldbc.DatasetNames() {
+		if source == preset {
+			cfg, err := ldbc.Dataset(source)
+			if err != nil {
+				return nil, "", err
+			}
+			return ldbc.Generate(cfg), "dataset " + source, nil
+		}
+	}
+	f, err := os.Open(source)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	g, err := graph.ReadBinary(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", source, err)
+	}
+	return g, "file " + source, nil
+}

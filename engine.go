@@ -263,6 +263,16 @@ func (e *Engine) MatchBatch(qs []*graph.Query) ([]*Result, error) {
 // MatchBatch historically returned alone) and errors.Is/As see every
 // underlying cause.
 func (e *Engine) MatchBatchContext(ctx context.Context, qs []*graph.Query, opts ...MatchOption) ([]*Result, error) {
+	results, errs := e.matchBatch(ctx, qs, opts)
+	return results, joinBatchErrors(qs, errs)
+}
+
+// matchBatch is MatchBatchContext's engine: it runs the batch and returns
+// the raw per-index errors, unwrapped and unjoined, so callers that account
+// per query (the Router's counters, which must attribute a Failure to the
+// query that failed and not to its batch-mates) see each query's own error
+// instead of the aggregate.
+func (e *Engine) matchBatch(ctx context.Context, qs []*graph.Query, opts []MatchOption) ([]*Result, []error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -309,16 +319,26 @@ submit:
 		}(i, q)
 	}
 	wg.Wait()
+	return results, errs
+}
+
+// joinBatchErrors wraps each per-query error with its index and query name
+// and aggregates them via errors.Join, in index order — so the lowest-index
+// failure stays first and errors.Is/As see every underlying cause. The
+// per-index slice is left untouched.
+func joinBatchErrors(qs []*graph.Query, errs []error) error {
+	var wrapped []error
 	for i, err := range errs {
-		if err != nil {
-			name := "<nil>"
-			if qs[i] != nil {
-				name = qs[i].Name()
-			}
-			errs[i] = fmt.Errorf("fast: MatchBatch query %d (%s): %w", i, name, err)
+		if err == nil {
+			continue
 		}
+		name := "<nil>"
+		if qs[i] != nil {
+			name = qs[i].Name()
+		}
+		wrapped = append(wrapped, fmt.Errorf("fast: MatchBatch query %d (%s): %w", i, name, err))
 	}
-	return results, errors.Join(errs...)
+	return errors.Join(wrapped...)
 }
 
 // PlanCacheStats reports plan-cache hits and misses since the engine was

@@ -69,6 +69,26 @@
 //	res, err := router.MatchContext(ctx, "acme", q)
 //	router.SwapGraph("globex", reingested) // atomic; traffic keeps flowing
 //	stats := router.Stats()                // per-graph calls, partials, plan cache
+//
+// Routed calls pass through an explicit admission controller in front of
+// the shared budget: each tenant holds a weighted share (WithWeight as an
+// AddGraph default), waits in a bounded per-tenant queue when the budget is
+// saturated, and is shed immediately — ErrQueueFull, or ErrDeadlineDoomed
+// when its deadline cannot survive the estimated queue wait — instead of
+// blocking indefinitely. Stats reports queue depths, shed counters and
+// p50/p99 service latency per graph.
+//
+// # Network serving
+//
+// Server wraps a Router as an http.Handler — unary counts, NDJSON
+// streaming, graph list/stats/swap admin endpoints and a Prometheus-text
+// /metrics — with admission verdicts mapped to machine-readable HTTP
+// errors (429 queue_full, 504 deadline_doomed/queue_timeout). cmd/fastserve
+// runs it from the command line; cmd/fastload replays open-loop workloads
+// against it:
+//
+//	server := fast.NewServer(router, fast.ServerOptions{QueryByName: ldbc.QueryByName})
+//	log.Fatal(http.ListenAndServe(":8080", server))
 package fast
 
 import (

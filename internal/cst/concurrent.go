@@ -70,10 +70,11 @@ type partitionPool struct {
 	cond   *sync.Cond
 	stack  []func(*restrictScratch)
 	active int
+	cancel func() bool // threaded into every worker scratch for restrict's amortised poll
 }
 
-func newPartitionPool() *partitionPool {
-	p := &partitionPool{}
+func newPartitionPool(cancel func() bool) *partitionPool {
+	p := &partitionPool{cancel: cancel}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -88,7 +89,7 @@ func (p *partitionPool) push(t func(*restrictScratch)) {
 // run is one worker's loop: pop and execute tasks until the stack is empty
 // and no task is running anywhere (a running task may still push new ones).
 func (p *partitionPool) run() {
-	sc := &restrictScratch{}
+	sc := &restrictScratch{cancel: p.cancel}
 	p.mu.Lock()
 	for {
 		for len(p.stack) == 0 && p.active > 0 {
@@ -130,7 +131,7 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 	var (
 		count   atomic.Int64
 		stealMu sync.Mutex
-		pool    = newPartitionPool()
+		pool    = newPartitionPool(cfg.Cancel)
 	)
 	steal := func(cur *CST) bool {
 		if cfg.Steal == nil {
@@ -175,6 +176,9 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 		}
 		u := o[index]
 		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i), sc)
+		if part == nil {
+			return // cancelled mid-restrict: stop producing
+		}
 		if part.IsEmpty() {
 			return // restriction stranded a branch: no embeddings here
 		}
@@ -256,7 +260,7 @@ var testOrderedHook func(event string)
 // speculation window that doesn't deadlock against the DFS drain cursor is
 // a ROADMAP item before partitioning data graphs that dwarf host RAM.
 func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, process func(*CST)) int {
-	pool := newPartitionPool()
+	pool := newPartitionPool(cfg.Cancel)
 
 	// computeNode fills n for one rec(cur, index) invocation; computeChunk
 	// is one iteration of rec's split loop (the restrict task).
@@ -314,6 +318,12 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		}
 		u := o[index]
 		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i), sc)
+		if part == nil {
+			// Cancelled mid-restrict: the node reads as an empty restriction,
+			// and ready must still close or the drain would block on it.
+			close(n.ready)
+			return
+		}
 		if part.IsEmpty() {
 			close(n.ready) // empty node: drain skips it
 			return

@@ -68,7 +68,10 @@ func (cfg PartitionConfig) Fits(c *CST) bool {
 // catches a divergence.
 func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) int {
 	count := 0
-	sc := &restrictScratch{} // one scratch serves the whole recursion
+	// One scratch serves the whole recursion; it carries the cancel hook
+	// into restrict itself (amortised poll), so even a single huge restrict
+	// observes cancellation promptly.
+	sc := &restrictScratch{cancel: cfg.Cancel}
 	var rec func(cur *CST, index int)
 	rec = func(cur *CST, index int) {
 		if cfg.cancelled() {
@@ -103,6 +106,9 @@ func Partition(c *CST, o order.Order, cfg PartitionConfig, process func(*CST)) i
 			}
 			chunk := evenChunk(len(cur.Cand[u]), k, i)
 			part := restrict(cur, u, chunk, sc)
+			if part == nil {
+				return // cancelled mid-restrict: stop producing
+			}
 			if part.IsEmpty() {
 				continue // restriction stranded a branch: no embeddings here
 			}
@@ -166,6 +172,30 @@ type restrictScratch struct {
 	keptList [][]CandIndex // kept indices, discovery order
 	remap    [][]CandIndex // old index -> new index or -1
 	tgtBuf   []CandIndex   // adjAssembler grow buffer, recycled across pieces
+
+	// cancel is the owning partitioner's PartitionConfig.Cancel, threaded
+	// into restrict itself so a single huge restrict step observes
+	// cancellation mid-loop instead of only between pieces. ticks amortises
+	// the poll (the internal/baseline deadline tick pattern): the hook —
+	// typically a ctx.Err() check behind an atomic — runs once per 4096
+	// loop iterations, keeping the hot loops branch-cheap. The counter
+	// deliberately persists across restrict calls on the same scratch, so
+	// many small pieces amortise exactly like one large one.
+	cancel func() bool
+	ticks  uint32
+}
+
+// polled reports whether the owning partitioner was cancelled, checking the
+// hook only every 4096th call.
+func (sc *restrictScratch) polled() bool {
+	if sc.cancel == nil {
+		return false
+	}
+	sc.ticks++
+	if sc.ticks&4095 != 1 {
+		return false
+	}
+	return sc.cancel()
 }
 
 // grow sizes the scratch for an n-vertex query and clears the per-vertex
@@ -204,6 +234,12 @@ func clearedBools(b []bool, n int) []bool {
 // reach the chunk through tree edges (lines 9-12) — every other vertex
 // trivially reaches the chunk through the unrestricted prefix. Adjacency
 // lists are rebuilt against the kept candidates (line 13).
+//
+// restrict polls sc's amortised cancel hook inside its reachability and
+// rebuild loops and returns nil once it fires, so a cancelled partitioner's
+// latency is bounded by ~4096 candidate rows rather than by one full
+// restrict over a huge piece. Callers must treat a nil return as "stop
+// producing", never as an empty piece.
 func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) *CST {
 	t := cur.Tree
 	n := cur.Query.NumVertices()
@@ -237,6 +273,9 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) 
 		adj := cur.Edge(wp, w)
 		kw, lw := kept[w], keptList[w]
 		for _, pi := range keptList[wp] {
+			if sc.polled() {
+				return nil
+			}
 			for _, ci := range adj.Neighbors(pi) {
 				if !kw[ci] {
 					kw[ci] = true
@@ -325,6 +364,9 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) 
 			off := asm.begin(len(part.Cand[from]))
 			tgtLo := len(asm.tgt)
 			for i := range cur.Cand[from] {
+				if sc.polled() {
+					return nil
+				}
 				ni := CandIndex(i)
 				if changed[from] {
 					ni = remap[from][i]

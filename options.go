@@ -26,24 +26,24 @@ type MatchOption func(*callOptions)
 // tenant's default limit back to unlimited) expressible where a bare zero
 // value historically could not be.
 type callOptions struct {
-	limit    int64
-	limitSet bool
-	timeout  time.Duration
-	collect  *bool
-	delta    *float64
+	limit     int64
+	limitSet  bool
+	timeout   time.Duration
+	collect   *bool
+	delta     *float64
+	weight    int
+	weightSet bool
 }
 
 // WithLimit stops the call after n embeddings. The count is exact and
 // deterministic — min(n, total) — regardless of Workers or
 // PartitionWorkers. A limit stop is a bounded query succeeding: the Result
-// comes back with Partial set and a nil error. n <= 0 means unlimited, and
+// comes back with Partial set and a nil error. n == 0 means unlimited, and
 // is an explicit override: under a Router graph's default limit,
-// WithLimit(0) lifts the call back to unlimited.
+// WithLimit(0) lifts the call back to unlimited. A negative n fails the
+// call up front, before any planning — it is never silently normalised.
 func WithLimit(n int64) MatchOption {
 	return func(c *callOptions) {
-		if n < 0 {
-			n = 0
-		}
 		c.limit = n
 		c.limitSet = true
 	}
@@ -53,11 +53,26 @@ func WithLimit(n int64) MatchOption {
 // deadline the caller's context already carries (the effective deadline is
 // the earlier of the two). An expired budget stops the pipeline at its next
 // check point and the call returns the partial Result with
-// context.DeadlineExceeded. d <= 0 means no per-call timeout; it does not
+// context.DeadlineExceeded. d == 0 means no per-call timeout; it does not
 // lift a Router graph's default timeout — a tenant deadline is an SLO
-// ceiling, callers can only tighten it.
+// ceiling, callers can only tighten it. A negative d fails the call up
+// front, before any planning — it is never silently ignored.
 func WithTimeout(d time.Duration) MatchOption {
 	return func(c *callOptions) { c.timeout = d }
+}
+
+// WithWeight sets a graph's share weight of the Router's worker budget,
+// used as an AddGraph default: under contention each tenant is guaranteed
+// a slice of the budget proportional to its weight (at least one slot),
+// enforced by the Router's admission controller. w must be >= 1.
+// Unregistered weights default to 1 (symmetric sharing). As a per-call
+// option it validates but has no effect — admission weights belong to the
+// tenant, not the call.
+func WithWeight(w int) MatchOption {
+	return func(c *callOptions) {
+		c.weight = w
+		c.weightSet = true
+	}
 }
 
 // WithCollect overrides Options.CollectEmbeddings for this call:
@@ -86,8 +101,17 @@ func resolveCall(opts []MatchOption) (callOptions, error) {
 			o(&c)
 		}
 	}
+	if c.limitSet && c.limit < 0 {
+		return c, fmt.Errorf("fast: WithLimit(%d): negative limit (use 0 for unlimited)", c.limit)
+	}
+	if c.timeout < 0 {
+		return c, fmt.Errorf("fast: WithTimeout(%v): negative timeout (use 0 for none)", c.timeout)
+	}
 	if c.delta != nil && (*c.delta < 0 || *c.delta >= 1) {
 		return c, fmt.Errorf("fast: WithDelta(%v): delta outside [0,1)", *c.delta)
+	}
+	if c.weightSet && c.weight < 1 {
+		return c, fmt.Errorf("fast: WithWeight(%d): weight must be >= 1", c.weight)
 	}
 	return c, nil
 }
@@ -112,6 +136,9 @@ func (c callOptions) over(base callOptions) callOptions {
 	}
 	if c.delta != nil {
 		out.delta = c.delta
+	}
+	if c.weightSet {
+		out.weight, out.weightSet = c.weight, true
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"fastmatch/internal/host"
 	"fastmatch/ldbc"
@@ -60,16 +61,6 @@ func TestWithLimitZeroOverride(t *testing.T) {
 	if cfg.Limit != 0 {
 		t.Errorf("WithLimit(0): cfg.Limit = %d, want 0 (unlimited)", cfg.Limit)
 	}
-	// ...a negative n means the same explicit "unlimited"...
-	cfg = host.Config{Limit: 100}
-	c, err = resolveCall([]MatchOption{WithLimit(-1)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.apply(&cfg)
-	if cfg.Limit != 0 {
-		t.Errorf("WithLimit(-1): cfg.Limit = %d, want 0 (unlimited)", cfg.Limit)
-	}
 	// ...while a call that never mentions a limit keeps the default.
 	cfg = host.Config{Limit: 100}
 	c, err = resolveCall(nil)
@@ -97,5 +88,59 @@ func TestWithLimitZeroOverride(t *testing.T) {
 	var silent callOptions
 	if m := silent.over(def); !m.limitSet || m.limit != 5 {
 		t.Errorf("silence over default: limit=%d set=%v, want 5/true", m.limit, m.limitSet)
+	}
+}
+
+// TestNegativeOptionValuesFailFast: resolveCall validates WithDelta up
+// front, and the other numeric options must be symmetric. The regression:
+// WithLimit(n<0) was silently normalised to "unlimited" and a negative
+// WithTimeout was silently ignored by callContext, so a caller computing a
+// remaining budget that went negative got an unbounded call instead of an
+// error.
+func TestNegativeOptionValuesFailFast(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  MatchOption
+	}{
+		{"WithLimit(-1)", WithLimit(-1)},
+		{"WithTimeout(-1ns)", WithTimeout(-1)},
+		{"WithWeight(0)", WithWeight(0)},
+		{"WithWeight(-3)", WithWeight(-3)},
+	} {
+		_, err := resolveCall([]MatchOption{tc.opt})
+		if err == nil {
+			t.Errorf("%s accepted, want fast:-prefixed validation error", tc.name)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "fast:") {
+			t.Errorf("%s: error %q not fast:-prefixed", tc.name, err)
+		}
+	}
+
+	// And like WithDelta, the failure happens before planning: no plan-cache
+	// miss, no occupied slot, for a call that can never run.
+	eng, err := NewEngine(engineTestGraph(), engineTestOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ldbc.QueryByName("q1")
+	if _, err := eng.MatchContext(context.Background(), q, WithLimit(-7)); err == nil {
+		t.Error("Engine.MatchContext(WithLimit(-7)) accepted")
+	}
+	if _, err := eng.MatchContext(context.Background(), q, WithTimeout(-time.Second)); err == nil {
+		t.Error("Engine.MatchContext(WithTimeout(-1s)) accepted")
+	}
+	if hits, misses := eng.PlanCacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("invalid calls touched the plan cache: hits=%d misses=%d, want 0/0", hits, misses)
+	}
+	if eng.CachedPlans() != 0 {
+		t.Errorf("invalid calls occupied %d plan-cache slots, want 0", eng.CachedPlans())
+	}
+
+	// AddGraph rejects invalid defaults the same way, naming the graph.
+	r := NewRouter(RouterOptions{Workers: 1})
+	if err := r.AddGraph("t", engineTestGraph(), engineTestOptions(1), WithTimeout(-time.Minute)); err == nil ||
+		!strings.HasPrefix(err.Error(), "fast:") {
+		t.Errorf("AddGraph with negative default timeout: err = %v, want fast:-prefixed error", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastmatch/graph"
 )
@@ -30,6 +31,12 @@ type RouterOptions struct {
 	// device. Workers/PartitionWorkers left zero default to the router's
 	// shared budget size.
 	Engine *Options
+	// MaxQueue bounds each tenant's admission queue: calls beyond a
+	// tenant's weighted budget share wait in a per-tenant FIFO of at most
+	// this many entries, and arrivals past it are shed immediately with
+	// ErrQueueFull. 0 means DefaultMaxQueue; negative disables queuing
+	// entirely (any call that cannot be granted on arrival is shed).
+	MaxQueue int
 }
 
 // Router is a multi-graph serving front end: a registry of named data
@@ -40,6 +47,16 @@ type RouterOptions struct {
 // call), and graphs can be added, removed and hot-swapped while traffic is
 // in flight.
 //
+// In front of the engines sits an explicit admission controller: each call
+// takes one grant from a weighted token dispenser sized to the shared
+// budget before it runs. Per-tenant weights (WithWeight as an AddGraph
+// default) guarantee each graph a proportional share of the budget under
+// contention, excess calls wait in a bounded per-tenant FIFO, and a call is
+// shed immediately — ErrQueueFull, or ErrDeadlineDoomed when its deadline
+// cannot survive the estimated queue wait plus the tenant's observed p50
+// service time — instead of queue-blindly blocking. Queue depth, shed and
+// latency figures surface through Stats.
+//
 // A Router is safe for concurrent use. SwapGraph is atomic: calls that
 // already resolved the name finish on the old graph and its cached plans;
 // calls that resolve after the swap see the new graph with a fresh plan
@@ -49,6 +66,7 @@ type Router struct {
 	workers int
 	pool    chan struct{}
 	tmpl    *Options
+	adm     *admitter
 
 	mu     sync.RWMutex
 	graphs map[string]*routerGraph
@@ -135,6 +153,25 @@ type GraphStats struct {
 	// Plan-cache state of the graph's current engine.
 	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions int64
 	CachedPlans                                        int
+	// Admission-controller state. Weight is the tenant's registered budget
+	// share weight (1 unless WithWeight was given at AddGraph); QueueDepth
+	// the calls currently waiting for a grant. Admitted counts calls that
+	// received a grant (a batch is one admission however many queries it
+	// carries — Calls counts the queries); ShedQueueFull and ShedDoomed
+	// count calls rejected on arrival, QueueTimeouts calls whose context
+	// fired while queued. Shed and queue-timed-out calls never ran, so they
+	// appear here and not in Calls/Failures.
+	Weight        int
+	QueueDepth    int
+	Admitted      int64
+	ShedQueueFull int64
+	ShedDoomed    int64
+	QueueTimeouts int64
+	// Service-latency quantiles of admitted calls (log₂-bucket upper
+	// bounds; zero until the first call completes). The p50 also steers the
+	// deadline-doomed shed estimate.
+	P50Latency time.Duration
+	P99Latency time.Duration
 }
 
 // NewRouter creates an empty Router with its shared worker budget.
@@ -147,6 +184,7 @@ func NewRouter(opts RouterOptions) *Router {
 		workers: w,
 		pool:    make(chan struct{}, w),
 		tmpl:    opts.Engine,
+		adm:     newAdmitter(w, opts.MaxQueue),
 		graphs:  make(map[string]*routerGraph),
 	}
 }
@@ -194,6 +232,15 @@ func (r *Router) AddGraph(name string, g *graph.Graph, opts *Options, defaults .
 		counters: &graphCounters{},
 		state:    &graphState{g: g},
 	}
+	// Register the admission tenant inside the same critical section, so a
+	// concurrent call can never resolve the graph and then miss its tenant.
+	// WithWeight among the defaults sets the tenant's budget share weight
+	// (resolveCall already validated it); unset means 1.
+	weight := 1
+	if def.weightSet {
+		weight = def.weight
+	}
+	r.adm.register(name, weight)
 	return nil
 }
 
@@ -224,6 +271,9 @@ func (r *Router) RemoveGraph(name string) error {
 		return fmt.Errorf("fast: Router.RemoveGraph %q: %w", name, ErrUnknownGraph)
 	}
 	delete(r.graphs, name)
+	// Queued waiters fail with ErrUnknownGraph; in-flight grants release
+	// normally through their tenant reference.
+	r.adm.unregister(name)
 	return nil
 }
 
@@ -262,10 +312,10 @@ func (r *Router) Graphs() []string {
 // resolve snapshots a graph's serving state and merges the call's options
 // over its defaults. The snapshot is what makes SwapGraph atomic: the
 // returned state keeps serving this call even if the registry moves on.
-func (r *Router) resolve(method, name string, opts []MatchOption) (*routerGraph, *graphState, MatchOption, error) {
+func (r *Router) resolve(method, name string, opts []MatchOption) (*routerGraph, *graphState, callOptions, error) {
 	call, err := resolveCall(opts)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, callOptions{}, err
 	}
 	r.mu.RLock()
 	ent, ok := r.graphs[name]
@@ -275,14 +325,36 @@ func (r *Router) resolve(method, name string, opts []MatchOption) (*routerGraph,
 	}
 	r.mu.RUnlock()
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("fast: Router.%s %q: %w", method, name, ErrUnknownGraph)
+		return nil, nil, callOptions{}, fmt.Errorf("fast: Router.%s %q: %w", method, name, ErrUnknownGraph)
 	}
-	return ent, st, call.over(ent.defaults).asOption(), nil
+	return ent, st, call.over(ent.defaults), nil
+}
+
+// admit takes one admission grant for a routed call. ctx must already carry
+// the call's effective deadline (callContext applied), so queue time burns
+// the caller's own budget. On success the grant is returned; on a shed or
+// queue timeout the grant is nil and (res, err) are what the Router method
+// should return — sheds carry no Result, a queue timeout carries the zero
+// partial Result a cut-short running call has, with an error wrapping both
+// ErrQueueTimeout and the context's own error.
+func (r *Router) admit(ctx context.Context, method, name string) (grant *admGrant, res *Result, err error) {
+	grant, err = r.adm.admit(ctx, name)
+	if err == nil {
+		return grant, nil, nil
+	}
+	wrapped := fmt.Errorf("fast: Router.%s %q: %w", method, name, err)
+	if errors.Is(err, ErrQueueTimeout) {
+		return nil, &Result{Partial: true}, wrapped
+	}
+	return nil, nil, wrapped
 }
 
 // MatchContext routes one match to the named graph, under the graph's
 // default options with the call's laid on top. Cancellation and budget
-// semantics are Engine.MatchContext's.
+// semantics are Engine.MatchContext's, behind the router's admission
+// controller: the call may be shed (ErrQueueFull, ErrDeadlineDoomed) or
+// time out in the admission queue (ErrQueueTimeout) before any matching
+// work starts.
 func (r *Router) MatchContext(ctx context.Context, graphName string, q *graph.Query, opts ...MatchOption) (*Result, error) {
 	ent, st, call, err := r.resolve("MatchContext", graphName, opts)
 	if err != nil {
@@ -292,13 +364,23 @@ func (r *Router) MatchContext(ctx context.Context, graphName string, q *graph.Qu
 	if err != nil {
 		return nil, err
 	}
-	res, err := eng.MatchContext(ctx, q, call)
+	ctx, cancel := call.callContext(ctx)
+	defer cancel()
+	grant, shedRes, err := r.admit(ctx, "MatchContext", graphName)
+	if grant == nil {
+		return shedRes, err
+	}
+	res, err := eng.MatchContext(ctx, q, call.asOption())
+	r.adm.release(grant)
 	ent.counters.record(res, err)
 	return res, err
 }
 
 // MatchStream routes a streaming match to the named graph; semantics are
-// Engine.MatchStream's under the graph's default options.
+// Engine.MatchStream's under the graph's default options, behind the same
+// admission control as MatchContext. The grant is held for the stream's
+// whole duration — a slow consumer occupies budget, which is what makes a
+// saturated router shed rather than stack up blocked streams.
 func (r *Router) MatchStream(ctx context.Context, graphName string, q *graph.Query, emit func(graph.Embedding) error, opts ...MatchOption) (*Result, error) {
 	ent, st, call, err := r.resolve("MatchStream", graphName, opts)
 	if err != nil {
@@ -308,7 +390,14 @@ func (r *Router) MatchStream(ctx context.Context, graphName string, q *graph.Que
 	if err != nil {
 		return nil, err
 	}
-	res, err := eng.MatchStream(ctx, q, emit, call)
+	ctx, cancel := call.callContext(ctx)
+	defer cancel()
+	grant, shedRes, err := r.admit(ctx, "MatchStream", graphName)
+	if grant == nil {
+		return shedRes, err
+	}
+	res, err := eng.MatchStream(ctx, q, emit, call.asOption())
+	r.adm.release(grant)
 	ent.counters.record(res, err)
 	return res, err
 }
@@ -316,7 +405,11 @@ func (r *Router) MatchStream(ctx context.Context, graphName string, q *graph.Que
 // MatchBatchContext routes a whole batch to the named graph; semantics are
 // Engine.MatchBatchContext's (aligned results, errors.Join aggregate,
 // submission short-circuits once ctx fires), with the graph's defaults
-// under every query's options. Each query counts as one call in Stats.
+// under every query's options. The batch takes one admission grant however
+// many queries it carries; each query still counts as one call in Stats,
+// and failures/partials are attributed per query from the batch's own
+// per-index errors — never from the joined aggregate, which would charge
+// one query's failure to its batch-mates.
 func (r *Router) MatchBatchContext(ctx context.Context, graphName string, qs []*graph.Query, opts ...MatchOption) ([]*Result, error) {
 	ent, st, call, err := r.resolve("MatchBatchContext", graphName, opts)
 	if err != nil {
@@ -326,14 +419,27 @@ func (r *Router) MatchBatchContext(ctx context.Context, graphName string, qs []*
 	if err != nil {
 		return nil, err
 	}
-	results, err := eng.MatchBatchContext(ctx, qs, call)
-	// The aggregate error is not attributable per query, but record only
-	// consults it for hard failures (nil Result) — and any nil result
-	// guarantees the errors.Join aggregate is non-nil.
-	for _, res := range results {
-		ent.counters.record(res, err)
+	ctx, cancel := call.callContext(ctx)
+	defer cancel()
+	grant, shedRes, err := r.admit(ctx, "MatchBatchContext", graphName)
+	if grant == nil {
+		if shedRes == nil {
+			return nil, err // shed on arrival: nothing ran
+		}
+		// Queue timeout: aligned partial zero results, like a batch whose
+		// ctx fired before submission.
+		results := make([]*Result, len(qs))
+		for i := range results {
+			results[i] = &Result{Partial: true}
+		}
+		return results, err
 	}
-	return results, err
+	results, errs := eng.matchBatch(ctx, qs, []MatchOption{call.asOption()})
+	r.adm.release(grant)
+	for i, res := range results {
+		ent.counters.record(res, errs[i])
+	}
+	return results, joinBatchErrors(qs, errs)
 }
 
 // Stats reports every registered graph's serving counters and its current
@@ -356,6 +462,16 @@ func (r *Router) Stats() map[string]GraphStats {
 			s.PlanCacheHits, s.PlanCacheMisses = eng.PlanCacheStats()
 			s.PlanCacheEvictions = eng.PlanCacheEvictions()
 			s.CachedPlans = eng.CachedPlans()
+		}
+		if as, ok := r.adm.stats(name); ok {
+			s.Weight = as.weight
+			s.QueueDepth = as.queueDepth
+			s.Admitted = as.admitted
+			s.ShedQueueFull = as.shedQueueFull
+			s.ShedDoomed = as.shedDoomed
+			s.QueueTimeouts = as.queueTimeouts
+			s.P50Latency = as.p50
+			s.P99Latency = as.p99
 		}
 		out[name] = s
 	}

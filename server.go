@@ -1,0 +1,397 @@
+package fast
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fastmatch/graph"
+)
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// QueryByName resolves a request's "query" field to a query graph (for
+	// example ldbc.QueryByName). nil disables named queries: requests must
+	// spell out labels and edges.
+	QueryByName func(name string) (*graph.Query, error)
+	// MaxBodyBytes bounds request bodies (JSON and binary graph uploads
+	// alike). 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBodyBytes bounds request bodies when ServerOptions leaves
+// MaxBodyBytes zero — large enough for a swapped data graph, small enough
+// that a stray upload cannot exhaust memory.
+const DefaultMaxBodyBytes = 256 << 20
+
+// Server is the HTTP/JSON serving front end over a Router. Every match
+// request passes through the Router's admission controller, so a saturated
+// server sheds with machine-readable reasons instead of stacking blocked
+// handlers:
+//
+//	POST /v1/graphs/{name}/count   unary match, JSON in/out
+//	POST /v1/graphs/{name}/match   streaming match, NDJSON out
+//	GET  /v1/graphs                list graphs with serving stats
+//	GET  /v1/graphs/{name}/stats   one graph's GraphStats
+//	PUT  /v1/graphs/{name}         swap the data graph (binary body)
+//	GET  /metrics                  Prometheus text format
+//
+// Errors are JSON envelopes {"error": ..., "reason": ...} where reason is
+// one of bad_request (400), unknown_graph (404), queue_full (429),
+// deadline_doomed (504), queue_timeout (504) or internal (500). An admitted
+// call cut short by its deadline is service, not failure: it returns 200
+// with "partial": true, mirroring the Go API's partial Result.
+type Server struct {
+	router *Router
+	opts   ServerOptions
+	mux    *http.ServeMux
+}
+
+// NewServer wraps r in the HTTP front end. The Server holds no state of its
+// own beyond the mux: graphs added or swapped on the Router are visible to
+// requests immediately.
+func NewServer(r *Router, opts ServerOptions) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{router: r, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/graphs/{name}/count", s.handleCount)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/match", s.handleMatch)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/stats", s.handleStats)
+	s.mux.HandleFunc("PUT /v1/graphs/{name}", s.handleSwap)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// matchRequest is the body of /count and /match. A query is either named
+// (resolved through ServerOptions.QueryByName) or spelled out as vertex
+// labels plus an undirected edge list — exactly graph.NewQuery's shape.
+type matchRequest struct {
+	Query  string        `json:"query,omitempty"`
+	Labels []graph.Label `json:"labels,omitempty"`
+	Edges  [][2]int      `json:"edges,omitempty"`
+
+	// Limit caps embeddings (0 = unlimited override, absent = tenant
+	// default); TimeoutMS bounds the call's wall clock including admission
+	// queue time; Delta overrides the CPU share δ.
+	Limit     *int64   `json:"limit,omitempty"`
+	TimeoutMS *int64   `json:"timeout_ms,omitempty"`
+	Delta     *float64 `json:"delta,omitempty"`
+}
+
+// countResponse is /count's reply. ElapsedMS is the server-side wall clock
+// of the routed call, queue time included.
+type countResponse struct {
+	Graph     string  `json:"graph"`
+	Query     string  `json:"query,omitempty"`
+	Count     int64   `json:"count"`
+	Partial   bool    `json:"partial"`
+	Reason    string  `json:"reason,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON error envelope every non-2xx reply carries.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // header is out; nothing useful to do on a failed write
+}
+
+func writeError(w http.ResponseWriter, status int, reason, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Reason: reason})
+}
+
+// shedStatus maps a routed call's error to (status, reason) for the
+// envelope; ok is false for errors that are not admission or routing
+// verdicts (the caller decides whether those are 400s or 500s).
+func shedStatus(err error) (int, string, bool) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full", true
+	case errors.Is(err, ErrDeadlineDoomed):
+		return http.StatusGatewayTimeout, "deadline_doomed", true
+	case errors.Is(err, ErrQueueTimeout):
+		return http.StatusGatewayTimeout, "queue_timeout", true
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound, "unknown_graph", true
+	}
+	return 0, "", false
+}
+
+// parseMatchRequest decodes and validates a /count or /match body into a
+// query plus per-call options.
+func (s *Server) parseMatchRequest(r *http.Request) (*graph.Query, []MatchOption, error) {
+	var req matchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("decoding request body: %w", err)
+	}
+	var q *graph.Query
+	switch {
+	case req.Query != "" && req.Labels != nil:
+		return nil, nil, errors.New(`request names a query and spells one out; use "query" or "labels"+"edges", not both`)
+	case req.Query != "":
+		if s.opts.QueryByName == nil {
+			return nil, nil, errors.New("named queries are not enabled on this server")
+		}
+		var err error
+		if q, err = s.opts.QueryByName(req.Query); err != nil {
+			return nil, nil, err
+		}
+	case req.Labels != nil:
+		edges := make([][2]graph.QueryVertex, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = [2]graph.QueryVertex{e[0], e[1]}
+		}
+		var err error
+		if q, err = graph.NewQuery("http", req.Labels, edges); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, errors.New(`request carries no query: set "query" or "labels"+"edges"`)
+	}
+	var opts []MatchOption
+	if req.Limit != nil {
+		opts = append(opts, WithLimit(*req.Limit))
+	}
+	if req.TimeoutMS != nil {
+		opts = append(opts, WithTimeout(time.Duration(*req.TimeoutMS)*time.Millisecond))
+	}
+	if req.Delta != nil {
+		opts = append(opts, WithDelta(*req.Delta))
+	}
+	return q, opts, nil
+}
+
+// finishReason labels a completed call for the response body: partial
+// results carry why they stopped.
+func finishReason(res *Result, err error) string {
+	switch {
+	case err == nil && res.Partial:
+		return "limit"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return ""
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q, opts, err := s.parseMatchRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	start := time.Now()
+	res, err := s.router.MatchContext(r.Context(), name, q, opts...)
+	if err != nil {
+		if status, reason, ok := shedStatus(err); ok {
+			writeError(w, status, reason, err.Error())
+			return
+		}
+		if res == nil {
+			// Hard failure with no shed verdict: the remaining producers are
+			// option validation and query shape — the caller's fault.
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		// Admitted but cut short (deadline or client cancel): service, not
+		// failure — 200 with the partial count, like the Go API's partial
+		// Result with its error.
+	}
+	writeJSON(w, http.StatusOK, countResponse{
+		Graph:     name,
+		Query:     q.Name(),
+		Count:     res.Count,
+		Partial:   res.Partial,
+		Reason:    finishReason(res, err),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// matchLine is one NDJSON line of /match: embedding lines stream as they
+// are found, then exactly one summary line with done set reports the final
+// count and why the stream stopped, mirroring countResponse.
+type matchLine struct {
+	Embedding []graph.VertexID `json:"embedding,omitempty"`
+	Done      bool             `json:"done,omitempty"`
+	Count     int64            `json:"count,omitempty"`
+	Partial   bool             `json:"partial,omitempty"`
+	Reason    string           `json:"reason,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q, opts, err := s.parseMatchRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// Sheds must keep their status codes, so admission is probed before the
+	// 200 header goes out: a request the controller would reject fails fast
+	// here with the same JSON envelope as /count. The probe is the real
+	// call — the header is written only once the stream is admitted and
+	// running, i.e. on the first emit or at completion.
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerOut := false
+	emit := func(e graph.Embedding) error {
+		if !headerOut {
+			headerOut = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		if err := enc.Encode(matchLine{Embedding: e}); err != nil {
+			return err // client went away: stop enumerating
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	res, err := s.router.MatchStream(r.Context(), name, q, emit, opts...)
+	if err != nil && !headerOut {
+		if status, reason, ok := shedStatus(err); ok {
+			writeError(w, status, reason, err.Error())
+			return
+		}
+		if res == nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+	}
+	if !headerOut {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	line := matchLine{Done: true, Count: res.Count, Partial: res.Partial, Reason: finishReason(res, err)}
+	if err != nil && line.Reason == "" {
+		line.Error = err.Error()
+	}
+	_ = enc.Encode(line)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// graphInfo is one entry of GET /v1/graphs.
+type graphInfo struct {
+	Name  string     `json:"name"`
+	Stats GraphStats `json:"stats"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	stats := s.router.Stats()
+	names := s.router.Graphs()
+	out := make([]graphInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, graphInfo{Name: name, Stats: stats[name]})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Graphs []graphInfo `json:"graphs"`
+	}{out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.router.Stats()[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_graph", fmt.Sprintf("fast: no graph %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, graphInfo{Name: name, Stats: st})
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, err := graph.ReadBinary(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if err := s.router.SwapGraph(name, g); err != nil {
+		if errors.Is(err, ErrUnknownGraph) {
+			writeError(w, http.StatusNotFound, "unknown_graph", err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Graph    string `json:"graph"`
+		Swapped  bool   `json:"swapped"`
+		Vertices int    `json:"vertices"`
+		Edges    int    `json:"edges"`
+	}{name, true, g.NumVertices(), g.NumEdges()})
+}
+
+// handleMetrics renders Router.Stats in Prometheus text exposition format.
+// Metric names are stable API: the serving dashboards and the CI smoke test
+// key on them.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.router.Stats()
+	names := s.router.Graphs()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	counter := func(metric, help string, value func(GraphStats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", metric, help, metric)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{graph=%q} %d\n", metric, name, value(stats[name]))
+		}
+	}
+	gauge := func(metric, help string, value func(GraphStats) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{graph=%q} %g\n", metric, name, value(stats[name]))
+		}
+	}
+
+	counter("fastmatch_calls_total", "Routed queries served (batch queries count individually).",
+		func(s GraphStats) int64 { return s.Calls })
+	counter("fastmatch_partials_total", "Served queries that returned a partial result.",
+		func(s GraphStats) int64 { return s.Partials })
+	counter("fastmatch_failures_total", "Served queries that failed outright.",
+		func(s GraphStats) int64 { return s.Failures })
+	counter("fastmatch_admitted_total", "Calls granted a worker-budget slot (a batch is one call).",
+		func(s GraphStats) int64 { return s.Admitted })
+	counter("fastmatch_shed_queue_full_total", "Calls shed on arrival: admission queue full.",
+		func(s GraphStats) int64 { return s.ShedQueueFull })
+	counter("fastmatch_shed_deadline_doomed_total", "Calls shed on arrival: deadline cannot survive the queue.",
+		func(s GraphStats) int64 { return s.ShedDoomed })
+	counter("fastmatch_queue_timeouts_total", "Calls whose deadline fired while queued for admission.",
+		func(s GraphStats) int64 { return s.QueueTimeouts })
+	counter("fastmatch_swaps_total", "SwapGraph replacements since AddGraph.",
+		func(s GraphStats) int64 { return s.Swaps })
+	gauge("fastmatch_queue_depth", "Calls currently waiting for admission.",
+		func(s GraphStats) float64 { return float64(s.QueueDepth) })
+	gauge("fastmatch_budget_weight", "Tenant's weighted share of the worker budget.",
+		func(s GraphStats) float64 { return float64(s.Weight) })
+
+	fmt.Fprintf(w, "# HELP fastmatch_latency_seconds Service latency of admitted calls (log2-bucket upper bounds).\n# TYPE fastmatch_latency_seconds summary\n")
+	for _, name := range names {
+		st := stats[name]
+		fmt.Fprintf(w, "fastmatch_latency_seconds{graph=%q,quantile=\"0.5\"} %g\n", name, st.P50Latency.Seconds())
+		fmt.Fprintf(w, "fastmatch_latency_seconds{graph=%q,quantile=\"0.99\"} %g\n", name, st.P99Latency.Seconds())
+		fmt.Fprintf(w, "fastmatch_latency_seconds_count{graph=%q} %d\n", name, st.Admitted)
+	}
+	fmt.Fprintf(w, "# HELP fastmatch_worker_budget Shared worker budget capacity.\n# TYPE fastmatch_worker_budget gauge\nfastmatch_worker_budget %d\n", s.router.Workers())
+}
