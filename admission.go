@@ -132,8 +132,21 @@ type admTenant struct {
 	shedDoomed    int64
 	queueTimeouts int64
 
+	// estP50 is an exponentially-weighted estimate of service time (weight
+	// 1/ewmaWeight per observation), updated on release under the admitter
+	// lock. The doomed check reads it instead of the histogram's whole-life
+	// median: the histogram never forgets, so one slow early phase would keep
+	// shedding long after the workload turned fast — the EWMA tracks the
+	// current regime. 0 means no history yet.
+	estP50 time.Duration
+
 	hist latencyHist
 }
+
+// ewmaWeight is the inverse weight of each new observation in estP50: the
+// estimate moves 1/ewmaWeight of the way to each observed service time, so
+// ~ewmaWeight·3 observations retire an old regime almost entirely.
+const ewmaWeight = 5
 
 // admWaiter is one queued call. ready closes exactly once: with grant set
 // (admitted) or err set (tenant removed). A waiter that gives up removes
@@ -300,12 +313,13 @@ func (a *admitter) admit(ctx context.Context, name string) (*admGrant, error) {
 		return nil, ErrQueueFull
 	}
 	// …or when its deadline is already doomed: the tenant drains roughly
-	// share slots per observed p50 period, so a request entering behind
+	// share slots per typical service period, so a request entering behind
 	// len(queue) waiters expects ~(len+1)·p50/share of queue wait and then
-	// ~p50 of service. A fresh tenant (no history yet) never sheds on this
-	// estimate — it has nothing to estimate with.
+	// ~p50 of service. The period is the recency-weighted estP50, not the
+	// histogram median — see admTenant.estP50. A fresh tenant (no history
+	// yet) never sheds on this estimate — it has nothing to estimate with.
 	if deadline, hasDeadline := ctx.Deadline(); hasDeadline {
-		if p50 := t.hist.quantile(0.50); p50 > 0 {
+		if p50 := t.estP50; p50 > 0 {
 			wait := time.Duration(len(t.queue)+1) * p50 / time.Duration(a.share(t))
 			if time.Until(deadline) < wait+p50 {
 				t.shedDoomed++
@@ -346,11 +360,17 @@ func (a *admitter) admit(ctx context.Context, name string) (*admGrant, error) {
 	return w.grant, nil
 }
 
-// release returns a grant, records the call's service time and wakes the
-// neediest waiter.
+// release returns a grant, records the call's service time (histogram for
+// reporting, EWMA for the doomed estimate) and wakes the neediest waiter.
 func (a *admitter) release(g *admGrant) {
-	g.t.hist.observe(time.Since(g.start))
+	obs := time.Since(g.start)
+	g.t.hist.observe(obs)
 	a.mu.Lock()
+	if g.t.estP50 == 0 {
+		g.t.estP50 = obs
+	} else {
+		g.t.estP50 += (obs - g.t.estP50) / ewmaWeight
+	}
 	g.t.inflight--
 	a.total--
 	a.grantLocked()

@@ -95,10 +95,13 @@ func TestAdmitterDoomedShed(t *testing.T) {
 		t.Fatalf("fresh-tenant admit = %v, want ErrQueueTimeout (never doomed without history)", err)
 	}
 
-	// Seed p50 ≈ 1s of observed service time; now the same deadline is doomed.
+	// Seed ~1s of observed service time; now the same deadline is doomed.
 	for i := 0; i < 8; i++ {
 		g.t.hist.observe(time.Second)
 	}
+	a.mu.Lock()
+	g.t.estP50 = time.Second
+	a.mu.Unlock()
 	ctx, cancel = context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
@@ -140,6 +143,56 @@ func TestAdmitterDoomedShed(t *testing.T) {
 	if s.shedDoomed != 1 || s.queueTimeouts != 1 {
 		t.Errorf("stats = %+v, want shedDoomed 1, queueTimeouts 1", s)
 	}
+}
+
+// TestAdmitterDoomedEWMAAdapts: the doomed estimate must track the current
+// service-time regime, not the whole-life histogram median. After a slow
+// phase and then a fast one, a deadline the fast regime can easily meet must
+// queue — under the old histogram-median check it was shed as doomed,
+// because the histogram never forgets the slow phase.
+func TestAdmitterDoomedEWMAAdapts(t *testing.T) {
+	a := newAdmitter(1, 8)
+	a.register("a", 1)
+
+	observe := func(d time.Duration, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			g, err := a.admit(context.Background(), "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.start = time.Now().Add(-d) // backdate: the call "took" d
+			a.release(g)
+		}
+	}
+	observe(8*time.Second, 30) // slow phase dominates the histogram…
+	observe(10*time.Millisecond, 20)
+
+	// …so the reported (histogram) median still says seconds, while the
+	// recency-weighted estimate has come down to the fast regime.
+	if s, _ := a.stats("a"); s.p50 < time.Second {
+		t.Fatalf("histogram p50 = %v, expected the slow phase to dominate it", s.p50)
+	}
+	if est := a.tenants["a"].estP50; est > 500*time.Millisecond {
+		t.Fatalf("estP50 = %v, want it adapted to the fast regime", est)
+	}
+
+	// Occupy the only slot so the next call must queue, then offer a 1s
+	// deadline: trivially serviceable at ~10ms, doomed at the 8s median.
+	g, err := a.admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err = a.admit(ctx, "a")
+	if errors.Is(err, ErrDeadlineDoomed) {
+		t.Fatal("serviceable deadline shed as doomed: estimate stuck on stale history")
+	}
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("queued admit = %v, want ErrQueueTimeout once the deadline fires", err)
+	}
+	a.release(g)
 }
 
 // TestAdmitterWeightedShares: a heavy tenant may borrow idle capacity, but
@@ -238,9 +291,11 @@ func TestRouterDoomedShedUnderSaturatedBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Seed the tenant's observed service time at ~1s per call.
+	// Seed the tenant's observed service time at ~1s per call: the
+	// histogram for reported stats, estP50 for the doomed check.
 	r.adm.mu.Lock()
 	tn := r.adm.tenants["a"]
+	tn.estP50 = time.Second
 	r.adm.mu.Unlock()
 	for i := 0; i < 8; i++ {
 		tn.hist.observe(time.Second)

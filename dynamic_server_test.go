@@ -1,0 +1,210 @@
+package fast
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fastmatch/ldbc"
+)
+
+// TestServerDelta: the mutation endpoint commits a batch, reports the new
+// epoch, surfaces validation errors as 400s, and the delta/epoch counters
+// land in /metrics.
+func TestServerDelta(t *testing.T) {
+	s, r, gA := serverFixture(t, 2, 0)
+
+	n := gA.NumVertices()
+	body := `{"add_vertices":[0],"add_edges":[[` + jsonInt(n) + `,1],[` + jsonInt(n) + `,2]]}`
+	w := postJSON(t, s, "/v1/graphs/a/delta", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("delta status %d: %s", w.Code, w.Body)
+	}
+	var res deltaResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.Vertices != gA.NumVertices()+1 || res.Edges != gA.NumEdges()+2 || res.Touched == 0 {
+		t.Fatalf("delta response %+v", res)
+	}
+
+	// Unknown graph and invalid batch keep their envelopes.
+	if w := postJSON(t, s, "/v1/graphs/ghost/delta", `{}`); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d", w.Code)
+	}
+	if w := postJSON(t, s, "/v1/graphs/a/delta", `{"add_edges":[[3,3]]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("self loop: status %d, %s", w.Code, w.Body)
+	}
+	if w := postJSON(t, s, "/v1/graphs/a/delta", `{"bogus":1}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", w.Code)
+	}
+
+	// A concurrent swap turns the commit into a 409 conflict.
+	_, gB := routerTestGraphs()
+	applyDeltaCommitHook = func() {
+		if err := r.SwapGraph("a", gB); err != nil {
+			t.Errorf("SwapGraph in hook: %v", err)
+		}
+	}
+	defer func() { applyDeltaCommitHook = nil }()
+	w = postJSON(t, s, "/v1/graphs/a/delta", `{"add_vertices":[0]}`)
+	applyDeltaCommitHook = nil
+	if w.Code != http.StatusConflict {
+		t.Fatalf("swap conflict: status %d, %s", w.Code, w.Body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Reason != "conflict" {
+		t.Fatalf("swap conflict envelope: %s (%v)", w.Body, err)
+	}
+
+	// Metrics: the swap reset the epoch gauge; the committed delta still
+	// counted (counters carry over swaps, like calls and failures).
+	mw := httptest.NewRecorder()
+	s.ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, want := range []string{
+		`fastmatch_deltas_total{graph="a"} 1`,
+		`fastmatch_epoch{graph="a"} 0`,
+		`fastmatch_subscriptions{graph="a"} 0`,
+		"fastmatch_notifications_total",
+	} {
+		if !strings.Contains(mw.Body.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// TestServerSubscribeStream: the NDJSON subscription stream opens with a
+// subscribed line at the current epoch, carries one line per committed
+// batch whose added/removed agree with full re-match diffs, and closes with
+// reason "swapped" when the graph is replaced.
+func TestServerSubscribeStream(t *testing.T) {
+	s, r, gA := serverFixture(t, 2, 0)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/graphs/a/subscribe?query=q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	readLine := func() subscribeLine {
+		t.Helper()
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				close(lineCh)
+			}
+		}()
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("stream ended early: %v", sc.Err())
+			}
+			var l subscribeLine
+			if err := json.Unmarshal([]byte(line), &l); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+			return l
+		case <-time.After(15 * time.Second):
+			t.Fatal("timed out waiting for a subscription line")
+		}
+		panic("unreachable")
+	}
+
+	first := readLine()
+	if !first.Subscribed || first.Graph != "a" || first.Query != "q1" || first.Epoch != 0 {
+		t.Fatalf("first line %+v", first)
+	}
+
+	// Mutate: wire a fresh vertex into the graph; the standing query's line
+	// must be the diff of full re-matches around the commit.
+	q, err := ldbc.QueryByName("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fullMatchSet(t, r, "a", q)
+	n := gA.NumVertices()
+	w := postJSON(t, s, "/v1/graphs/a/delta",
+		`{"add_vertices":[`+jsonInt(int(gA.Label(1)))+`],"add_edges":[[`+jsonInt(n)+`,1],[`+jsonInt(n)+`,2],[`+jsonInt(n)+`,3]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("delta status %d: %s", w.Code, w.Body)
+	}
+	after := fullMatchSet(t, r, "a", q)
+
+	line := readLine()
+	if line.Epoch != 1 {
+		t.Fatalf("delta line %+v, want epoch 1", line)
+	}
+	if got, want := embeddingKeys(line.Added), diffKeys(after, before); !sameKeySet(got, want) {
+		t.Fatalf("added = %v, want %v", keys(got), keys(want))
+	}
+	if got, want := embeddingKeys(line.Removed), diffKeys(before, after); !sameKeySet(got, want) {
+		t.Fatalf("removed = %v, want %v", keys(got), keys(want))
+	}
+
+	// Swap closes the stream with its reason.
+	_, gB := routerTestGraphs()
+	if err := r.SwapGraph("a", gB); err != nil {
+		t.Fatal(err)
+	}
+	last := readLine()
+	if !last.Closed || last.Reason != "swapped" {
+		t.Fatalf("terminal line %+v, want closed/swapped", last)
+	}
+}
+
+// TestServerSubscribeBadRequests: parameter and registration errors keep
+// their JSON envelopes and status codes.
+func TestServerSubscribeBadRequests(t *testing.T) {
+	s, _, _ := serverFixture(t, 2, 0)
+	get := func(url string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, url, nil))
+		return w
+	}
+	if w := get("/v1/graphs/a/subscribe"); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing query: status %d", w.Code)
+	}
+	if w := get("/v1/graphs/a/subscribe?query=nope"); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown query name: status %d", w.Code)
+	}
+	if w := get("/v1/graphs/ghost/subscribe?query=q1"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d", w.Code)
+	}
+
+	// A server without named queries cannot serve subscriptions.
+	r2 := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(1)})
+	g, _ := routerTestGraphs()
+	if err := r2.AddGraph("a", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(r2, ServerOptions{})
+	w := httptest.NewRecorder()
+	s2.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/graphs/a/subscribe?query=q1", nil))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("no QueryByName: status %d", w.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Reason != "bad_request" {
+		t.Fatalf("envelope: %s (%v)", w.Body, err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"fastmatch/graph"
 	"fastmatch/internal/host"
@@ -43,6 +44,13 @@ type Engine struct {
 	cfg  host.Config
 	pool chan struct{}
 
+	// seeds carries planning decisions (root, BFS tree, matching order — no
+	// CST) from the engine this one replaced across an ApplyDelta whose
+	// label set is unchanged: a plan-cache miss with a seed rebuilds only
+	// the CST via host.PrepareSeeded instead of re-planning from scratch.
+	// Written once before the engine is published, read-only after.
+	seeds map[string]*host.Plan
+
 	mu        sync.Mutex
 	plans     map[string]*list.Element // values are *planEntry; list order is LRU
 	lru       *list.List               // front = most recently used
@@ -62,6 +70,9 @@ type planEntry struct {
 	once sync.Once
 	plan *host.Plan
 	err  error
+	// ready is set (inside once) when plan/err are final; planSeeds uses it
+	// to skip entries still being prepared without blocking on their once.
+	ready atomic.Bool
 }
 
 // NewEngine creates an Engine over g. opts follows Match's semantics, with
@@ -198,6 +209,10 @@ func (e *Engine) matchContext(ctx context.Context, q *graph.Query, emit func(gra
 // unreachable with options NewEngine already validated.
 var enginePrepare = host.Prepare
 
+// enginePrepareSeeded is the seeded variant's hook, stubbed by the delta
+// tests to observe seed reuse.
+var enginePrepareSeeded = host.PrepareSeeded
+
 // plan returns q's cached plan, planning it (once, even under concurrent
 // first requests) on a miss. Planning runs detached from any caller's
 // context: Prepare is not cancellable mid-build, and one caller's ctx must
@@ -226,7 +241,12 @@ func (e *Engine) plan(q *graph.Query) (*host.Plan, error) {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ent.plan, ent.err = enginePrepare(context.Background(), q, e.g, e.cfg)
+		if seed := e.seeds[key]; seed != nil {
+			ent.plan, ent.err = enginePrepareSeeded(context.Background(), q, e.g, e.cfg, seed)
+		} else {
+			ent.plan, ent.err = enginePrepare(context.Background(), q, e.g, e.cfg)
+		}
+		ent.ready.Store(true)
 	})
 	if ent.err != nil {
 		// Drop the failed slot so a later call can retry planning.
@@ -339,6 +359,48 @@ func joinBatchErrors(qs []*graph.Query, errs []error) error {
 		wrapped = append(wrapped, fmt.Errorf("fast: MatchBatch query %d (%s): %w", i, name, err))
 	}
 	return errors.Join(wrapped...)
+}
+
+// planSeeds harvests the cached plans' planning decisions for carrying into
+// a successor engine after ApplyDelta: per fingerprint the root, BFS tree
+// and matching order — not the CST, which belongs to the old epoch and must
+// be rebuilt against the new graph. Entries still mid-preparation are
+// skipped (they just re-plan in the successor); the ready flag makes that a
+// non-blocking check.
+func (e *Engine) planSeeds() map[string]*host.Plan {
+	e.mu.Lock()
+	entries := make([]*planEntry, 0, len(e.plans))
+	for _, el := range e.plans {
+		entries = append(entries, el.Value.(*planEntry))
+	}
+	e.mu.Unlock()
+	seeds := make(map[string]*host.Plan, len(entries))
+	for _, ent := range entries {
+		if !ent.ready.Load() || ent.err != nil || ent.plan == nil {
+			continue
+		}
+		seeds[ent.key] = &host.Plan{Root: ent.plan.Root, Tree: ent.plan.Tree, Order: ent.plan.Order}
+	}
+	return seeds
+}
+
+// sameLabelSet reports whether the set of labels with at least one live
+// vertex is identical in a and b. ApplyDelta carries plan seeds only when it
+// is: a label appearing or vanishing changes which candidate sets are empty,
+// and with them the planning heuristics' inputs, so those deltas invalidate
+// the plan cache outright.
+func sameLabelSet(a, b *graph.Graph) bool {
+	na, nb := a.NumLabels(), b.NumLabels()
+	n := na
+	if nb > n {
+		n = nb
+	}
+	for l := 0; l < n; l++ {
+		if (a.LabelFrequency(graph.Label(l)) > 0) != (b.LabelFrequency(graph.Label(l)) > 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // PlanCacheStats reports plan-cache hits and misses since the engine was

@@ -78,14 +78,49 @@
 // blocking indefinitely. Stats reports queue depths, shed counters and
 // p50/p99 service latency per graph.
 //
+// # Dynamic graphs and continuous queries
+//
+// Router.ApplyDelta mutates a served graph in place — batched vertex/edge
+// inserts and deletes — by installing a copy-on-write epoch snapshot
+// (graph.ApplyDelta). The epoch-consistency contract:
+//
+//   - Every routed call executes entirely against the single epoch current
+//     when it resolved; a call admitted before ApplyDelta returns counts
+//     and streams exactly what that epoch contains, no matter how many
+//     batches commit while it runs.
+//   - Calls resolving after ApplyDelta returns see the new epoch. Epochs
+//     increment by one per committed batch; SwapGraph and RemoveGraph end
+//     the lineage (a pending delta computed over the pre-swap snapshot
+//     fails its commit with ErrGraphSwapped rather than resurrecting it).
+//   - Batches for one graph serialize; a label-set-preserving batch seeds
+//     the new epoch's plan cache with the previous epoch's planning
+//     decisions, so repeat queries skip re-planning and rebuild only the
+//     candidate space.
+//
+// Router.Subscribe registers a standing (continuous) query: from its
+// registration epoch on, every committed batch delivers one MatchDelta —
+// the embeddings the batch created and destroyed, computed incrementally
+// from the affected region of the candidate space and delivered in strict
+// epoch order — until the subscription's context fires, Close is called,
+// or the graph is swapped or removed:
+//
+//	sub, _ := router.Subscribe(ctx, "acme", q, func(md fast.MatchDelta) error {
+//		handle(md.Epoch, md.Added, md.Removed)
+//		return nil
+//	})
+//	router.ApplyDelta("acme", graph.Delta{AddEdges: [][2]graph.VertexID{{u, v}}})
+//	sub.Close()
+//
 // # Network serving
 //
 // Server wraps a Router as an http.Handler — unary counts, NDJSON
-// streaming, graph list/stats/swap admin endpoints and a Prometheus-text
-// /metrics — with admission verdicts mapped to machine-readable HTTP
-// errors (429 queue_full, 504 deadline_doomed/queue_timeout). cmd/fastserve
-// runs it from the command line; cmd/fastload replays open-loop workloads
-// against it:
+// streaming, graph list/stats/swap admin endpoints, mutation
+// (POST .../delta) and standing-query NDJSON streams (GET .../subscribe),
+// and a Prometheus-text /metrics — with admission verdicts mapped to
+// machine-readable HTTP errors (429 queue_full, 504
+// deadline_doomed/queue_timeout). cmd/fastserve runs it from the command
+// line; cmd/fastload replays open-loop workloads against it, and
+// cmd/fastmutate replays delta workloads while watching a subscription:
 //
 //	server := fast.NewServer(router, fast.ServerOptions{QueryByName: ldbc.QueryByName})
 //	log.Fatal(http.ListenAndServe(":8080", server))

@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta is one batch of graph mutations: vertex and edge inserts and
+// deletes, applied atomically by ApplyDelta. Within a batch the operations
+// are validated as a set against the pre-delta graph — added edges may
+// reference vertices the same batch adds, deleted vertices implicitly drop
+// their incident edges, and conflicting operations (the same edge added and
+// deleted, an edge added at a vertex the batch deletes) are rejected up
+// front so a delta either applies completely or not at all.
+type Delta struct {
+	// AddVertices appends one vertex per label; ids are assigned densely
+	// starting at the pre-delta NumVertices, in slice order.
+	AddVertices []Label
+	// DelVertices tombstones existing vertices: their incident edges are
+	// removed, they leave every label's vertex list (so they can never be
+	// matching candidates again), and their ids stay allocated — vertex ids
+	// are stable across epochs, which is what lets embeddings be compared
+	// between snapshots. A tombstoned id cannot be revived.
+	DelVertices []VertexID
+	// AddEdges inserts undirected edges. Endpoints may be vertices this
+	// batch adds; self loops, duplicate inserts and edges already present
+	// are errors.
+	AddEdges [][2]VertexID
+	// AddEdgeLabels, when non-empty, is aligned with AddEdges and labels
+	// both half-edges of each inserted edge. It is required to be empty for
+	// edge-unlabeled graphs; on an edge-labeled graph an empty slice labels
+	// every inserted edge 0.
+	AddEdgeLabels []EdgeLabel
+	// DelEdges removes undirected edges that must exist in the pre-delta
+	// graph. Edges incident to a DelVertices entry are removed implicitly
+	// and must not be listed here too.
+	DelEdges [][2]VertexID
+}
+
+// Empty reports whether the delta carries no operations.
+func (d Delta) Empty() bool {
+	return len(d.AddVertices) == 0 && len(d.DelVertices) == 0 &&
+		len(d.AddEdges) == 0 && len(d.DelEdges) == 0
+}
+
+// Ops returns the number of operations in the batch (implicit edge drops of
+// deleted vertices not counted).
+func (d Delta) Ops() int {
+	return len(d.AddVertices) + len(d.DelVertices) + len(d.AddEdges) + len(d.DelEdges)
+}
+
+// Epoch returns the graph's snapshot epoch: 0 for a freshly constructed
+// graph, incremented by one for every ApplyDelta batch. Epochs identify
+// snapshots in the serving stack's MVCC story — an in-flight match pins the
+// epoch it resolved and is never migrated to a later one.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// Deleted reports whether v is a tombstone: removed by a delta batch, id
+// still allocated, no incident edges, excluded from every label's vertex
+// list.
+func (g *Graph) Deleted(v VertexID) bool {
+	return g.deleted != nil && g.deleted[v]
+}
+
+// NumDeleted returns the number of tombstoned vertices.
+func (g *Graph) NumDeleted() int { return g.numDeleted }
+
+// LiveVertices returns the number of non-tombstoned vertices.
+func (g *Graph) LiveVertices() int { return g.NumVertices() - g.numDeleted }
+
+// nbAdd is one added half-edge: neighbour and (for edge-labeled graphs) the
+// half-edge label.
+type nbAdd struct {
+	w VertexID
+	l EdgeLabel
+}
+
+// ApplyDelta applies one mutation batch and returns the post-delta graph as
+// a new immutable snapshot with Epoch()+1, plus the sorted set of vertices
+// whose adjacency the batch touched (endpoints of inserted and removed
+// edges, added vertices, tombstoned vertices and their former neighbours) —
+// the "dirty" region incremental consumers re-expand. The receiver is not
+// modified in any way: in-flight readers of the old epoch stay consistent,
+// which is the copy-on-write MVCC contract the serving stack builds on.
+//
+// Cost is one pass over the CSR arrays: unchanged vertices have their
+// adjacency spans and label-index runs copied verbatim (the label index is
+// maintained incrementally, never rebuilt from scratch), and only dirty
+// vertices pay the merge and re-grouping work.
+//
+// An invalid batch — out-of-range or tombstoned endpoints, self loops,
+// duplicate or conflicting operations, inserting an existing edge, deleting
+// a missing one — fails with an error and no new snapshot.
+func (g *Graph) ApplyDelta(d Delta) (*Graph, []VertexID, error) {
+	nOld := g.NumVertices()
+	n := nOld + len(d.AddVertices)
+
+	if len(d.AddEdgeLabels) != 0 && len(d.AddEdgeLabels) != len(d.AddEdges) {
+		return nil, nil, fmt.Errorf("graph: ApplyDelta: %d edge labels for %d added edges", len(d.AddEdgeLabels), len(d.AddEdges))
+	}
+	if len(d.AddEdgeLabels) != 0 && g.edgeLabels == nil {
+		return nil, nil, fmt.Errorf("graph: ApplyDelta: edge labels on an edge-unlabeled graph")
+	}
+
+	// Vertex deletions: in range, live, no duplicates.
+	delV := make(map[VertexID]bool, len(d.DelVertices))
+	for _, v := range d.DelVertices {
+		if int(v) >= nOld {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: delete of out-of-range vertex %d (n=%d)", v, nOld)
+		}
+		if g.Deleted(v) {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: vertex %d already deleted", v)
+		}
+		if delV[v] {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: vertex %d deleted twice", v)
+		}
+		delV[v] = true
+	}
+
+	// Edge operations: canonicalised, validated as a set.
+	canon := func(u, v VertexID) [2]VertexID {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]VertexID{u, v}
+	}
+	seen := make(map[[2]VertexID]bool, len(d.AddEdges)+len(d.DelEdges))
+	for _, e := range d.AddEdges {
+		u, v := e[0], e[1]
+		if int(u) >= n || int(v) >= n {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: added edge (%d,%d) references missing vertex (n=%d)", u, v, n)
+		}
+		if u == v {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: self loop at %d", u)
+		}
+		for _, w := range [2]VertexID{u, v} {
+			if (int(w) < nOld && g.Deleted(w)) || delV[w] {
+				return nil, nil, fmt.Errorf("graph: ApplyDelta: added edge (%d,%d) touches deleted vertex %d", u, v, w)
+			}
+		}
+		k := canon(u, v)
+		if seen[k] {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: duplicate or conflicting operation on edge (%d,%d)", k[0], k[1])
+		}
+		if int(u) < nOld && int(v) < nOld && g.HasEdge(u, v) {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: edge (%d,%d) already present", u, v)
+		}
+		seen[k] = true
+	}
+	for _, e := range d.DelEdges {
+		u, v := e[0], e[1]
+		if int(u) >= nOld || int(v) >= nOld {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: deleted edge (%d,%d) references missing vertex (n=%d)", u, v, nOld)
+		}
+		if u == v {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: self loop at %d", u)
+		}
+		if delV[u] || delV[v] {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: edge (%d,%d) is removed implicitly by a vertex delete", u, v)
+		}
+		k := canon(u, v)
+		if seen[k] {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: duplicate or conflicting operation on edge (%d,%d)", k[0], k[1])
+		}
+		if !g.HasEdge(u, v) {
+			return nil, nil, fmt.Errorf("graph: ApplyDelta: deleted edge (%d,%d) not present", u, v)
+		}
+		seen[k] = true
+	}
+
+	// Per-vertex change lists. addN/delN are keyed only by dirty vertices,
+	// so the maps stay proportional to the batch, not the graph.
+	addN := make(map[VertexID][]nbAdd)
+	for i, e := range d.AddEdges {
+		var l EdgeLabel
+		if len(d.AddEdgeLabels) > 0 {
+			l = d.AddEdgeLabels[i]
+		}
+		addN[e[0]] = append(addN[e[0]], nbAdd{w: e[1], l: l})
+		addN[e[1]] = append(addN[e[1]], nbAdd{w: e[0], l: l})
+	}
+	delN := make(map[VertexID][]VertexID)
+	for _, e := range d.DelEdges {
+		delN[e[0]] = append(delN[e[0]], e[1])
+		delN[e[1]] = append(delN[e[1]], e[0])
+	}
+	for v := range delV {
+		for _, w := range g.Neighbors(v) {
+			if !delV[w] {
+				delN[w] = append(delN[w], v)
+			}
+		}
+	}
+	for v := range addN {
+		adds := addN[v]
+		sort.Slice(adds, func(i, j int) bool { return adds[i].w < adds[j].w })
+	}
+	for v := range delN {
+		dels := delN[v]
+		sort.Slice(dels, func(i, j int) bool { return dels[i] < dels[j] })
+	}
+
+	// The dirty set: every vertex whose adjacency (or existence) changes.
+	dirty := make(map[VertexID]bool, len(addN)+len(delN)+len(delV)+len(d.AddVertices))
+	for v := range addN {
+		dirty[v] = true
+	}
+	for v := range delN {
+		dirty[v] = true
+	}
+	for v := range delV {
+		dirty[v] = true
+	}
+	for i := range d.AddVertices {
+		dirty[VertexID(nOld+i)] = true
+	}
+	touched := make([]VertexID, 0, len(dirty))
+	for v := range dirty {
+		touched = append(touched, v)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+
+	// Labels and label alphabet.
+	labels := make([]Label, 0, n)
+	labels = append(labels, g.labels...)
+	labels = append(labels, d.AddVertices...)
+	numLabels := g.numLabels
+	for _, l := range d.AddVertices {
+		if int(l)+1 > numLabels {
+			numLabels = int(l) + 1
+		}
+	}
+
+	// Tombstones.
+	var deleted []bool
+	numDeleted := g.numDeleted
+	if g.deleted != nil || len(delV) > 0 {
+		deleted = make([]bool, n)
+		copy(deleted, g.deleted)
+		for v := range delV {
+			deleted[v] = true
+		}
+		numDeleted += len(delV)
+	}
+
+	// New CSR extents: offsets from per-vertex degree arithmetic, maximum
+	// degree folded in the same pass.
+	offsets := make([]int64, n+1)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		var deg int
+		switch {
+		case v >= nOld:
+			deg = len(addN[VertexID(v)])
+		case delV[VertexID(v)] || g.Deleted(VertexID(v)):
+			deg = 0
+		default:
+			deg = g.Degree(VertexID(v)) + len(addN[VertexID(v)]) - len(delN[VertexID(v)])
+		}
+		offsets[v+1] = offsets[v] + int64(deg)
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	neighbors := make([]VertexID, offsets[n])
+	var elab []EdgeLabel
+	if g.edgeLabels != nil {
+		elab = make([]EdgeLabel, offsets[n])
+	}
+	for v := 0; v < n; v++ {
+		vid := VertexID(v)
+		dst := neighbors[offsets[v]:offsets[v+1]]
+		if v < nOld && !dirty[vid] {
+			// Clean vertex: adjacency span copied verbatim.
+			copy(dst, g.Neighbors(vid))
+			if elab != nil {
+				copy(elab[offsets[v]:offsets[v+1]], g.edgeLabels[g.offsets[v]:g.offsets[v+1]])
+			}
+			continue
+		}
+		if delV[vid] || (v < nOld && g.Deleted(vid)) {
+			continue // tombstone: no adjacency
+		}
+		// Dirty vertex: sorted merge of (old adjacency minus removals) with
+		// the sorted additions.
+		var old []VertexID
+		var oldLab []EdgeLabel
+		if v < nOld {
+			old = g.Neighbors(vid)
+			if elab != nil {
+				oldLab = g.edgeLabels[g.offsets[v]:g.offsets[v+1]]
+			}
+		}
+		adds := addN[vid]
+		dels := delN[vid]
+		var di, ai, out int
+		var dstLab []EdgeLabel
+		if elab != nil {
+			dstLab = elab[offsets[v]:offsets[v+1]]
+		}
+		for i, w := range old {
+			if di < len(dels) && dels[di] == w {
+				di++
+				continue
+			}
+			for ai < len(adds) && adds[ai].w < w {
+				dst[out] = adds[ai].w
+				if dstLab != nil {
+					dstLab[out] = adds[ai].l
+				}
+				out++
+				ai++
+			}
+			dst[out] = w
+			if dstLab != nil {
+				dstLab[out] = oldLab[i]
+			}
+			out++
+		}
+		for ; ai < len(adds); ai++ {
+			dst[out] = adds[ai].w
+			if dstLab != nil {
+				dstLab[out] = adds[ai].l
+			}
+			out++
+		}
+	}
+
+	// Per-label vertex lists: the outer slice is fresh, untouched labels
+	// share the old epoch's list, and only labels gaining or losing
+	// vertices are rebuilt copy-on-write. New ids exceed every old id, so
+	// appending them in id order keeps the lists sorted.
+	byLabel := make([][]VertexID, numLabels)
+	copy(byLabel, g.byLabel)
+	newByLbl := make(map[Label][]VertexID)
+	for i, l := range d.AddVertices {
+		newByLbl[l] = append(newByLbl[l], VertexID(nOld+i))
+	}
+	relabel := make(map[Label]bool, len(newByLbl)+len(delV))
+	for l := range newByLbl {
+		relabel[l] = true
+	}
+	for v := range delV {
+		relabel[g.labels[v]] = true
+	}
+	for l := range relabel {
+		var old []VertexID
+		if int(l) < len(g.byLabel) {
+			old = g.byLabel[l]
+		}
+		lst := make([]VertexID, 0, len(old)+len(newByLbl[l]))
+		for _, v := range old {
+			if !delV[v] {
+				lst = append(lst, v)
+			}
+		}
+		byLabel[l] = append(lst, newByLbl[l]...)
+	}
+
+	g2 := &Graph{
+		offsets:    offsets,
+		neighbors:  neighbors,
+		labels:     labels,
+		byLabel:    byLabel,
+		numLabels:  numLabels,
+		maxDegree:  maxDeg,
+		edgeLabels: elab,
+		deleted:    deleted,
+		numDeleted: numDeleted,
+		epoch:      g.epoch + 1,
+	}
+	g2.updateLabelIndexFrom(g, dirty)
+	return g2, touched, nil
+}

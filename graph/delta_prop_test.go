@@ -1,0 +1,450 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// deltaModel is the mutable reference implementation randomized batches are
+// checked against: plain maps, rebuilt into expectations from scratch after
+// every ApplyDelta — the rebuild-from-scratch oracle.
+type deltaModel struct {
+	labels  []Label
+	deleted map[VertexID]bool
+	edges   map[[2]VertexID]EdgeLabel // canonical u<v
+	labeled bool
+}
+
+func newDeltaModel(g *Graph) *deltaModel {
+	m := &deltaModel{
+		labels:  append([]Label(nil), g.labels...),
+		deleted: make(map[VertexID]bool),
+		edges:   make(map[[2]VertexID]EdgeLabel),
+		labeled: g.EdgeLabeled(),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for i, w := range g.Neighbors(VertexID(v)) {
+			if VertexID(v) < w {
+				var l EdgeLabel
+				if m.labeled {
+					l = g.EdgeLabels(VertexID(v))[i]
+				}
+				m.edges[[2]VertexID{VertexID(v), w}] = l
+			}
+		}
+	}
+	return m
+}
+
+func (m *deltaModel) apply(d Delta) {
+	m.labels = append(m.labels, d.AddVertices...)
+	for _, v := range d.DelVertices {
+		m.deleted[v] = true
+		for k := range m.edges {
+			if k[0] == v || k[1] == v {
+				delete(m.edges, k)
+			}
+		}
+	}
+	for i, e := range d.AddEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		var l EdgeLabel
+		if len(d.AddEdgeLabels) > 0 {
+			l = d.AddEdgeLabels[i]
+		}
+		m.edges[[2]VertexID{u, v}] = l
+	}
+	for _, e := range d.DelEdges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		delete(m.edges, [2]VertexID{u, v})
+	}
+}
+
+// neighbors returns v's expected sorted adjacency with aligned half-edge
+// labels.
+func (m *deltaModel) neighbors(v VertexID) ([]VertexID, []EdgeLabel) {
+	var ns []VertexID
+	lab := make(map[VertexID]EdgeLabel)
+	for k, l := range m.edges {
+		switch v {
+		case k[0]:
+			ns = append(ns, k[1])
+			lab[k[1]] = l
+		case k[1]:
+			ns = append(ns, k[0])
+			lab[k[0]] = l
+		}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	var ls []EdgeLabel
+	if m.labeled {
+		ls = make([]EdgeLabel, len(ns))
+		for i, w := range ns {
+			ls[i] = lab[w]
+		}
+	}
+	return ns, ls
+}
+
+// oracleGraph rebuilds the expected post-delta graph from scratch with the
+// Builder (tombstones become isolated vertices — their byLabel exclusion is
+// checked separately against the incremental graph).
+func (m *deltaModel) oracleGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(len(m.labels), len(m.edges))
+	for _, l := range m.labels {
+		b.AddVertex(l)
+	}
+	for k, l := range m.edges {
+		if m.labeled {
+			b.AddEdgeLabeled(k[0], k[1], l)
+		} else {
+			b.AddEdge(k[0], k[1])
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("oracle rebuild: %v", err)
+	}
+	return g
+}
+
+// checkAgainstModel compares the incrementally maintained graph against the
+// model and the scratch-rebuilt oracle: structure, per-label lists, the
+// label-run index (vs the oracle's independently built one), and Validate.
+func checkAgainstModel(t testing.TB, g *Graph, m *deltaModel) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() != len(m.labels) {
+		t.Fatalf("NumVertices = %d, want %d", g.NumVertices(), len(m.labels))
+	}
+	if g.NumEdges() != len(m.edges) {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), len(m.edges))
+	}
+	if g.NumDeleted() != len(m.deleted) {
+		t.Fatalf("NumDeleted = %d, want %d", g.NumDeleted(), len(m.deleted))
+	}
+	oracle := m.oracleGraph(t)
+	if g.MaxDegree() != oracle.MaxDegree() {
+		t.Fatalf("MaxDegree = %d, oracle %d", g.MaxDegree(), oracle.MaxDegree())
+	}
+	maxL := g.NumLabels()
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := VertexID(v)
+		if g.Label(vid) != m.labels[v] {
+			t.Fatalf("Label(%d) = %d, want %d", v, g.Label(vid), m.labels[v])
+		}
+		if g.Deleted(vid) != m.deleted[vid] {
+			t.Fatalf("Deleted(%d) = %v, want %v", v, g.Deleted(vid), m.deleted[vid])
+		}
+		wantN, wantL := m.neighbors(vid)
+		gotN := g.Neighbors(vid)
+		if len(gotN) != len(wantN) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", v, gotN, wantN)
+		}
+		for i := range wantN {
+			if gotN[i] != wantN[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", v, gotN, wantN)
+			}
+		}
+		if m.labeled {
+			gotL := g.EdgeLabels(vid)
+			for i := range wantL {
+				if gotL[i] != wantL[i] {
+					t.Fatalf("EdgeLabels(%d) = %v, want %v", v, gotL, wantL)
+				}
+			}
+		}
+		// Label-index equality against the oracle's independent build: the
+		// per-label runs must agree for every label either side knows.
+		for l := 0; l < maxL; l++ {
+			got := g.NeighborsWithLabel(vid, Label(l), nil)
+			want := oracle.NeighborsWithLabel(vid, Label(l), nil)
+			if len(got) != len(want) {
+				t.Fatalf("NeighborsWithLabel(%d,%d) = %v, oracle %v", v, l, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("NeighborsWithLabel(%d,%d) = %v, oracle %v", v, l, got, want)
+				}
+			}
+		}
+	}
+	// Per-label candidate lists: the oracle lists tombstones (it rebuilds
+	// them as isolated vertices), the incremental graph must not.
+	for l := 0; l < maxL; l++ {
+		var want []VertexID
+		for _, v := range oracle.VerticesWithLabel(Label(l)) {
+			if !m.deleted[v] {
+				want = append(want, v)
+			}
+		}
+		got := g.VerticesWithLabel(Label(l))
+		if len(got) != len(want) {
+			t.Fatalf("VerticesWithLabel(%d) = %v, want %v", l, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("VerticesWithLabel(%d) = %v, want %v", l, got, want)
+			}
+		}
+	}
+}
+
+// bruteCount counts embeddings by exhaustive backtracking straight off the
+// Graph API — the match-count oracle. Candidates come from VerticesWithLabel,
+// so tombstones are excluded on the incremental side by construction; on the
+// Builder-rebuilt oracle tombstones are isolated, and the connected queries
+// used here require every query vertex to have degree ≥ 1, so they can never
+// match there either.
+func bruteCount(q *Query, g *Graph) int64 {
+	n := q.NumVertices()
+	emb := make([]VertexID, n)
+	used := make(map[VertexID]bool)
+	var rec func(u int) int64
+	rec = func(u int) int64 {
+		if u == n {
+			return 1
+		}
+		var total int64
+		for _, v := range g.VerticesWithLabel(q.Label(u)) {
+			if used[v] {
+				continue
+			}
+			ok := true
+			for _, un := range q.Neighbors(u) {
+				if un < u && !g.HasEdge(v, emb[un]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				emb[u] = v
+				used[v] = true
+				total += rec(u + 1)
+				delete(used, v)
+			}
+		}
+		return total
+	}
+	return rec(0)
+}
+
+// randomDelta fabricates a valid batch against the model: new vertices, edge
+// inserts (possibly at batch-new vertices), edge deletes and vertex deletes,
+// all respecting ApplyDelta's validity rules.
+func randomDelta(rng *rand.Rand, m *deltaModel, numLabels int, labeled bool) Delta {
+	var d Delta
+	nOld := len(m.labels)
+	for i := rng.Intn(3); i > 0; i-- {
+		d.AddVertices = append(d.AddVertices, Label(rng.Intn(numLabels)))
+	}
+	n := nOld + len(d.AddVertices)
+
+	delV := make(map[VertexID]bool)
+	var live []VertexID
+	for v := 0; v < nOld; v++ {
+		if !m.deleted[VertexID(v)] {
+			live = append(live, VertexID(v))
+		}
+	}
+	for i := rng.Intn(2); i > 0 && len(live) > 2; i-- {
+		v := live[rng.Intn(len(live))]
+		if !delV[v] {
+			delV[v] = true
+			d.DelVertices = append(d.DelVertices, v)
+		}
+	}
+
+	canon := func(u, v VertexID) [2]VertexID {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]VertexID{u, v}
+	}
+	seen := make(map[[2]VertexID]bool)
+	for i := rng.Intn(6); i > 0; i-- {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u == v || delV[u] || delV[v] {
+			continue
+		}
+		if int(u) < nOld && m.deleted[u] || int(v) < nOld && m.deleted[v] {
+			continue
+		}
+		k := canon(u, v)
+		if seen[k] {
+			continue
+		}
+		if _, exists := m.edges[k]; exists {
+			continue
+		}
+		seen[k] = true
+		d.AddEdges = append(d.AddEdges, [2]VertexID{u, v})
+		if labeled {
+			d.AddEdgeLabels = append(d.AddEdgeLabels, EdgeLabel(rng.Intn(4)))
+		}
+	}
+	if !labeled {
+		d.AddEdgeLabels = nil
+	}
+
+	var existing [][2]VertexID
+	for k := range m.edges {
+		if !delV[k[0]] && !delV[k[1]] {
+			existing = append(existing, k)
+		}
+	}
+	sort.Slice(existing, func(i, j int) bool {
+		if existing[i][0] != existing[j][0] {
+			return existing[i][0] < existing[j][0]
+		}
+		return existing[i][1] < existing[j][1]
+	})
+	for i := rng.Intn(4); i > 0 && len(existing) > 0; i-- {
+		k := existing[rng.Intn(len(existing))]
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d.DelEdges = append(d.DelEdges, k)
+	}
+	return d
+}
+
+func runDeltaPropSequence(t *testing.T, seed int64, labeled bool) {
+	rng := rand.New(rand.NewSource(seed))
+	const numLabels = 3
+
+	// Random connected-ish base graph.
+	b := NewBuilder(12, 30)
+	for i := 0; i < 12; i++ {
+		b.AddVertex(Label(rng.Intn(numLabels)))
+	}
+	for i := 0; i < 20; i++ {
+		u := VertexID(rng.Intn(12))
+		v := VertexID(rng.Intn(12))
+		if u == v {
+			continue
+		}
+		if labeled {
+			b.AddEdgeLabeled(u, v, EdgeLabel(rng.Intn(4)))
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.MustBuild()
+	m := newDeltaModel(g)
+
+	queries := []*Query{
+		MustQuery("pp-path", []Label{0, 1, 0}, [][2]QueryVertex{{0, 1}, {1, 2}}),
+		MustQuery("pp-tri", []Label{1, 2, 0}, [][2]QueryVertex{{0, 1}, {1, 2}, {0, 2}}),
+	}
+
+	for step := 0; step < 25; step++ {
+		d := randomDelta(rng, m, numLabels, labeled)
+		g2, _, err := g.ApplyDelta(d)
+		if err != nil {
+			t.Fatalf("step %d seed %d: ApplyDelta(%+v): %v", step, seed, d, err)
+		}
+		if g2.Epoch() != g.Epoch()+1 {
+			t.Fatalf("step %d: epoch %d after %d", step, g2.Epoch(), g.Epoch())
+		}
+		m.apply(d)
+		checkAgainstModel(t, g2, m)
+		// Match-count equality per epoch vs the scratch-rebuilt oracle.
+		oracle := m.oracleGraph(t)
+		for _, q := range queries {
+			if got, want := bruteCount(q, g2), bruteCount(q, oracle); got != want {
+				t.Fatalf("step %d seed %d query %s: count %d, oracle %d", step, seed, q.Name(), got, want)
+			}
+		}
+		g = g2
+	}
+}
+
+func TestDeltaPropertyRandomBatches(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runDeltaPropSequence(t, seed, false)
+	}
+}
+
+func TestDeltaPropertyRandomBatchesEdgeLabeled(t *testing.T) {
+	for seed := int64(10); seed <= 13; seed++ {
+		runDeltaPropSequence(t, seed, true)
+	}
+}
+
+// FuzzApplyDelta decodes arbitrary bytes into a delta sequence against a
+// fixed base graph. Invalid batches must fail atomically (graph unchanged);
+// valid ones must keep the incremental structures equal to the
+// rebuild-from-scratch oracle.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04})
+	f.Add([]byte{0xff, 0x00, 0x10, 0x20, 0x30, 0x40, 0x51})
+	f.Add([]byte("delta-fuzz-seed"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := FromEdgeList(
+			[]Label{0, 1, 2, 0, 1, 2},
+			[][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}},
+		)
+		if err != nil {
+			t.Fatalf("base: %v", err)
+		}
+		m := newDeltaModel(g)
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(data) {
+				return 0, false
+			}
+			b := data[pos]
+			pos++
+			return b, true
+		}
+		for batch := 0; batch < 8; batch++ {
+			var d Delta
+			nops, ok := next()
+			if !ok {
+				break
+			}
+			for i := 0; i < int(nops%5)+1; i++ {
+				op, ok := next()
+				if !ok {
+					break
+				}
+				a, _ := next()
+				c, _ := next()
+				switch op % 4 {
+				case 0:
+					d.AddVertices = append(d.AddVertices, Label(a%3))
+				case 1:
+					d.DelVertices = append(d.DelVertices, VertexID(a%8))
+				case 2:
+					d.AddEdges = append(d.AddEdges, [2]VertexID{VertexID(a % 10), VertexID(c % 10)})
+				case 3:
+					d.DelEdges = append(d.DelEdges, [2]VertexID{VertexID(a % 8), VertexID(c % 8)})
+				}
+			}
+			g2, _, err := g.ApplyDelta(d)
+			if err != nil {
+				// Atomic failure: the source snapshot is untouched.
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("failed batch corrupted source: %v", verr)
+				}
+				continue
+			}
+			m.apply(d)
+			checkAgainstModel(t, g2, m)
+			g = g2
+		}
+	})
+}

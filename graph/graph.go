@@ -36,6 +36,14 @@ type Graph struct {
 	// so per-label neighbourhood probes are subslice reads, not filter
 	// scans. Built once by every constructor.
 	lidx *labelIndex
+	// deleted marks tombstoned vertices (delta.go); nil until the first
+	// vertex delete, so static graphs pay nothing. A tombstone keeps its id
+	// (embeddings stay comparable across epochs) but has no adjacency and
+	// is absent from byLabel, so it can never become a matching candidate.
+	deleted    []bool
+	numDeleted int
+	// epoch counts ApplyDelta batches since construction; see Epoch.
+	epoch uint64
 }
 
 // NumVertices returns |V(G)|.
@@ -138,17 +146,26 @@ func (g *Graph) Validate() error {
 	if g.offsets[0] != 0 || g.offsets[n] != int64(len(g.neighbors)) {
 		return fmt.Errorf("graph: offsets endpoints [%d,%d], want [0,%d]", g.offsets[0], g.offsets[n], len(g.neighbors))
 	}
+	if g.deleted != nil && len(g.deleted) != n {
+		return fmt.Errorf("graph: deleted length %d, want %d", len(g.deleted), n)
+	}
 	for v := 0; v < n; v++ {
 		if g.offsets[v] > g.offsets[v+1] {
 			return fmt.Errorf("graph: offsets not monotone at %d", v)
 		}
 		adj := g.Neighbors(VertexID(v))
+		if g.Deleted(VertexID(v)) && len(adj) > 0 {
+			return fmt.Errorf("graph: deleted vertex %d still has %d edges", v, len(adj))
+		}
 		for i, w := range adj {
 			if int(w) >= n {
 				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, w)
 			}
 			if w == VertexID(v) {
 				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if g.Deleted(w) {
+				return fmt.Errorf("graph: edge (%d,%d) into deleted vertex", v, w)
 			}
 			if i > 0 && adj[i-1] >= w {
 				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
@@ -158,7 +175,43 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
+	if err := g.validateByLabel(); err != nil {
+		return err
+	}
 	return g.validateLabelIndex()
+}
+
+// validateByLabel checks the per-label vertex lists: sorted, labels
+// consistent, tombstones excluded, and complete — every live vertex appears
+// under its label. ApplyDelta maintains these lists copy-on-write, so the
+// check matters most after deltas.
+func (g *Graph) validateByLabel() error {
+	n := g.NumVertices()
+	if len(g.byLabel) != g.numLabels {
+		return fmt.Errorf("graph: byLabel has %d labels, want %d", len(g.byLabel), g.numLabels)
+	}
+	live := 0
+	for l, lst := range g.byLabel {
+		for i, v := range lst {
+			if int(v) >= n {
+				return fmt.Errorf("graph: byLabel[%d] has out-of-range vertex %d", l, v)
+			}
+			if g.labels[v] != Label(l) {
+				return fmt.Errorf("graph: byLabel[%d] lists vertex %d with label %d", l, v, g.labels[v])
+			}
+			if g.Deleted(v) {
+				return fmt.Errorf("graph: byLabel[%d] lists deleted vertex %d", l, v)
+			}
+			if i > 0 && lst[i-1] >= v {
+				return fmt.Errorf("graph: byLabel[%d] not strictly sorted at %d", l, v)
+			}
+		}
+		live += len(lst)
+	}
+	if live != n-g.numDeleted {
+		return fmt.Errorf("graph: byLabel covers %d vertices, want %d live", live, n-g.numDeleted)
+	}
+	return nil
 }
 
 // String summarises the graph.

@@ -48,40 +48,94 @@ func (g *Graph) buildLabelIndex() {
 	var touched []Label
 	place := make([]int64, g.numLabels)
 	for v := 0; v < n; v++ {
-		adj := g.Neighbors(VertexID(v))
-		touched = touched[:0]
-		for _, w := range adj {
-			l := g.labels[w]
-			if cnt[l] == 0 {
-				touched = append(touched, l)
-			}
-			cnt[l]++
-		}
-		slices.Sort(touched)
-		base := g.offsets[v]
-		for _, l := range touched {
-			idx.runLabels = append(idx.runLabels, l)
-			idx.runStarts = append(idx.runStarts, base)
-			place[l] = base
-			base += cnt[l]
-		}
-		// Second pass walks adj in ascending-id order, so ids stay sorted
-		// within each label run.
-		for i, w := range adj {
-			l := g.labels[w]
-			p := place[l]
-			idx.nbrs[p] = w
-			if idx.elabels != nil {
-				idx.elabels[p] = g.edgeLabels[g.offsets[v]+int64(i)]
-			}
-			place[l] = p + 1
-		}
-		for _, l := range touched {
-			cnt[l] = 0
-		}
+		touched = idx.appendVertexRuns(g, v, cnt, place, touched)
 		idx.runOff[v+1] = int64(len(idx.runLabels))
 	}
 	g.lidx = idx
+}
+
+// appendVertexRuns groups v's adjacency in g into label runs: run metadata
+// is appended to runLabels/runStarts, the grouped neighbours (and half-edge
+// labels) are written into nbrs/elabels at v's primary CSR extent. cnt and
+// place are zeroed numLabels-sized scratch, left zeroed on return; touched
+// is reusable scratch, returned for the next call. Shared by the full build
+// above and the incremental per-delta maintenance below.
+func (idx *labelIndex) appendVertexRuns(g *Graph, v int, cnt, place []int64, touched []Label) []Label {
+	adj := g.Neighbors(VertexID(v))
+	touched = touched[:0]
+	for _, w := range adj {
+		l := g.labels[w]
+		if cnt[l] == 0 {
+			touched = append(touched, l)
+		}
+		cnt[l]++
+	}
+	slices.Sort(touched)
+	base := g.offsets[v]
+	for _, l := range touched {
+		idx.runLabels = append(idx.runLabels, l)
+		idx.runStarts = append(idx.runStarts, base)
+		place[l] = base
+		base += cnt[l]
+	}
+	// Second pass walks adj in ascending-id order, so ids stay sorted
+	// within each label run.
+	for i, w := range adj {
+		l := g.labels[w]
+		p := place[l]
+		idx.nbrs[p] = w
+		if idx.elabels != nil {
+			idx.elabels[p] = g.edgeLabels[g.offsets[v]+int64(i)]
+		}
+		place[l] = p + 1
+	}
+	for _, l := range touched {
+		cnt[l] = 0
+	}
+	return touched
+}
+
+// updateLabelIndexFrom maintains g2's label index incrementally from the
+// pre-delta graph g: a clean vertex (adjacency untouched by the batch) has
+// its run metadata copied with the starts shifted by its CSR offset delta
+// and its grouped span copied verbatim; only dirty vertices are re-grouped.
+// The index is never rebuilt from scratch — per-batch cost is O(|E| copied)
+// plus the counting pass over dirty adjacency only. Vertex labels are
+// immutable and an edge delete dirties both endpoints, so a clean vertex's
+// runs are valid in the new epoch by construction.
+func (g2 *Graph) updateLabelIndexFrom(g *Graph, dirty map[VertexID]bool) {
+	n := g2.NumVertices()
+	old := g.lidx
+	idx := &labelIndex{
+		nbrs:      make([]VertexID, len(g2.neighbors)),
+		runOff:    make([]int64, n+1),
+		runLabels: make([]Label, 0, len(old.runLabels)+2*len(dirty)),
+		runStarts: make([]int64, 0, len(old.runStarts)+2*len(dirty)),
+	}
+	if g2.edgeLabels != nil {
+		idx.elabels = make([]EdgeLabel, len(g2.neighbors))
+	}
+	cnt := make([]int64, g2.numLabels)
+	place := make([]int64, g2.numLabels)
+	var touched []Label
+	for v := 0; v < n; v++ {
+		if dirty[VertexID(v)] {
+			touched = idx.appendVertexRuns(g2, v, cnt, place, touched)
+		} else {
+			shift := g2.offsets[v] - g.offsets[v]
+			rs, re := old.runOff[v], old.runOff[v+1]
+			idx.runLabels = append(idx.runLabels, old.runLabels[rs:re]...)
+			for k := rs; k < re; k++ {
+				idx.runStarts = append(idx.runStarts, old.runStarts[k]+shift)
+			}
+			copy(idx.nbrs[g2.offsets[v]:g2.offsets[v+1]], old.nbrs[g.offsets[v]:g.offsets[v+1]])
+			if idx.elabels != nil {
+				copy(idx.elabels[g2.offsets[v]:g2.offsets[v+1]], old.elabels[g.offsets[v]:g.offsets[v+1]])
+			}
+		}
+		idx.runOff[v+1] = int64(len(idx.runLabels))
+	}
+	g2.lidx = idx
 }
 
 // labelRun returns the [lo, hi) extent in lidx.nbrs holding v's neighbours

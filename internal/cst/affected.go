@@ -1,0 +1,155 @@
+package cst
+
+import (
+	"fastmatch/graph"
+	"fastmatch/internal/order"
+)
+
+// Affected-region enumeration for incremental (continuous-query) matching:
+// given a CST over one graph epoch and the set of data vertices a delta
+// batch touched, enumerate exactly the embeddings that map at least one
+// query vertex to a touched ("dirty") vertex — the only embeddings whose
+// existence can differ between the epochs, since any embedding avoiding
+// every dirty vertex uses only edges both epochs share.
+//
+// Exactly-once is achieved without dedup by partitioning the affected
+// embeddings on u0 := min{u : dirty(em[u])} (minimum over query-vertex
+// ids): pass u0 constrains u < u0 to clean candidates, u == u0 to dirty
+// ones, and leaves u > u0 free. The passes' outputs are disjoint and their
+// union is the affected set.
+
+const (
+	classFree int8 = iota
+	classMustDirty
+	classMustClean
+)
+
+// affectedEnum drives one constrained backtracking pass over an
+// Enumerator's prepared hoists (candAt/parentAdj/check views), adding only
+// the per-query-vertex class filter. It deliberately does not touch
+// Enumerator.rec — the static hot path keeps its alloc-gated shape.
+type affectedEnum struct {
+	e       *Enumerator
+	class   []int8 // per query vertex
+	dirty   func(graph.VertexID) bool
+	emit    func(graph.Embedding) bool
+	count   int64
+	stopped bool
+}
+
+func (a *affectedEnum) rec(depth int) {
+	e := a.e
+	if depth == e.n {
+		a.count++
+		if a.emit != nil {
+			em := make(graph.Embedding, e.n)
+			for d, u := range e.o {
+				em[u] = e.mVert[d]
+			}
+			if !a.emit(em) {
+				a.stopped = true
+			}
+		}
+		return
+	}
+	cand := e.candAt[depth]
+	cl := a.class[e.o[depth]]
+	if depth == 0 {
+		for ci := CandIndex(0); int(ci) < len(cand); ci++ {
+			v := cand[ci]
+			if (cl == classMustDirty && !a.dirty(v)) || (cl == classMustClean && a.dirty(v)) {
+				continue
+			}
+			e.mIdx[0] = ci
+			e.mVert[0] = v
+			a.rec(1)
+			if a.stopped {
+				return
+			}
+		}
+		return
+	}
+	cands := e.parentAdj[depth].Neighbors(e.mIdx[e.parentPos[depth]])
+	chkLo, chkHi := e.checkOff[depth], e.checkOff[depth+1]
+next:
+	for _, ci := range cands {
+		v := cand[ci]
+		if (cl == classMustDirty && !a.dirty(v)) || (cl == classMustClean && a.dirty(v)) {
+			continue
+		}
+		for d := 0; d < depth; d++ { // visited validation
+			if e.mVert[d] == v {
+				continue next
+			}
+		}
+		for k := chkLo; k < chkHi; k++ { // edge validation
+			if !e.checkAdj[k].Has(ci, e.mIdx[e.checkPos[k]]) {
+				continue next
+			}
+		}
+		e.mIdx[depth] = ci
+		e.mVert[depth] = v
+		a.rec(depth + 1)
+		if a.stopped {
+			return
+		}
+	}
+}
+
+// EnumerateAffected invokes emit for every embedding in c that maps at
+// least one query vertex to a vertex dirty reports true for, exactly once
+// each, and returns how many it found. A pass is skipped outright when u0's
+// candidate set contains no dirty vertex, so a batch that misses the
+// query's candidate space entirely costs one scan of the candidate arrays
+// and no backtracking. Emit may return false to stop early (the refusing
+// embedding still counts, matching Enumerate). A nil emit counts only.
+func EnumerateAffected(c *CST, o order.Order, dirty func(graph.VertexID) bool, emit func(graph.Embedding) bool) int64 {
+	if c.IsEmpty() {
+		return 0
+	}
+	n := c.Query.NumVertices()
+	var e Enumerator
+	e.Reset(c, o)
+	a := affectedEnum{e: &e, class: make([]int8, n), dirty: dirty, emit: emit}
+	var total int64
+	for u0 := 0; u0 < n; u0++ {
+		anyDirty := false
+		for _, v := range c.Cand[u0] {
+			if dirty(v) {
+				anyDirty = true
+				break
+			}
+		}
+		if !anyDirty {
+			continue
+		}
+		for u := 0; u < n; u++ {
+			switch {
+			case u < u0:
+				a.class[u] = classMustClean
+			case u == u0:
+				a.class[u] = classMustDirty
+			default:
+				a.class[u] = classFree
+			}
+		}
+		a.count = 0
+		a.rec(0)
+		total += a.count
+		if a.stopped {
+			break
+		}
+	}
+	return total
+}
+
+// CollectAffected returns the affected embeddings as a slice; the
+// continuous-query layer and tests use it on delta-sized regions.
+func CollectAffected(c *CST, o order.Order, dirty func(graph.VertexID) bool) []graph.Embedding {
+	var out []graph.Embedding
+	EnumerateAffected(c, o, dirty, func(em graph.Embedding) bool {
+		out = append(out, em)
+		return true
+	})
+	return out
+}

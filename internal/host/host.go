@@ -213,6 +213,29 @@ func Prepare(ctx context.Context, q *graph.Query, g *graph.Graph, cfg Config) (*
 	return &Plan{Root: root, Tree: tree, Order: o, CST: c}, nil
 }
 
+// PrepareSeeded is Prepare with the planning decisions (root, BFS tree,
+// matching order) carried over from a seed plan prepared for the same query
+// against an earlier epoch of the same graph: only the CST — the part that
+// depends on the data — is rebuilt. Any valid matching order yields the
+// identical embedding set (the CST is a complete search space for every
+// order over its tree), so seeding trades possibly mildly stale order
+// heuristics for skipping root/tree/order selection; the serving layer uses
+// it to keep plan caches warm across ApplyDelta batches whose label set is
+// unchanged. A nil seed falls back to a full Prepare.
+func PrepareSeeded(ctx context.Context, q *graph.Query, g *graph.Graph, cfg Config, seed *Plan) (*Plan, error) {
+	if seed == nil {
+		return Prepare(ctx, q, g, cfg)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	cfg = cfg.withDefaults(q)
+	c := cst.BuildWorkers(q, g, seed.Tree, cfg.PartitionWorkers)
+	return &Plan{Root: seed.Root, Tree: seed.Tree, Order: seed.Order, CST: c}, nil
+}
+
 // Report is the end-to-end outcome of a match.
 type Report struct {
 	Query      string

@@ -1,0 +1,61 @@
+package host
+
+import (
+	"context"
+	"testing"
+
+	"fastmatch/ldbc"
+)
+
+// TestPrepareSeededMatchesFresh: a plan seeded from an earlier epoch's
+// planning decisions must produce identical counts to a freshly prepared
+// one — the CST is a complete search space under any valid order over its
+// tree, so carrying (root, tree, order) across graph changes is
+// count-preserving.
+func TestPrepareSeededMatchesFresh(t *testing.T) {
+	g := smallSocial(t)
+	for _, q := range ldbc.Queries() {
+		base, err := Prepare(context.Background(), q, g, Config{})
+		if err != nil {
+			t.Fatalf("%s: Prepare: %v", q.Name(), err)
+		}
+		seed := &Plan{Root: base.Root, Tree: base.Tree, Order: base.Order}
+
+		// The "new epoch" here is a structurally different graph (another
+		// generator seed, same label alphabet) to make plan staleness real.
+		g2 := ldbc.Generate(ldbc.Config{ScaleFactor: 1, Seed: 99})
+		fresh, err := Prepare(context.Background(), q, g2, Config{})
+		if err != nil {
+			t.Fatalf("%s: fresh Prepare: %v", q.Name(), err)
+		}
+		seeded, err := PrepareSeeded(context.Background(), q, g2, Config{}, seed)
+		if err != nil {
+			t.Fatalf("%s: PrepareSeeded: %v", q.Name(), err)
+		}
+		if seeded.Root != base.Root || seeded.Tree != base.Tree {
+			t.Errorf("%s: seeded plan did not reuse the seed's root/tree", q.Name())
+		}
+		if err := seeded.CST.Validate(g2); err != nil {
+			t.Errorf("%s: seeded CST invalid: %v", q.Name(), err)
+		}
+
+		repFresh, err := Match(context.Background(), q, g2, Config{Plan: fresh})
+		if err != nil {
+			t.Fatalf("%s: fresh Match: %v", q.Name(), err)
+		}
+		repSeeded, err := Match(context.Background(), q, g2, Config{Plan: seeded})
+		if err != nil {
+			t.Fatalf("%s: seeded Match: %v", q.Name(), err)
+		}
+		if repFresh.Embeddings != repSeeded.Embeddings {
+			t.Errorf("%s: seeded count %d, fresh %d", q.Name(), repSeeded.Embeddings, repFresh.Embeddings)
+		}
+	}
+
+	// Nil seed falls back to a full Prepare.
+	q, _ := ldbc.QueryByName("q1")
+	p, err := PrepareSeeded(context.Background(), q, g, Config{}, nil)
+	if err != nil || p == nil || p.CST == nil {
+		t.Fatalf("nil-seed PrepareSeeded: %v %v", p, err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fastmatch/graph"
+	"fastmatch/internal/host"
 )
 
 // ErrUnknownGraph reports a Router call naming a graph that is not (or no
@@ -79,17 +80,52 @@ type routerGraph struct {
 	opts     *Options
 	defaults callOptions
 	counters *graphCounters
-	state    *graphState // replaced by SwapGraph under Router.mu
+	state    *graphState // replaced by SwapGraph/ApplyDelta under Router.mu
+
+	// mutMu serializes structural mutation of this tenant — ApplyDelta
+	// batches and Subscribe registrations — so every standing query observes
+	// an unbroken epoch sequence: registered at epoch E, notified for E+1,
+	// E+2, … with no gap and no duplicate. SwapGraph deliberately does NOT
+	// take it (a swap must not wait behind a long delta); ApplyDelta detects
+	// the interleave by re-checking its state snapshot at commit. Lock
+	// order: mutMu before Router.mu; never the reverse.
+	mutMu sync.Mutex
+
+	// Standing continuous queries (subscribe.go), guarded by subMu, which
+	// nests inside both mutMu and Router.mu and takes no lock itself.
+	subMu   sync.Mutex
+	subs    map[int64]*Subscription
+	nextSub int64
+}
+
+// closeSubs terminates every standing query on this tenant with reason
+// (graph swapped or removed). Each drain goroutine flushes what was already
+// queued and exits; the subscriptions unregister themselves.
+func (ent *routerGraph) closeSubs(reason error) {
+	ent.subMu.Lock()
+	subs := make([]*Subscription, 0, len(ent.subs))
+	for _, s := range ent.subs {
+		subs = append(subs, s)
+	}
+	ent.subMu.Unlock()
+	for _, s := range subs {
+		s.close(reason)
+	}
 }
 
 // graphState binds one data graph to its lazily built Engine. In-flight
 // matches hold the state they resolved, so a swap never yanks a graph or a
 // plan out from under a running call.
 type graphState struct {
-	g    *graph.Graph
-	once sync.Once
-	eng  atomic.Pointer[Engine]
-	err  error // set by once; read only after once.Do returns
+	g *graph.Graph
+	// carry seeds the lazily built engine's plan cache with the previous
+	// epoch's planning decisions (ApplyDelta sets it when the delta keeps
+	// the label set; see Engine.planSeeds). Written before the state is
+	// published, read only inside once.
+	carry map[string]*host.Plan
+	once  sync.Once
+	eng   atomic.Pointer[Engine]
+	err   error // set by once; read only after once.Do returns
 }
 
 // engine returns the state's Engine, building it on first use. Construction
@@ -101,6 +137,7 @@ func (st *graphState) engine(opts *Options, pool chan struct{}) (*Engine, error)
 			st.err = err
 			return
 		}
+		eng.seeds = st.carry
 		st.eng.Store(eng)
 	})
 	if st.err != nil {
@@ -111,11 +148,13 @@ func (st *graphState) engine(opts *Options, pool chan struct{}) (*Engine, error)
 
 // graphCounters aggregates one tenant's serving history across swaps.
 type graphCounters struct {
-	calls        atomic.Int64
-	partials     atomic.Int64
-	failures     atomic.Int64
-	kernelAborts atomic.Int64
-	swaps        atomic.Int64
+	calls         atomic.Int64
+	partials      atomic.Int64
+	failures      atomic.Int64
+	kernelAborts  atomic.Int64
+	swaps         atomic.Int64
+	deltas        atomic.Int64
+	notifications atomic.Int64
 }
 
 // record tallies one routed call. A hard failure yields no Result; a call
@@ -150,6 +189,17 @@ type GraphStats struct {
 	Calls, Partials, Failures, KernelAborts int64
 	// Swaps counts SwapGraph replacements since AddGraph.
 	Swaps int64
+	// Dynamics (delta.go in package graph; dynamic.go/subscribe.go here).
+	// Epoch is the current graph snapshot's epoch — 0 for a freshly added
+	// or swapped graph, +1 per applied delta batch (a swap resets it with
+	// the graph). Deltas counts ApplyDelta batches committed across the
+	// tenant's lifetime; Subscriptions the standing queries currently
+	// registered; Notifications the MatchDelta records computed for
+	// subscribers (one per subscription per committed batch).
+	Epoch         uint64
+	Deltas        int64
+	Subscriptions int
+	Notifications int64
 	// Plan-cache state of the graph's current engine.
 	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions int64
 	CachedPlans                                        int
@@ -263,17 +313,21 @@ func (r *Router) engineOptions(opts *Options) *Options {
 }
 
 // RemoveGraph unregisters name. Calls that already resolved the name finish
-// on the removed graph; new calls fail with ErrUnknownGraph.
+// on the removed graph; new calls fail with ErrUnknownGraph, and standing
+// queries on the graph terminate with an error wrapping ErrUnknownGraph.
 func (r *Router) RemoveGraph(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.graphs[name]; !ok {
+	ent, ok := r.graphs[name]
+	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("fast: Router.RemoveGraph %q: %w", name, ErrUnknownGraph)
 	}
 	delete(r.graphs, name)
 	// Queued waiters fail with ErrUnknownGraph; in-flight grants release
 	// normally through their tenant reference.
 	r.adm.unregister(name)
+	r.mu.Unlock()
+	ent.closeSubs(fmt.Errorf("fast: graph %q removed: %w", name, ErrUnknownGraph))
 	return nil
 }
 
@@ -282,18 +336,27 @@ func (r *Router) RemoveGraph(name string) error {
 // see g behind a fresh engine — the plan cache rotates with the graph, so
 // no plan built over the old graph can ever serve the new one. The graph's
 // engine options, default MatchOptions and counters carry over.
+//
+// A swap also resets the tenant's delta lineage: the epoch counter restarts
+// with the new graph (a constructor-fresh graph is epoch 0), an ApplyDelta
+// computed against the pre-swap snapshot fails its commit with
+// ErrGraphSwapped instead of resurrecting the old lineage, and standing
+// queries terminate with an error wrapping ErrGraphSwapped — their epoch
+// sequence ended with the graph they were watching.
 func (r *Router) SwapGraph(name string, g *graph.Graph) error {
 	if g == nil {
 		return fmt.Errorf("fast: Router.SwapGraph %q: nil graph", name)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	ent, ok := r.graphs[name]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("fast: Router.SwapGraph %q: %w", name, ErrUnknownGraph)
 	}
 	ent.state = &graphState{g: g}
 	ent.counters.swaps.Add(1)
+	r.mu.Unlock()
+	ent.closeSubs(fmt.Errorf("fast: graph %q swapped: %w", name, ErrGraphSwapped))
 	return nil
 }
 
@@ -450,12 +513,18 @@ func (r *Router) Stats() map[string]GraphStats {
 	out := make(map[string]GraphStats, len(r.graphs))
 	for name, ent := range r.graphs {
 		s := GraphStats{
-			Calls:        ent.counters.calls.Load(),
-			Partials:     ent.counters.partials.Load(),
-			Failures:     ent.counters.failures.Load(),
-			KernelAborts: ent.counters.kernelAborts.Load(),
-			Swaps:        ent.counters.swaps.Load(),
+			Calls:         ent.counters.calls.Load(),
+			Partials:      ent.counters.partials.Load(),
+			Failures:      ent.counters.failures.Load(),
+			KernelAborts:  ent.counters.kernelAborts.Load(),
+			Swaps:         ent.counters.swaps.Load(),
+			Deltas:        ent.counters.deltas.Load(),
+			Notifications: ent.counters.notifications.Load(),
+			Epoch:         ent.state.g.Epoch(),
 		}
+		ent.subMu.Lock()
+		s.Subscriptions = len(ent.subs)
+		ent.subMu.Unlock()
 		// The engine pointer is set exactly once per state; a nil load means
 		// no match has reached this graph since it was added or swapped.
 		if eng := ent.state.eng.Load(); eng != nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"fastmatch/graph"
@@ -32,12 +33,14 @@ const DefaultMaxBodyBytes = 256 << 20
 // server sheds with machine-readable reasons instead of stacking blocked
 // handlers:
 //
-//	POST /v1/graphs/{name}/count   unary match, JSON in/out
-//	POST /v1/graphs/{name}/match   streaming match, NDJSON out
-//	GET  /v1/graphs                list graphs with serving stats
-//	GET  /v1/graphs/{name}/stats   one graph's GraphStats
-//	PUT  /v1/graphs/{name}         swap the data graph (binary body)
-//	GET  /metrics                  Prometheus text format
+//	POST /v1/graphs/{name}/count     unary match, JSON in/out
+//	POST /v1/graphs/{name}/match     streaming match, NDJSON out
+//	POST /v1/graphs/{name}/delta     apply a mutation batch (new epoch)
+//	GET  /v1/graphs/{name}/subscribe standing query, NDJSON MatchDelta stream
+//	GET  /v1/graphs                  list graphs with serving stats
+//	GET  /v1/graphs/{name}/stats     one graph's GraphStats
+//	PUT  /v1/graphs/{name}           swap the data graph (binary body)
+//	GET  /metrics                    Prometheus text format
 //
 // Errors are JSON envelopes {"error": ..., "reason": ...} where reason is
 // one of bad_request (400), unknown_graph (404), queue_full (429),
@@ -60,6 +63,8 @@ func NewServer(r *Router, opts ServerOptions) *Server {
 	s := &Server{router: r, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/graphs/{name}/count", s.handleCount)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/match", s.handleMatch)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/delta", s.handleDelta)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
 	s.mux.HandleFunc("GET /v1/graphs/{name}/stats", s.handleStats)
 	s.mux.HandleFunc("PUT /v1/graphs/{name}", s.handleSwap)
@@ -293,6 +298,172 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// deltaRequest is the body of POST /v1/graphs/{name}/delta — graph.Delta's
+// shape on the wire. add_edge_labels, when present, must parallel add_edges.
+type deltaRequest struct {
+	AddVertices   []graph.Label       `json:"add_vertices,omitempty"`
+	DelVertices   []graph.VertexID    `json:"del_vertices,omitempty"`
+	AddEdges      [][2]graph.VertexID `json:"add_edges,omitempty"`
+	AddEdgeLabels []graph.EdgeLabel   `json:"add_edge_labels,omitempty"`
+	DelEdges      [][2]graph.VertexID `json:"del_edges,omitempty"`
+}
+
+// deltaResponse mirrors DeltaResult for the wire.
+type deltaResponse struct {
+	Graph      string `json:"graph"`
+	Epoch      uint64 `json:"epoch"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Touched    int    `json:"touched"`
+	Notified   int    `json:"notified"`
+	PlanSeeded bool   `json:"plan_seeded"`
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req deltaRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	res, err := s.router.ApplyDelta(name, graph.Delta{
+		AddVertices:   req.AddVertices,
+		DelVertices:   req.DelVertices,
+		AddEdges:      req.AddEdges,
+		AddEdgeLabels: req.AddEdgeLabels,
+		DelEdges:      req.DelEdges,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownGraph):
+			writeError(w, http.StatusNotFound, "unknown_graph", err.Error())
+		case errors.Is(err, ErrGraphSwapped):
+			// The batch lost against a concurrent swap: the snapshot it was
+			// computed over is gone. Retrying against the new graph is the
+			// client's call, hence 409 rather than 5xx.
+			writeError(w, http.StatusConflict, "conflict", err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, deltaResponse{
+		Graph:      name,
+		Epoch:      res.Epoch,
+		Vertices:   res.Vertices,
+		Edges:      res.Edges,
+		Touched:    res.Touched,
+		Notified:   res.Notified,
+		PlanSeeded: res.PlanSeeded,
+	})
+}
+
+// subscribeLine is one NDJSON line of GET .../subscribe. The first line has
+// subscribed set (with the registration epoch); every committed batch after
+// that is a line with its epoch and the added/removed embeddings (both
+// empty for a batch that did not affect the query — an epoch heartbeat);
+// the last line has closed set with the terminal reason.
+type subscribeLine struct {
+	Subscribed bool              `json:"subscribed,omitempty"`
+	Graph      string            `json:"graph,omitempty"`
+	Query      string            `json:"query,omitempty"`
+	Epoch      uint64            `json:"epoch"`
+	Added      []graph.Embedding `json:"added,omitempty"`
+	Removed    []graph.Embedding `json:"removed,omitempty"`
+	Closed     bool              `json:"closed,omitempty"`
+	Reason     string            `json:"reason,omitempty"`
+}
+
+// subscribeCloseReason labels the terminal line of a subscription stream.
+func subscribeCloseReason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrGraphSwapped):
+		return "swapped"
+	case errors.Is(err, ErrUnknownGraph):
+		return "removed"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrSubscriptionClosed):
+		return "closed"
+	}
+	return "error"
+}
+
+// handleSubscribe registers a standing query (named via ?query=, resolved
+// through ServerOptions.QueryByName) and streams its MatchDeltas as NDJSON
+// until the client disconnects or the graph is swapped or removed. The
+// stream's epochs are exactly the graph's committed epochs from the
+// subscription point on, in order, one line each.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	qname := r.URL.Query().Get("query")
+	if qname == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `subscribe needs a named query: ?query=...`)
+		return
+	}
+	if s.opts.QueryByName == nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "named queries are not enabled on this server")
+		return
+	}
+	q, err := s.opts.QueryByName(qname)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// The drain goroutine writes MatchDelta lines while this handler writes
+	// the first and last lines: mu serializes the encoder, ready holds
+	// deliveries back until the subscribed line is out.
+	var mu sync.Mutex
+	ready := make(chan struct{})
+	sub, err := s.router.Subscribe(r.Context(), name, q, func(md MatchDelta) error {
+		<-ready
+		mu.Lock()
+		defer mu.Unlock()
+		if err := enc.Encode(subscribeLine{Epoch: md.Epoch, Added: md.Added, Removed: md.Removed}); err != nil {
+			return err // client went away: terminate the subscription
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrUnknownGraph) {
+			writeError(w, http.StatusNotFound, "unknown_graph", err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	mu.Lock()
+	_ = enc.Encode(subscribeLine{Subscribed: true, Graph: name, Query: qname, Epoch: sub.Epoch()})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	mu.Unlock()
+	close(ready)
+
+	err = sub.Wait() // client disconnect fires r.Context() and ends this
+	mu.Lock()
+	_ = enc.Encode(subscribeLine{Closed: true, Reason: subscribeCloseReason(err)})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	mu.Unlock()
+}
+
 // graphInfo is one entry of GET /v1/graphs.
 type graphInfo struct {
 	Name  string     `json:"name"`
@@ -381,6 +552,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(s GraphStats) int64 { return s.QueueTimeouts })
 	counter("fastmatch_swaps_total", "SwapGraph replacements since AddGraph.",
 		func(s GraphStats) int64 { return s.Swaps })
+	counter("fastmatch_deltas_total", "ApplyDelta batches committed since AddGraph/SwapGraph.",
+		func(s GraphStats) int64 { return s.Deltas })
+	counter("fastmatch_notifications_total", "MatchDeltas delivered to standing queries.",
+		func(s GraphStats) int64 { return s.Notifications })
+	gauge("fastmatch_subscriptions", "Standing queries currently registered.",
+		func(s GraphStats) float64 { return float64(s.Subscriptions) })
+	gauge("fastmatch_epoch", "Current graph epoch (0 = as added/swapped).",
+		func(s GraphStats) float64 { return float64(s.Epoch) })
 	gauge("fastmatch_queue_depth", "Calls currently waiting for admission.",
 		func(s GraphStats) float64 { return float64(s.QueueDepth) })
 	gauge("fastmatch_budget_weight", "Tenant's weighted share of the worker budget.",

@@ -217,6 +217,7 @@ func TestServerShedStatuses(t *testing.T) {
 	}
 	r2.adm.mu.Lock()
 	tn := r2.adm.tenants["a"]
+	tn.estP50 = time.Second
 	r2.adm.mu.Unlock()
 	for i := 0; i < 8; i++ {
 		tn.hist.observe(time.Second)
