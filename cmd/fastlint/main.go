@@ -1,0 +1,19 @@
+// Command fastlint is the driver for fastmatch's repo-specific analyzers
+// (internal/lint). It speaks the go vet unitchecker protocol, so it runs as:
+//
+//	go build -o bin/fastlint ./cmd/fastlint
+//	go vet -vettool=$PWD/bin/fastlint ./...
+//
+// Individual analyzers can be selected the same way as with go vet, e.g.
+// `go vet -vettool=$PWD/bin/fastlint -cancelpoll ./...`.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"fastmatch/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

@@ -269,6 +269,11 @@ func (r *runState) takeOne() bool {
 	return true
 }
 
+// prepare runs once per Run before the round loop; its loops are bounded by
+// query-plan size (order, slots, per-level check tables) or are straight-line
+// candidate-array fills, so cancellation is first observed in execute.
+//
+//fastmatch:nolint cancelpoll one-shot query-plan-sized setup; execute polls per round
 func (r *runState) prepare() {
 	nq := r.c.Query.NumVertices()
 	no := r.opts.Config.No
@@ -486,6 +491,13 @@ func (r *runState) deepestLevel() int {
 
 // round expands the partials at level d into level d+1 (Algorithms 5–8),
 // then charges the round's cycles per the variant's composition.
+//
+// Cancellation is polled once per round by execute before each call: a round
+// emits at most No partials, so cancel latency stays bounded without putting
+// a branch in the probe loop.
+//
+//fastmatch:nolint cancelpoll execute polls per round; a round is bounded by No
+//fastmatch:hotpath
 func (r *runState) round(d int) {
 	cfg := r.opts.Config
 	u := r.o[d]
@@ -601,12 +613,14 @@ func (r *runState) round(d int) {
 				}
 				r.count++
 				if r.opts.Collect || r.opts.Emit != nil {
+					//fastmatch:nolint hotpathalloc one embedding per emitted match, only when Collect/Emit opted in
 					e := make(graph.Embedding, len(r.o))
 					for pos2, w := range p.mv {
 						e[r.o[pos2]] = w
 					}
 					e[u] = v
 					if r.opts.Collect {
+						//fastmatch:nolint hotpathalloc collected grows only under the WithCollect opt-in
 						r.collected = append(r.collected, e)
 					}
 					if r.opts.Emit != nil {
@@ -634,6 +648,7 @@ func (r *runState) round(d int) {
 		i++
 	}
 	// Retain unconsumed partials (including a resumed head).
+	//fastmatch:nolint hotpathalloc compaction into level's own backing array (level[:0]); never grows
 	r.levels[d] = append(level[:0], level[i:]...)
 	if !complete {
 		r.levels[d+1] = nextLv

@@ -88,6 +88,11 @@ func (p *partitionPool) push(t func(*restrictScratch)) {
 
 // run is one worker's loop: pop and execute tasks until the stack is empty
 // and no task is running anywhere (a running task may still push new ones).
+// The pop loop itself must drain the stack to terminate — a cancelled pool
+// stops producing because each popped task polls sc.cancel inside restrict,
+// shrinking every task to a near-no-op rather than abandoning the stack.
+//
+//fastmatch:nolint cancelpoll drain protocol: tasks poll sc.cancel internally; the pop loop must empty the stack to release waiters
 func (p *partitionPool) run() {
 	sc := &restrictScratch{cancel: p.cancel}
 	p.mu.Lock()
@@ -294,6 +299,7 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		// visit — without waiting for speculating workers — so no compute
 		// path may touch the field (or index through it) past this point.
 		children := make([]*onode, k)
+		//fastmatch:nolint cancelpoll k is the split fan-out from splitAt (chunk count), not candidate data
 		for i := range children {
 			children[i] = &onode{ready: make(chan struct{}), parent: n}
 		}

@@ -114,6 +114,11 @@ func (e *Enumerator) run() int64 {
 	return e.count
 }
 
+// rec is the prepared zero-alloc DFS matcher (PR 6): per-depth state lives
+// in hoisted arrays, so steady-state enumeration performs no allocation
+// except materialising an embedding for a collecting emit callback.
+//
+//fastmatch:hotpath
 func (e *Enumerator) rec(depth int) {
 	if depth == e.n {
 		if e.take != nil {
@@ -126,6 +131,7 @@ func (e *Enumerator) rec(depth int) {
 		}
 		e.count++
 		if e.emit != nil {
+			//fastmatch:nolint hotpathalloc one embedding per emitted match; emit callers own the copy
 			em := make(graph.Embedding, e.n)
 			for d, u := range e.o {
 				em[u] = e.mVert[d]

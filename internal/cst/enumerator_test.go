@@ -77,9 +77,9 @@ func TestEnumeratorPooledConcurrentPartition(t *testing.T) {
 			if e == nil {
 				e = new(Enumerator)
 			}
+			defer pool.Put(e)
 			e.Reset(p, o)
 			n := e.Run(nil)
-			pool.Put(e)
 			mu.Lock()
 			total += n
 			mu.Unlock()

@@ -79,9 +79,9 @@ func EnumerateParallel(c *CST, o order.Order, cfg PartitionConfig, workers int) 
 		if e == nil {
 			e = new(Enumerator)
 		}
+		defer enums.Put(e)
 		e.Reset(p, o)
 		total.Add(e.Run(nil))
-		enums.Put(e)
 	})
 	return total.Load()
 }

@@ -258,6 +258,9 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) 
 		}
 	}
 	for i := chunk[0]; i < chunk[1]; i++ {
+		if sc.polled() {
+			return nil
+		}
 		kept[u][i] = true
 		keptList[u] = append(keptList[u], CandIndex(i))
 	}
@@ -319,6 +322,9 @@ func restrict(cur *CST, u graph.QueryVertex, chunk [2]int, sc *restrictScratch) 
 		remap[w] = remap[w][:len(cur.Cand[w])]
 		lo := len(candArena)
 		for i, v := range cur.Cand[w] {
+			if sc.polled() {
+				return nil
+			}
 			if kept[w][i] {
 				remap[w][i] = CandIndex(len(candArena) - lo)
 				candArena = append(candArena, v)

@@ -162,10 +162,9 @@ var kernelScratch = sync.Pool{New: func() any { return new(core.Scratch) }}
 // runKernel executes one kernel over p with a pooled scratch.
 func runKernel(p *cst.CST, o order.Order, opts core.Options) (core.Result, error) {
 	s := kernelScratch.Get().(*core.Scratch)
+	defer kernelScratch.Put(s)
 	opts.Scratch = s
-	res, err := core.Run(p, o, opts)
-	kernelScratch.Put(s)
-	return res, err
+	return core.Run(p, o, opts)
 }
 
 // Plan is the output of Phase 1: everything Match derives from (q, g)

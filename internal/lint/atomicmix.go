@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic
+// somewhere in the package but read or written directly elsewhere. Mixing
+// the two is a data race even when it "works" on amd64: the plain access is
+// unsynchronized. (The serving counters migrated to typed atomic.Int64 in
+// PR 6–8 precisely to make this impossible; this analyzer keeps legacy
+// atomic.AddInt64-style code from reintroducing the mix.)
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag non-atomic access to struct fields that are elsewhere accessed via sync/atomic",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass)
+
+	// Pass 1: fields whose address is taken by a sync/atomic call, plus the
+	// exact selector nodes used inside those calls (so pass 2 skips them).
+	atomicFields := map[*types.Var]token.Pos{}
+	inAtomicCall := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = call.Pos()
+					}
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other use of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			if firstAtomic, ok := atomicFields[v]; ok {
+				reportf(pass, sup, sel.Pos(),
+					"field %s is accessed with sync/atomic (e.g. %s) but read/written directly here; use atomic access everywhere or a typed atomic",
+					v.Name(), pass.Fset.Position(firstAtomic))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

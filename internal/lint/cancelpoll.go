@@ -1,0 +1,550 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CancelPoll flags loops in the engine packages that walk data-scale state
+// (partitions, candidate lists, task stacks) without polling a cancellation
+// source anywhere in the loop nest. It generalizes the PR 7 fix that threaded
+// PartitionConfig.Cancel into restrict's reachability loops: a producer loop
+// that never polls turns one slow piece into unbounded cancel latency.
+var CancelPoll = &analysis.Analyzer{
+	Name: "cancelpoll",
+	Doc:  "flag engine loops that never poll a cancellation source",
+	Run:  runCancelPoll,
+}
+
+// cancelPollScope limits the analyzer to the packages that host producer and
+// kernel loops; fixtures reproduce the same import-path suffixes.
+var cancelPollScope = []string{"internal/cst", "internal/core", "internal/host"}
+
+// pollNameRE matches call names that count as observing cancellation:
+// ctx.Err, ctx.Done, the cancelled()/halted() closures threaded through the
+// host layer, and restrictScratch.polled.
+var pollNameRE = regexp.MustCompile(`(?i)^(err|done|cancell?ed|cancel|halted?|halt|polled?|poll|stop(ped)?)$`)
+
+// sourceFieldRE matches struct field names that make a value a cancellation
+// source (PartitionConfig.Cancel, Options.Cancel, runState.cancel, ...).
+var sourceFieldRE = regexp.MustCompile(`(?i)^(cancel|halt|stop)$`)
+
+// sourceMethodRE matches method names that make a type a cancellation source.
+var sourceMethodRE = regexp.MustCompile(`(?i)^(cancell?ed|halted|stopped|polled)$`)
+
+func runCancelPoll(pass *analysis.Pass) (any, error) {
+	inScope := false
+	for _, suf := range cancelPollScope {
+		if strings.HasSuffix(pass.Pkg.Path(), suf) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	sup := newSuppressor(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasCancelSource(pass, fd) {
+				continue
+			}
+			small := smallScaleVars(pass, fd.Body)
+			addSmallParams(pass, fd, small)
+			cp := &cancelPollCheck{
+				pass:       pass,
+				sup:        sup,
+				localFuncs: localFuncVars(pass, fd.Body),
+				queryVars:  queryScaleVars(pass, fd.Body),
+				smallVars:  small,
+				polls:      map[*ast.FuncLit]bool{},
+			}
+			cp.checkOutermost(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// hasCancelSource reports whether fn's receiver or parameters give it a way
+// to observe cancellation: a context.Context, a struct with a Cancel-like
+// field, or a type with a cancelled()/halted()-like method.
+func hasCancelSource(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	var fields []*ast.Field
+	if fn.Recv != nil {
+		fields = append(fields, fn.Recv.List...)
+	}
+	if fn.Type.Params != nil {
+		fields = append(fields, fn.Type.Params.List...)
+	}
+	for _, fl := range fields {
+		t := pass.TypesInfo.TypeOf(fl.Type)
+		if t == nil {
+			continue
+		}
+		if typeIsCancelSource(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeIsCancelSource(t types.Type) bool {
+	if isContext(t) {
+		return true
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if sourceMethodRE.MatchString(named.Method(i).Name()) {
+			return true
+		}
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if sourceFieldRE.MatchString(f.Name()) || isContext(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// localFuncVars maps single-assignment local variables to their function
+// literal, so calls like drain(n) inside a loop can be resolved to the
+// recursive closure they invoke.
+func localFuncVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	lits := map[types.Object]*ast.FuncLit{}
+	assigns := map[types.Object]int{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		assigns[obj]++
+		if lit, ok := rhs.(*ast.FuncLit); ok {
+			lits[obj] = lit
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) != len(vs.Names) {
+						continue
+					}
+					for i, name := range vs.Names {
+						record(name, vs.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Only single-assignment vars are trustworthy: `handle = func(...)`
+	// after `var handle func(...)` counts as one real assignment plus the
+	// zero-value declaration, so allow up to two sightings when exactly one
+	// bound a literal.
+	for obj := range lits {
+		if assigns[obj] > 2 {
+			delete(lits, obj)
+		}
+	}
+	return lits
+}
+
+// queryScaleVars collects local variables whose value is query-sized
+// (assigned from a NumVertices() call or from len of a query-scale value);
+// loops bounded by them are O(|query|) and exempt from polling.
+func queryScaleVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if queryScaleExpr(pass, as.Rhs[i]) {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// queryScaleExpr reports whether e denotes a query-sized quantity or value:
+// a NumVertices() call, len() of a query-scale value, or a value of a type
+// whose name marks it as part of the query plan (QueryVertex, Order, ...).
+func queryScaleExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "NumVertices" {
+				return true
+			}
+		case *ast.Ident:
+			if fun.Name == "len" && len(e.Args) == 1 {
+				return queryScaleExpr(pass, e.Args[0])
+			}
+		}
+	}
+	if t := pass.TypesInfo.TypeOf(e); t != nil && queryScaleType(t) {
+		return true
+	}
+	return false
+}
+
+func queryScaleType(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.Contains(name, "Query") || name == "Order"
+}
+
+// smallScaleRE matches the names of config fields that size fan-out slices
+// (devices, shards, workers): `make([]T, cfg.NumFPGAs)` is device-scale, not
+// data-scale, so loops bounded by it need no poll.
+var smallScaleRE = regexp.MustCompile(`(?i)^(num\w*|workers|shards|fanout)$`)
+
+// smallScaleVars collects locals assigned `make([]T, E)` where E is a
+// Num*-style config field; loops over them (or bounded by their len) are
+// fan-out-scale and exempt from polling.
+func smallScaleVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "make" {
+				continue
+			}
+			sel, ok := call.Args[1].(*ast.SelectorExpr)
+			if !ok || !smallScaleRE.MatchString(sel.Sel.Name) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// smallNameRE matches parameter names that denote fan-out collections
+// (device lists, worker sets) rather than data-scale state.
+var smallNameRE = regexp.MustCompile(`(?i)^(devices|cards|workers|shards)$`)
+
+// addSmallParams marks fan-out-named slice parameters as small-scale.
+func addSmallParams(pass *analysis.Pass, fd *ast.FuncDecl, small map[types.Object]bool) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, fl := range fd.Type.Params.List {
+		for _, name := range fl.Names {
+			if !smallNameRE.MatchString(name.Name) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				small[obj] = true
+			}
+		}
+	}
+}
+
+type cancelPollCheck struct {
+	pass       *analysis.Pass
+	sup        *suppressor
+	localFuncs map[types.Object]*ast.FuncLit
+	queryVars  map[types.Object]bool
+	smallVars  map[types.Object]bool
+	polls      map[*ast.FuncLit]bool // memo: does this local closure poll?
+}
+
+// checkOutermost walks stmts and checks each outermost loop; nested loops are
+// only visited individually when their parent's bound is exempt.
+func (cp *cancelPollCheck) checkOutermost(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			cp.checkLoop(n)
+			return false
+		case *ast.RangeStmt:
+			cp.checkLoop(n)
+			return false
+		case *ast.FuncLit:
+			// Closures are analyzed through the localFuncs resolution when
+			// called from a loop; their own outermost loops are checked in
+			// place (they run with the enclosing function's sources).
+			return true
+		}
+		return true
+	})
+}
+
+func (cp *cancelPollCheck) checkLoop(loop ast.Stmt) {
+	if cp.exemptBound(loop) {
+		// O(|query|) or constant trip count: recurse into the body so a
+		// data-scale inner loop is still checked on its own.
+		var body *ast.BlockStmt
+		switch l := loop.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		}
+		if body != nil {
+			for _, st := range body.List {
+				cp.checkOutermost(st)
+			}
+		}
+		return
+	}
+	if cp.nestPolls(loop, map[*ast.FuncLit]bool{}) {
+		return
+	}
+	if cp.trivialLoop(loop) {
+		// A straight-line fill/reduce pass (no calls, no appends, no
+		// nested data loops) is memory-bandwidth bound with O(1) work per
+		// element; the engine's amortized-poll design accepts those, same
+		// as clear() or copy().
+		return
+	}
+	reportf(cp.pass, cp.sup, loop.Pos(),
+		"loop does not poll a cancellation source on any path; poll ctx.Err/Cancel/cancelled() in the loop body (see PartitionConfig.Cancel, PR 7)")
+}
+
+// exemptBound reports whether the loop's trip count is bounded by the query
+// size or a constant, making a poll unnecessary.
+func (cp *cancelPollCheck) exemptBound(loop ast.Stmt) bool {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		if l.Cond == nil {
+			return false
+		}
+		bin, ok := l.Cond.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.LSS && bin.Op != token.LEQ && bin.Op != token.GTR && bin.Op != token.GEQ) {
+			return false
+		}
+		// i < N or N > i: the non-index side is the bound.
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if cp.exemptBoundExpr(side) {
+				return true
+			}
+		}
+		return false
+	case *ast.RangeStmt:
+		t := cp.pass.TypesInfo.TypeOf(l.X)
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Array, *types.Chan:
+				// Fixed trip count, or a blocking receive whose producer
+				// owns cancellation.
+				return true
+			case *types.Basic:
+				// go1.22 `range n` integer ranges: exempt when n is
+				// query-scale or constant.
+				return cp.exemptBoundExpr(l.X)
+			}
+		}
+		return cp.exemptBoundExpr(l.X)
+	}
+	return false
+}
+
+func (cp *cancelPollCheck) exemptBoundExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		if obj := cp.pass.TypesInfo.Uses[e]; obj != nil {
+			if cp.queryVars[obj] || cp.smallVars[obj] {
+				return true
+			}
+			if _, isConst := obj.(*types.Const); isConst {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "len" && len(e.Args) == 1 {
+			if cp.exemptBoundExpr(e.Args[0]) {
+				return true
+			}
+		}
+	}
+	return queryScaleExpr(cp.pass, e)
+}
+
+// trivialLoop reports whether the loop nest does only straight-line per-
+// element work: assignments, increments, ifs and selects over index/selector
+// expressions, with no function calls other than len/cap/type conversions,
+// no appends, and no closures. Such passes are O(1)-per-element scans whose
+// total latency is bounded by memory bandwidth.
+func (cp *cancelPollCheck) trivialLoop(loop ast.Stmt) bool {
+	trivial := true
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if !trivial {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Type conversions like int64(x) or CandIndex(i) stay trivial;
+			// so do len/cap/min/max. Real calls (and append's potential
+			// growth work) do not.
+			if tv, ok := cp.pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "len", "cap", "min", "max":
+					if cp.pass.TypesInfo.Uses[id] == nil || cp.pass.TypesInfo.Uses[id].Pkg() == nil {
+						return true
+					}
+				}
+			}
+			trivial = false
+			return false
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt:
+			trivial = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				trivial = false
+				return false
+			}
+		}
+		return true
+	})
+	return trivial
+}
+
+// nestPolls reports whether any statement inside the loop (including called
+// single-assignment local closures, recursively) polls cancellation.
+func (cp *cancelPollCheck) nestPolls(n ast.Node, visiting map[*ast.FuncLit]bool) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		var calleeObj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			calleeObj = cp.pass.TypesInfo.Uses[fun.Sel]
+		case *ast.Ident:
+			name = fun.Name
+			calleeObj = cp.pass.TypesInfo.Uses[fun]
+		}
+		if pollNameRE.MatchString(name) {
+			found = true
+			return false
+		}
+		if lit, ok := cp.localFuncs[calleeObj]; ok && calleeObj != nil {
+			if cp.litPolls(lit, visiting) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (cp *cancelPollCheck) litPolls(lit *ast.FuncLit, visiting map[*ast.FuncLit]bool) bool {
+	if v, ok := cp.polls[lit]; ok {
+		return v
+	}
+	if visiting[lit] {
+		return false
+	}
+	visiting[lit] = true
+	v := cp.nestPolls(lit.Body, visiting)
+	delete(visiting, lit)
+	cp.polls[lit] = v
+	return v
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// directivePrefix introduces every fastmatch directive comment.
+const directivePrefix = "//fastmatch:"
+
+// directive is one parsed //fastmatch: comment.
+type directive struct {
+	pos  token.Pos
+	verb string   // "hotpath", "nolint", "lockorder", ...
+	args []string // whitespace-split fields after the verb
+	// fn is the function whose doc comment carries the directive, if any.
+	fn *ast.FuncDecl
+}
+
+// directivesIn parses every //fastmatch: comment in f. Comments that are part
+// of a function's doc group get that function attached, which widens nolint
+// scope to the whole body and anchors hotpath marks.
+func directivesIn(f *ast.File) []directive {
+	docOwner := map[*ast.CommentGroup]*ast.FuncDecl{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			docOwner[fd.Doc] = fd
+		}
+	}
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			text := strings.TrimPrefix(c.Text, directivePrefix)
+			// Allow trailing commentary after a ` // ` separator (used by
+			// the analysistest-style fixtures for want annotations).
+			if i := strings.Index(text, " // "); i >= 0 {
+				text = text[:i]
+			}
+			fields := strings.Fields(text)
+			d := directive{pos: c.Slash, fn: docOwner[cg]}
+			if len(fields) > 0 {
+				d.verb = fields[0]
+				d.args = fields[1:]
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressor answers "is this diagnostic nolinted?" for one pass.
+type suppressor struct {
+	fset *token.FileSet
+	// spans maps an analyzer name to suppressed position ranges.
+	spans map[string][]span
+}
+
+type span struct {
+	file      string
+	startLine int
+	endLine   int
+}
+
+// newSuppressor indexes every //fastmatch:nolint directive in the pass.
+// A nolint in a function's doc comment covers the whole function; otherwise
+// it covers its own line and the next one (so it can sit on the flagged line
+// or immediately above it).
+func newSuppressor(pass *analysis.Pass) *suppressor {
+	s := &suppressor{fset: pass.Fset, spans: map[string][]span{}}
+	for _, f := range pass.Files {
+		for _, d := range directivesIn(f) {
+			if d.verb != "nolint" || len(d.args) == 0 {
+				continue
+			}
+			name := d.args[0]
+			p := pass.Fset.Position(d.pos)
+			sp := span{file: p.Filename, startLine: p.Line, endLine: p.Line + 1}
+			if d.fn != nil {
+				end := pass.Fset.Position(d.fn.End())
+				sp.endLine = end.Line
+			}
+			s.spans[name] = append(s.spans[name], sp)
+		}
+	}
+	return s
+}
+
+func (s *suppressor) suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	for _, sp := range s.spans[analyzer] {
+		if sp.file == p.Filename && p.Line >= sp.startLine && p.Line <= sp.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+// reportf reports a diagnostic unless a //fastmatch:nolint for this analyzer
+// covers pos.
+func reportf(pass *analysis.Pass, sup *suppressor, pos token.Pos, format string, args ...any) {
+	if sup.suppressed(pass.Analyzer.Name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// hotpathFuncs returns the FuncDecls marked //fastmatch:hotpath in f.
+func hotpathFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range directivesIn(f) {
+		if d.verb == "hotpath" && d.fn != nil {
+			out = append(out, d.fn)
+		}
+	}
+	return out
+}

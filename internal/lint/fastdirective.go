@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Directive validates the //fastmatch: directive language itself: unknown
+// verbs, nolint without an analyzer name or reason, hotpath on something
+// that is not a function, and malformed lockorder declarations. An
+// undocumented suppression is itself a lint error, so nolints stay auditable.
+var Directive = &analysis.Analyzer{
+	Name: "fastdirective",
+	Doc:  "validate //fastmatch: directives (hotpath, nolint, lockorder)",
+	Run:  runDirective,
+}
+
+func runDirective(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass)
+	for _, f := range pass.Files {
+		for _, d := range directivesIn(f) {
+			switch d.verb {
+			case "hotpath":
+				if d.fn == nil {
+					reportf(pass, sup, d.pos,
+						"//fastmatch:hotpath must be in a function's doc comment")
+				} else if len(d.args) != 0 {
+					reportf(pass, sup, d.pos,
+						"//fastmatch:hotpath takes no arguments")
+				}
+			case "nolint":
+				switch {
+				case len(d.args) == 0:
+					reportf(pass, sup, d.pos,
+						"//fastmatch:nolint needs an analyzer name and a reason")
+				case !analyzerNames[d.args[0]]:
+					reportf(pass, sup, d.pos,
+						"//fastmatch:nolint names unknown analyzer %q (known: cancelpoll, lockorder, hotpathalloc, poolpair, atomicmix, fastdirective)", d.args[0])
+				case len(d.args) < 2:
+					reportf(pass, sup, d.pos,
+						"//fastmatch:nolint %s has no reason; undocumented suppressions are not allowed", d.args[0])
+				}
+			case "lockorder":
+				if len(d.args) != 3 || d.args[1] != "<" ||
+					!validLockKey(d.args[0]) || !validLockKey(d.args[2]) {
+					reportf(pass, sup, d.pos,
+						"//fastmatch:lockorder wants the form `Type.field < Type.field`")
+				}
+			case "":
+				reportf(pass, sup, d.pos, "empty //fastmatch: directive")
+			default:
+				reportf(pass, sup, d.pos,
+					"unknown //fastmatch: directive %q (known: hotpath, nolint, lockorder)", d.verb)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func validLockKey(s string) bool {
+	dot := strings.IndexByte(s, '.')
+	return dot > 0 && dot < len(s)-1 && !strings.Contains(s[dot+1:], ".")
+}

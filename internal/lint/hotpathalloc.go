@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// HotPathAlloc enforces the PR 5/6 zero-alloc kernel discipline at vet time.
+// A function marked //fastmatch:hotpath — and every same-package function it
+// (transitively) calls — must not index maps, allocate closures, call fmt,
+// convert concrete values to interfaces, call make, or append into escaping
+// (field/pointer) slices. The AllocsPerRun CI gates catch regressions at
+// bench time; this catches them in review.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation patterns in //fastmatch:hotpath functions and their intra-package callees",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass)
+
+	// Map every *types.Func in this package to its declaration so static
+	// calls can be chased.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		roots = append(roots, hotpathFuncs(f)...)
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	var visit func(fd *ast.FuncDecl, root string)
+	visit = func(fd *ast.FuncDecl, root string) {
+		if fd.Body == nil || visited[fd] {
+			return
+		}
+		visited[fd] = true
+		via := ""
+		if fd.Name.Name != root {
+			via = " (reached from //fastmatch:hotpath function " + root + ")"
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				reportf(pass, sup, n.Pos(), "hot path%s: closure allocation", via)
+				return false
+			case *ast.IndexExpr:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						reportf(pass, sup, n.Pos(), "hot path%s: map index", via)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						reportf(pass, sup, n.Pos(), "hot path%s: range over map", via)
+					}
+				}
+			case *ast.AssignStmt:
+				checkEscapingAppend(pass, sup, n, via)
+			case *ast.CallExpr:
+				checkHotCall(pass, sup, n, via, decls, func(callee *ast.FuncDecl) {
+					visit(callee, root)
+				})
+			}
+			return true
+		})
+	}
+	for _, fd := range roots {
+		visit(fd, fd.Name.Name)
+	}
+	return nil, nil
+}
+
+// checkEscapingAppend flags `X.f = append(...)` and `*p = append(...)`:
+// growth reallocates into a heap location that outlives the call. Appends to
+// plain locals are the blessed arena pattern and stay silent.
+func checkEscapingAppend(pass *analysis.Pass, sup *suppressor, as *ast.AssignStmt, via string) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		switch as.Lhs[i].(type) {
+		case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			reportf(pass, sup, rhs.Pos(), "hot path%s: append into escaping slice", via)
+		}
+	}
+}
+
+func checkHotCall(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr, via string,
+	decls map[*types.Func]*ast.FuncDecl, follow func(*ast.FuncDecl)) {
+
+	// Conversions: T(x) where T is an interface type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.TypesInfo.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) {
+				reportf(pass, sup, call.Pos(), "hot path%s: conversion to interface allocates", via)
+			}
+		}
+		return
+	}
+
+	var calleeObj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		calleeObj = pass.TypesInfo.Uses[fun]
+		if fun.Name == "make" || fun.Name == "new" {
+			if _, isBuiltin := calleeObj.(*types.Builtin); isBuiltin || calleeObj == nil {
+				reportf(pass, sup, call.Pos(), "hot path%s: %s allocates", via, fun.Name)
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		calleeObj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := calleeObj.(*types.Func)
+	if !ok {
+		return
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		reportf(pass, sup, call.Pos(), "hot path%s: fmt call", via)
+		return
+	}
+
+	// Implicit interface conversions at the call boundary.
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		checkInterfaceArgs(pass, sup, call, sig, via)
+	}
+
+	// Chase intra-package static callees.
+	if callee, ok := decls[fn]; ok {
+		follow(callee)
+	}
+}
+
+// checkInterfaceArgs flags concrete-typed arguments passed to interface
+// parameters (each such conversion may allocate).
+func checkInterfaceArgs(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr, sig *types.Signature, via string) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		reportf(pass, sup, arg.Pos(), "hot path%s: argument converted to interface %s allocates", via, pt.String())
+	}
+}

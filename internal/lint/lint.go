@@ -1,0 +1,78 @@
+// Package lint hosts fastmatch's repo-specific static analyzers.
+//
+// The engine's correctness rests on invariants that used to live only in
+// prose and -race tests: the documented lock order between the Router and
+// tenant mutation mutexes (PR 8), "every producer loop polls Cancel" (PR 3/7),
+// the zero-alloc pooled-Scratch discipline in the kernel hot path (PR 5/6),
+// and atomic-only access to serving counters (PR 7). Each analyzer in this
+// package mechanizes one of those invariants so violations fail at vet time,
+// not at bench or deadlock time.
+//
+// The analyzers are driven by cmd/fastlint (a go/analysis unitchecker) and
+// run as:
+//
+//	go build -o bin/fastlint ./cmd/fastlint
+//	go vet -vettool=$PWD/bin/fastlint ./...
+//
+// Analyzers:
+//
+//   - cancelpoll: loops over partitions/candidates/tasks in internal/cst,
+//     internal/core and internal/host must poll a cancellation source
+//     (ctx.Err, Options.Cancel, PartitionConfig.Cancel, halted()/cancelled()
+//     closures) somewhere in the loop nest. Generalizes the PR 7 restrict fix.
+//   - lockorder: builds a per-package mutex acquisition graph over
+//     sync.Mutex/sync.RWMutex struct fields and flags acquisitions that
+//     invert a documented //fastmatch:lockorder edge or form a cycle.
+//   - hotpathalloc: //fastmatch:hotpath on a function forbids map indexing,
+//     closure allocation, fmt, interface conversions, make, and appends to
+//     escaping slices in that function and its intra-package callees.
+//     Mechanizes the PR 5/6 AllocsPerRun gates.
+//   - poolpair: every sync.Pool.Get must be matched by a deferred Put on the
+//     same pool in the same function, so panic and early-return paths cannot
+//     leak pooled objects.
+//   - atomicmix: a struct field accessed through sync/atomic anywhere in the
+//     package must never be read or written directly elsewhere.
+//   - fastdirective: validates the //fastmatch: directive language itself
+//     (unknown verbs, nolint without an analyzer name or reason, misplaced
+//     hotpath, malformed lockorder declarations).
+//
+// Directives:
+//
+//	//fastmatch:hotpath
+//	    On a function's doc comment: marks it (and, transitively, its
+//	    same-package callees) allocation-free for hotpathalloc.
+//
+//	//fastmatch:nolint <analyzer> <reason...>
+//	    Suppresses diagnostics of the named analyzer on the directive's
+//	    line and the line below it; in a function's doc comment it covers
+//	    the whole function. The reason is mandatory: a nolint without one
+//	    is itself reported by fastdirective.
+//
+//	//fastmatch:lockorder Type.field < Type.field
+//	    Declares a documented acquisition order edge for lockorder.
+package lint
+
+import "golang.org/x/tools/go/analysis"
+
+// Analyzers returns every fastmatch analyzer, in the order cmd/fastlint
+// registers them.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CancelPoll,
+		LockOrder,
+		HotPathAlloc,
+		PoolPair,
+		AtomicMix,
+		Directive,
+	}
+}
+
+// analyzerNames is the set of names //fastmatch:nolint may reference.
+var analyzerNames = map[string]bool{
+	"cancelpoll":    true,
+	"lockorder":     true,
+	"hotpathalloc":  true,
+	"poolpair":      true,
+	"atomicmix":     true,
+	"fastdirective": true,
+}

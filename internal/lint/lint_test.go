@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"fastmatch/internal/lint/linttest"
+)
+
+// Each test drives one analyzer end-to-end through the real vet driver
+// (`go vet -vettool=fastlint -json -<analyzer>`) over its fixture module
+// under testdata/src, asserting the diagnostics exactly match the fixtures'
+// `// want` comments. Every fixture contains both flagged and clean code.
+
+func TestCancelPoll(t *testing.T)    { linttest.Run(t, "cancelpoll", "cancelpoll") }
+func TestLockOrder(t *testing.T)     { linttest.Run(t, "lockorder", "lockorder") }
+func TestHotPathAlloc(t *testing.T)  { linttest.Run(t, "hotpathalloc", "hotpathalloc") }
+func TestPoolPair(t *testing.T)      { linttest.Run(t, "poolpair", "poolpair") }
+func TestAtomicMix(t *testing.T)     { linttest.Run(t, "atomicmix", "atomicmix") }
+func TestFastDirective(t *testing.T) { linttest.Run(t, "fastdirective", "fastdirective") }

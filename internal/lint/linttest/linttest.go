@@ -1,0 +1,305 @@
+// Package linttest drives the fastlint analyzers end-to-end over the
+// fixtures in internal/lint/testdata/src, in the style of
+// golang.org/x/tools/go/analysis/analysistest but through the real driver:
+// it builds cmd/fastlint once, materialises each fixture as a throwaway
+// module, runs `go vet -vettool=fastlint -json -<analyzer> ./...` against
+// it, and matches the reported diagnostics against `// want` comments.
+//
+// Expectations use the analysistest comment form: a comment
+//
+//	// want `regexp` `another`
+//
+// on a line means that line must produce one diagnostic matching each
+// regexp; lines without a want comment must produce none. Both backquoted
+// and double-quoted regexps are accepted.
+package linttest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	toolPath  string
+	buildErr  error
+)
+
+// tool builds cmd/fastlint once per test process and returns its path.
+func tool(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "fastlint-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "fastlint")
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/fastlint")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building fastlint: %v\n%s", err, out)
+			return
+		}
+		toolPath = bin
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return toolPath
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("linttest must run inside the fastmatch module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+type diagnostic struct {
+	file    string // relative to the fixture module root
+	line    int
+	message string
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run executes one analyzer over one fixture directory (a subdirectory of
+// internal/lint/testdata/src) and asserts the diagnostics exactly match the
+// fixture's want comments.
+func Run(t *testing.T, analyzer, fixture string) {
+	t.Helper()
+	bin := tool(t)
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(root, "internal", "lint", "testdata", "src", fixture)
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+
+	mod := t.TempDir()
+	if resolved, err := filepath.EvalSymlinks(mod); err == nil {
+		mod = resolved
+	}
+	if err := copyTree(src, mod); err != nil {
+		t.Fatal(err)
+	}
+	gomod := filepath.Join(mod, "go.mod")
+	if err := os.WriteFile(gomod, []byte("module fix\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-json", "-"+analyzer, "./...")
+	cmd.Dir = mod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	out, _ := cmd.CombinedOutput()
+
+	diags, perr := parseVetJSON(string(out), mod)
+	if perr != nil {
+		t.Fatalf("running %s over %s: %v\noutput:\n%s", analyzer, fixture, perr, out)
+	}
+	wants, err := parseWants(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.file && w.line == d.line && w.re.MatchString(d.message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.file, d.line, d.message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}
+
+// parseVetJSON extracts diagnostics from `go vet -json` output: a stream of
+// `# pkg` comment lines interleaved with JSON objects of the shape
+// {"pkg": {"analyzer": [{"posn": "file:line:col", "message": "..."}]}}.
+func parseVetJSON(out, mod string) ([]diagnostic, error) {
+	var jsonText strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonText.WriteString(line)
+		jsonText.WriteString("\n")
+	}
+	type pos struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var diags []diagnostic
+	dec := json.NewDecoder(strings.NewReader(jsonText.String()))
+	for {
+		var blob map[string]map[string][]pos
+		if err := dec.Decode(&blob); err == io.EOF {
+			break
+		} else if err != nil {
+			// Non-JSON residue means vet failed before analysis (usually a
+			// fixture compile error).
+			if strings.TrimSpace(jsonText.String()) == "" {
+				break
+			}
+			return nil, fmt.Errorf("parsing vet output: %v", err)
+		}
+		for _, byAnalyzer := range blob {
+			for _, list := range byAnalyzer {
+				for _, p := range list {
+					file, line, err := splitPosn(p.Posn, mod)
+					if err != nil {
+						return nil, err
+					}
+					diags = append(diags, diagnostic{file: file, line: line, message: p.Message})
+				}
+			}
+		}
+	}
+	return diags, nil
+}
+
+func splitPosn(posn, mod string) (string, int, error) {
+	parts := strings.Split(posn, ":")
+	if len(parts) < 2 {
+		return "", 0, fmt.Errorf("bad position %q", posn)
+	}
+	// file:line:col with a possibly absolute file path.
+	file := strings.Join(parts[:len(parts)-2], ":")
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad position %q", posn)
+	}
+	if resolved, rerr := filepath.EvalSymlinks(file); rerr == nil {
+		file = resolved
+	}
+	if rel, rerr := filepath.Rel(mod, file); rerr == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return file, line, nil
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants scans every fixture .go file for analysistest-style
+// `// want \x60re\x60 "re"` comments.
+func parseWants(mod string) ([]*want, error) {
+	var wants []*want
+	err := filepath.Walk(mod, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(mod, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			res, perr := parseWantPatterns(m[1])
+			if perr != nil {
+				return fmt.Errorf("%s:%d: %v", rel, i+1, perr)
+			}
+			for _, re := range res {
+				wants = append(wants, &want{file: rel, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// parseWantPatterns splits `\x60re\x60 "re" ...` into compiled regexps.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("want pattern must be quoted with backquotes or double quotes: %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern: %q", s)
+		}
+		pat := s[1 : 1+end]
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", pat, err)
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return out, nil
+}

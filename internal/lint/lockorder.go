@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// LockOrder builds a per-package acquisition graph over sync.Mutex and
+// sync.RWMutex struct fields and flags (a) acquisitions that invert an order
+// documented with //fastmatch:lockorder, and (b) acquisition cycles. It
+// mechanizes the PR 8 comment-only contract "mutMu before Router.mu; never
+// the reverse" and "subMu nests inside both".
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flag mutex acquisitions that invert the documented lock order or form cycles",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one observed "acquired B while holding A" event.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass)
+
+	// Declared order: //fastmatch:lockorder Type.field < Type.field edges.
+	declared := map[string][]string{}
+	for _, f := range pass.Files {
+		for _, d := range directivesIn(f) {
+			if d.verb != "lockorder" || len(d.args) != 3 || d.args[1] != "<" {
+				continue
+			}
+			declared[d.args[0]] = append(declared[d.args[0]], d.args[2])
+		}
+	}
+
+	// Observed edges, in deterministic file order.
+	var edges []lockEdge
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			edges = append(edges, observeLocks(pass, fd.Body)...)
+		}
+	}
+
+	reported := map[string]bool{}
+	for _, e := range edges {
+		if declaredPath(declared, e.to, e.from) {
+			key := e.from + "->" + e.to
+			if !reported[key] {
+				reported[key] = true
+				reportf(pass, sup, e.pos,
+					"acquiring %s while holding %s inverts the documented lock order %s < %s",
+					e.to, e.from, e.to, e.from)
+			}
+		}
+	}
+
+	// Cycle detection over the observed graph (only edges not already
+	// reported as inversions, so each defect surfaces once).
+	adj := map[string]map[string]token.Pos{}
+	for _, e := range edges {
+		if reported[e.from+"->"+e.to] {
+			continue
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]token.Pos{}
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e.pos
+		}
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	cycleReported := map[string]bool{}
+	for _, start := range nodes {
+		for next, pos := range adj[start] {
+			if observedPath(adj, next, start) && !cycleReported[start+"->"+next] {
+				cycleReported[start+"->"+next] = true
+				cycleReported[next+"->"+start] = true
+				reportf(pass, sup, pos,
+					"lock acquisition cycle: %s is taken while holding %s elsewhere %s is (transitively) taken while holding %s",
+					next, start, start, next)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// observeLocks linearly walks body in source order, tracking the set of
+// package-struct mutex fields currently held, and records an edge for every
+// acquisition made while another lock is held. Function literals are treated
+// as separate bodies with an empty held set (their execution point is
+// unknown), except that deferred unlocks keep their lock held to the end of
+// the enclosing body.
+func observeLocks(pass *analysis.Pass, body *ast.BlockStmt) []lockEdge {
+	var edges []lockEdge
+	var held []string
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				sub := observeLocks(pass, n.Body)
+				edges = append(edges, sub...)
+				return false
+			case *ast.DeferStmt:
+				// defer mu.Unlock(): the lock stays held for the rest of
+				// the body, which is exactly the linear model's default.
+				return false
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				key := mutexFieldKey(pass, sel.X)
+				if key == "" {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					for _, h := range held {
+						if h != key {
+							edges = append(edges, lockEdge{from: h, to: key, pos: n.Pos()})
+						}
+					}
+					held = append(held, key)
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == key {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return edges
+}
+
+// mutexFieldKey resolves x (the receiver of a Lock/Unlock call) to a
+// "Type.field" key when it is a sync.Mutex/RWMutex field of a named struct
+// type in this package. Local mutex variables return "".
+func mutexFieldKey(pass *analysis.Pass, x ast.Expr) string {
+	sel, ok := x.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return ""
+	}
+	if !isSyncMutexType(obj.Type()) {
+		return ""
+	}
+	// Find the named struct type that owns the field via the receiver
+	// expression's type.
+	t := pass.TypesInfo.TypeOf(sel.X)
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return obj.Name()
+	}
+	return fmt.Sprintf("%s.%s", named.Obj().Name(), obj.Name())
+}
+
+func isSyncMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// declaredPath reports whether the documented order graph has a path
+// from a to b (i.e. a must be acquired before b).
+func declaredPath(declared map[string][]string, a, b string) bool {
+	seen := map[string]bool{}
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, m := range declared[n] {
+			if dfs(m) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(a)
+}
+
+func observedPath(adj map[string]map[string]token.Pos, a, b string) bool {
+	seen := map[string]bool{}
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for m := range adj[n] {
+			if dfs(m) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(a)
+}

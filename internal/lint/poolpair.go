@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// PoolPair checks that every sync.Pool.Get in a function is matched by a
+// *deferred* Put on the same pool in that function, so early returns and
+// panics cannot leak the pooled object. A plain (non-deferred) Put is
+// reported too: it silently leaks on any exit between Get and Put, which is
+// exactly how pooled Scratch/Enumerator reuse degrades back to
+// allocate-per-call under errors.
+var PoolPair = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "require sync.Pool.Get to be paired with a deferred Put on all exit paths",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolBody(pass, sup, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+type poolUse struct {
+	key string
+	pos ast.Node
+}
+
+// checkPoolBody analyzes one function body; nested function literals are
+// analyzed as separate bodies (a Get in a callback must be paired inside
+// that callback).
+func checkPoolBody(pass *analysis.Pass, sup *suppressor, body *ast.BlockStmt) {
+	var gets []poolUse
+	plainPuts := map[string]bool{}
+	deferredPuts := map[string]bool{}
+
+	var scan func(n ast.Node, inDefer bool)
+	scan = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if !inDefer {
+					checkPoolBody(pass, sup, n.Body)
+					return false
+				}
+				// A deferred closure runs on exit: Puts inside it count as
+				// deferred, but fresh Gets inside it are its own problem.
+				checkPoolBody(pass, sup, n.Body)
+				for _, key := range poolPutKeys(pass, n.Body) {
+					deferredPuts[key] = true
+				}
+				return false
+			case *ast.DeferStmt:
+				if key, isPut := poolCallKey(pass, n.Call, "Put"); isPut {
+					deferredPuts[key] = true
+					return false
+				}
+				scan(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				if key, ok := poolCallKey(pass, n, "Get"); ok {
+					gets = append(gets, poolUse{key: key, pos: n})
+				}
+				if key, ok := poolCallKey(pass, n, "Put"); ok {
+					plainPuts[key] = true
+				}
+			}
+			return true
+		})
+	}
+	scan(body, false)
+
+	for _, g := range gets {
+		if deferredPuts[g.key] {
+			continue
+		}
+		if plainPuts[g.key] {
+			reportf(pass, sup, g.pos.Pos(),
+				"sync.Pool.Get on %s is matched only by a non-deferred Put; an early return or panic between them leaks the pooled object (defer the Put)", g.key)
+		} else {
+			reportf(pass, sup, g.pos.Pos(),
+				"sync.Pool.Get on %s has no matching Put in this function", g.key)
+		}
+	}
+}
+
+// poolPutKeys returns the pool keys Put inside body (used for deferred
+// closures).
+func poolPutKeys(pass *analysis.Pass, body *ast.BlockStmt) []string {
+	var keys []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, isPut := poolCallKey(pass, call, "Put"); isPut {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// poolCallKey reports whether call is pool.<method>() on a sync.Pool value
+// and returns a stable identity for the pool expression.
+func poolCallKey(pass *analysis.Pass, call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return "", false
+	}
+	// Identity: the object behind the receiver when resolvable, else the
+	// expression text.
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil {
+			return obj.String(), true
+		}
+	}
+	return types.ExprString(sel.X), true
+}

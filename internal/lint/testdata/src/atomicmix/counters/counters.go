@@ -1,0 +1,33 @@
+// Package counters exercises mixed atomic/plain field access detection.
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	typed  atomic.Int64
+}
+
+var s stats
+
+func hit() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+}
+
+// snapshot mixes a plain read into an atomically-written field: racy.
+func snapshot() int64 {
+	return s.hits // want `accessed with sync/atomic`
+}
+
+// ok reads atomically and through a typed atomic: clean.
+func ok() int64 {
+	return atomic.LoadInt64(&s.misses) + s.typed.Load()
+}
+
+// reset documents a single-threaded exception with a reasoned nolint.
+func reset() {
+	//fastmatch:nolint atomicmix single-threaded reset before serving starts
+	s.hits = 0
+}

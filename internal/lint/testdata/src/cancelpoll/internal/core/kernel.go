@@ -1,0 +1,53 @@
+// Package core models the kernel side: Options.Cancel and context-driven
+// loops.
+package core
+
+import "context"
+
+type Options struct {
+	Cancel func() bool
+}
+
+func compute(v int) int { return v * 2 }
+
+// walkCtx polls ctx.Err per element: clean.
+func walkCtx(ctx context.Context, items []int) int {
+	s := 0
+	for _, it := range items {
+		if ctx.Err() != nil {
+			return s
+		}
+		s += compute(it)
+	}
+	return s
+}
+
+// execute resolves the recursive local closure: drain polls, so the loop
+// calling it is clean.
+func execute(opts Options, tasks [][]int) int {
+	s := 0
+	var drain func(t []int) int
+	drain = func(t []int) int {
+		n := 0
+		for _, v := range t {
+			if opts.Cancel != nil && opts.Cancel() {
+				return n
+			}
+			n += compute(v)
+		}
+		return n
+	}
+	for _, t := range tasks {
+		s += drain(t)
+	}
+	return s
+}
+
+// scan forgot the poll entirely.
+func scan(opts Options, items []int) int {
+	s := 0
+	for _, it := range items { // want `loop does not poll a cancellation source`
+		s += compute(it)
+	}
+	return s
+}

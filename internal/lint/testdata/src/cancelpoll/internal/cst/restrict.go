@@ -1,0 +1,75 @@
+// Package cst models the pre-PR 7 restrict shape: a partitioner with a
+// Cancel hook whose candidate loops forgot to poll it.
+package cst
+
+type PartitionConfig struct {
+	Cancel func() bool
+}
+
+func (cfg *PartitionConfig) cancelled() bool {
+	return cfg.Cancel != nil && cfg.Cancel()
+}
+
+type Query struct{ n int }
+
+func (q *Query) NumVertices() int { return q.n }
+
+func expand(v int32) []int32 { return []int32{v} }
+
+// restrictNoPoll reproduces the pre-PR 7 bug: top-down reachability over
+// data-scale candidate lists with no poll on any path.
+func restrictNoPoll(cfg *PartitionConfig, cand [][]int32) int {
+	kept := 0
+	for _, list := range cand { // want `loop does not poll a cancellation source`
+		for _, v := range list {
+			for _, w := range expand(v) {
+				kept += int(w)
+			}
+		}
+	}
+	return kept
+}
+
+// restrictPolled is the post-PR 7 shape: the nest polls the hook, bounding
+// cancel latency by one candidate row.
+func restrictPolled(cfg *PartitionConfig, cand [][]int32) int {
+	kept := 0
+	for _, list := range cand {
+		if cfg.cancelled() {
+			return kept
+		}
+		for _, v := range list {
+			kept += len(expand(v))
+		}
+	}
+	return kept
+}
+
+// statsFold is bounded by NumVertices on both axes: query-scale work needs
+// no poll even with real calls in the body.
+func statsFold(cfg *PartitionConfig, q *Query, deg [][]int32) int {
+	n := q.NumVertices()
+	total := 0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			total += len(expand(deg[u][v]))
+		}
+	}
+	return total
+}
+
+// fill is a straight-line O(n) fill: call-free bodies are memory-bandwidth
+// bound and exempt.
+func fill(cfg *PartitionConfig, idx []int32) {
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+}
+
+// drainSuppressed documents an intentional exception with a reasoned nolint.
+func drainSuppressed(cfg *PartitionConfig, tasks []func()) {
+	//fastmatch:nolint cancelpoll tasks poll internally; the stack must drain to release waiters
+	for _, t := range tasks {
+		t()
+	}
+}

@@ -1,0 +1,17 @@
+// Package util is outside cancelpoll's scope (not an engine package), so
+// even an unpolled data loop with a cancel source is not flagged.
+package util
+
+type Cfg struct {
+	Cancel func() bool
+}
+
+func grow(v int) []int { return []int{v, v} }
+
+func Walk(cfg *Cfg, items []int) int {
+	s := 0
+	for _, it := range items {
+		s += len(grow(it))
+	}
+	return s
+}

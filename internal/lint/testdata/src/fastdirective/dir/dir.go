@@ -1,0 +1,34 @@
+// Package dir exercises validation of the //fastmatch: directive language.
+package dir
+
+//fastmatch:frobnicate // want `unknown //fastmatch: directive`
+var a int
+
+//fastmatch:hotpath // want `must be in a function's doc comment`
+var b int
+
+//fastmatch:nolint // want `needs an analyzer name`
+var c int
+
+//fastmatch:nolint nosuchanalyzer because reasons // want `unknown analyzer`
+var d int
+
+//fastmatch:nolint cancelpoll // want `has no reason`
+var e int
+
+//fastmatch:lockorder a b // want `wants the form`
+var f int
+
+//fastmatch: // want `empty //fastmatch: directive`
+var g int
+
+// Valid forms below produce no diagnostics.
+
+//fastmatch:lockorder T.a < T.b
+var h int
+
+//fastmatch:hotpath
+func hot() {}
+
+//fastmatch:nolint poolpair pooled conn is handed to the caller
+func suppressed() {}

@@ -1,0 +1,57 @@
+// Package hot exercises the //fastmatch:hotpath allocation rules.
+package hot
+
+import "fmt"
+
+type table struct {
+	m       map[int]int
+	results []int
+}
+
+func sink(v any) {}
+
+//fastmatch:hotpath
+func round(t *table, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += t.m[x] // want `map index`
+	}
+	buf := make([]int, 8) // want `make allocates`
+	_ = buf
+	f := func() {} // want `closure allocation`
+	f()
+	fmt.Println(total)                   // want `fmt call`
+	sink(total)                          // want `converted to interface`
+	t.results = append(t.results, total) // want `append into escaping slice`
+
+	// The blessed arena pattern: appending to a local over preallocated
+	// capacity is silent.
+	local := xs[:0]
+	local = append(local, total)
+
+	//fastmatch:nolint hotpathalloc one embedding per emitted match; callers own the copy
+	em := make([]int, 4)
+	_ = em
+
+	total += helper(xs)
+	return total
+}
+
+// helper is unmarked but reachable from round, so it inherits the rules.
+func helper(xs []int) int {
+	seen := map[int]bool{}
+	n := 0
+	for _, x := range xs {
+		if seen[x] { // want `map index`
+			continue
+		}
+		seen[x] = true // want `map index`
+		n++
+	}
+	return n
+}
+
+// cold is not reachable from any hotpath function: map use is fine here.
+func cold(m map[int]int) int {
+	return m[1]
+}

@@ -1,0 +1,68 @@
+// Package router reproduces the PR 8 Router.mu / tenant-mutation-mutex
+// ordering contract and a plain two-mutex cycle.
+package router
+
+import "sync"
+
+// The documented order: mutation mutex first, then the router lock, then
+// the subscription mutex innermost.
+//
+//fastmatch:lockorder ent.mutMu < Router.mu
+//fastmatch:lockorder Router.mu < ent.subMu
+
+type Router struct {
+	mu sync.RWMutex
+}
+
+type ent struct {
+	mutMu sync.Mutex
+	subMu sync.Mutex
+}
+
+// applyDelta follows the documented order: mutMu, then Router.mu (read),
+// then subMu — clean.
+func applyDelta(r *Router, e *ent) {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e.subMu.Lock()
+	e.subMu.Unlock()
+}
+
+// swapThenMutate takes the tenant mutation mutex while holding the router
+// lock: the documented inversion.
+func swapThenMutate(r *Router, e *ent) {
+	r.mu.Lock()
+	e.mutMu.Lock() // want `inverts the documented lock order`
+	e.mutMu.Unlock()
+	r.mu.Unlock()
+}
+
+// pair has no documented order; opposite acquisition orders across the
+// package still form a cycle.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want `lock acquisition cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// localOnly uses a function-local mutex: out of scope.
+func localOnly() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

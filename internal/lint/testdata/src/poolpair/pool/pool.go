@@ -1,0 +1,60 @@
+// Package pool exercises the sync.Pool Get/Put pairing rules.
+package pool
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func work(*scratch) {}
+
+// good defers the Put: covered on every exit, including panics.
+func good(fail bool) {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	if fail {
+		return
+	}
+	work(s)
+}
+
+// closureDefer returns the object through a deferred closure: also covered.
+func closureDefer() {
+	s := scratchPool.Get().(*scratch)
+	defer func() { scratchPool.Put(s) }()
+	work(s)
+}
+
+// bad pairs the Get with a plain Put: the early return leaks.
+func bad(fail bool) {
+	s := scratchPool.Get().(*scratch) // want `non-deferred Put`
+	if fail {
+		return
+	}
+	work(s)
+	scratchPool.Put(s)
+}
+
+// leak never returns the object at all.
+func leak() *scratch {
+	s := scratchPool.Get().(*scratch) // want `no matching Put`
+	return s
+}
+
+// callback: a Get inside a function literal must pair inside that literal.
+func callback(run func(func())) {
+	run(func() {
+		s := scratchPool.Get().(*scratch) // want `non-deferred Put`
+		work(s)
+		scratchPool.Put(s)
+	})
+}
+
+// handoff documents an intentional ownership transfer with a reasoned
+// nolint: the caller releases the object.
+func handoff() *scratch {
+	//fastmatch:nolint poolpair ownership transfers to the caller, which Puts on release
+	s := scratchPool.Get().(*scratch)
+	return s
+}

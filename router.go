@@ -88,11 +88,18 @@ type routerGraph struct {
 	// E+2, … with no gap and no duplicate. SwapGraph deliberately does NOT
 	// take it (a swap must not wait behind a long delta); ApplyDelta detects
 	// the interleave by re-checking its state snapshot at commit. Lock
-	// order: mutMu before Router.mu; never the reverse.
+	// order: mutMu before Router.mu; never the reverse. The order is
+	// machine-checked by the lockorder analyzer (internal/lint) through the
+	// declarations below.
+	//
+	//fastmatch:lockorder routerGraph.mutMu < Router.mu
 	mutMu sync.Mutex
 
 	// Standing continuous queries (subscribe.go), guarded by subMu, which
 	// nests inside both mutMu and Router.mu and takes no lock itself.
+	//
+	//fastmatch:lockorder Router.mu < routerGraph.subMu
+	//fastmatch:lockorder routerGraph.mutMu < routerGraph.subMu
 	subMu   sync.Mutex
 	subs    map[int64]*Subscription
 	nextSub int64
