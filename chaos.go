@@ -1,0 +1,129 @@
+package fast
+
+import (
+	"fmt"
+	"time"
+
+	"fastmatch/internal/faultinject"
+	"fastmatch/internal/host"
+)
+
+// Fault kinds accepted by FaultRule.Kind.
+const (
+	// FaultTransient fails the call with a retryable error; the device or
+	// kernel is healthy again on the next attempt. The pipeline retries it
+	// under the RetryPolicy, so a run whose transient faults all retry away
+	// completes with its full, byte-identical counts.
+	FaultTransient = "transient"
+	// FaultDeath permanently kills the device behind the site; the pipeline
+	// redistributes its queued partitions to surviving devices or the CPU
+	// enumeration path, again completing with identical counts.
+	FaultDeath = "death"
+	// FaultPanic panics at the call site, modelling a crashed worker; the
+	// recover barriers convert it into a typed error on a partial Result.
+	FaultPanic = "panic"
+)
+
+// Fault sites. Device staging sites are per card (FaultSiteDevice); the
+// kernel-launch and CPU δ-share sites are shared by all workers.
+const (
+	FaultSiteKernel    = faultinject.SiteKernel
+	FaultSiteEnumerate = faultinject.SiteEnumerate
+)
+
+// FaultSiteDevice names card id's DRAM staging site.
+func FaultSiteDevice(id int) string { return faultinject.SiteDeviceStage(id) }
+
+// FaultRule is one fault schedule bound to a site. Trigger conditions
+// (Nth, EveryNth, Rate) are OR-ed; the first matching rule per call wins.
+type FaultRule struct {
+	// Site the rule applies to: FaultSiteKernel, FaultSiteEnumerate, or
+	// FaultSiteDevice(id).
+	Site string
+	// Kind is FaultTransient (default), FaultDeath or FaultPanic.
+	Kind string
+	// Nth fires on these 1-based call numbers at the site.
+	Nth []int64
+	// EveryNth fires on every multiple of this call number (> 0).
+	EveryNth int64
+	// Rate fires with this probability per call, drawn deterministically
+	// from the chaos seed.
+	Rate float64
+	// Once limits the rule to a single firing — the natural shape for a
+	// death schedule.
+	Once bool
+	// Delay adds modelled (device sites) or real (kernel site) latency on a
+	// match; a transient rule carrying only a Delay is a pure latency spike
+	// — slow, not failed.
+	Delay time.Duration
+}
+
+// ChaosConfig schedules deterministic fault injection into a run: the same
+// Seed and Rules against the same call sequence inject the same faults, so
+// a schedule that trips a bug replays byte-identically. The degraded-run
+// contract: a run whose injected faults are all absorbed — transients
+// retried away, dead devices' partitions redistributed — returns the same
+// counts as the fault-free run, just slower; only exhausted retries and
+// panics surface as errors, always with Result.Partial set and a typed
+// error (*KernelPanicError or *DeviceFaultError).
+type ChaosConfig struct {
+	Seed  int64
+	Rules []FaultRule
+}
+
+// KernelPanicError reports a panic recovered inside the pipeline — the run
+// returns its partial Result with this error instead of crashing the
+// process. Match it with errors.As.
+type KernelPanicError = host.KernelPanicError
+
+// DeviceFaultError reports a device fault the retry budget could not
+// absorb; the run returns its partial Result with this error. Match it
+// with errors.As.
+type DeviceFaultError = host.DeviceFaultError
+
+func (cc *ChaosConfig) toInjector() (*faultinject.Injector, error) {
+	if cc == nil {
+		return nil, nil
+	}
+	rules := make([]faultinject.Rule, len(cc.Rules))
+	for i, fr := range cc.Rules {
+		var kind faultinject.Kind
+		switch fr.Kind {
+		case FaultTransient, "":
+			kind = faultinject.Transient
+		case FaultDeath:
+			kind = faultinject.Death
+		case FaultPanic:
+			kind = faultinject.Panic
+		default:
+			return nil, fmt.Errorf("fast: unknown fault kind %q", fr.Kind)
+		}
+		if fr.Site == "" {
+			return nil, fmt.Errorf("fast: fault rule %d has no site", i)
+		}
+		rules[i] = faultinject.Rule{
+			Site:     fr.Site,
+			Kind:     kind,
+			Nth:      fr.Nth,
+			EveryNth: fr.EveryNth,
+			Rate:     fr.Rate,
+			Once:     fr.Once,
+			Delay:    fr.Delay,
+		}
+	}
+	return faultinject.New(cc.Seed, rules...), nil
+}
+
+// RetryPolicy bounds the backoff-retry applied to transient device faults;
+// see host.RetryPolicy. The zero value means the host defaults
+// (host.DefaultRetryMax retries from host.DefaultRetryBase up to
+// host.DefaultRetryCap); Max < 0 disables retries.
+type RetryPolicy struct {
+	Max  int
+	Base time.Duration
+	Cap  time.Duration
+}
+
+func (p RetryPolicy) toHost() host.RetryPolicy {
+	return host.RetryPolicy{Max: p.Max, Base: p.Base, Cap: p.Cap}
+}

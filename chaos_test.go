@@ -1,0 +1,227 @@
+package fast
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+// TestChaosMatchParity: the public chaos surface — absorbed transient
+// faults leave Result counts byte-identical to the fault-free run, with the
+// retries visible on the Result.
+func TestChaosMatchParity(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 120, Seed: 7})
+	q, err := ldbc.QueryByName("q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Match(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Match(q, g, &Options{
+		Chaos: &ChaosConfig{Seed: 4, Rules: []FaultRule{
+			{Site: FaultSiteDevice(0), Nth: []int64{1, 2}},
+			{Site: FaultSiteKernel, Nth: []int64{1}},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("absorbed transients must not error: %v", err)
+	}
+	if res.Count != ref.Count || res.Partial {
+		t.Fatalf("degraded run: count %d partial %v, want %d false", res.Count, res.Partial, ref.Count)
+	}
+	if res.Retries == 0 {
+		t.Fatal("schedule fired but Result shows no retries")
+	}
+}
+
+// TestChaosSeedSweep replays a rate-based fault schedule across a bounded
+// seed sweep (the CI chaos-smoke sweep). Every outcome must be one of the
+// two contract shapes: faults absorbed → fault-free counts, no error, not
+// Partial; faults surfaced → a typed error with Partial set. Any third
+// shape (wrong count without an error, an untyped error, a typed error
+// without Partial) is a contract violation.
+func TestChaosSeedSweep(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 100, Seed: 11})
+	q, err := ldbc.QueryByName("q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Match(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		res, err := Match(q, g, &Options{
+			Chaos: &ChaosConfig{Seed: seed, Rules: []FaultRule{
+				{Site: FaultSiteDevice(0), Rate: 0.2},
+				{Site: FaultSiteKernel, Rate: 0.05},
+			}},
+			Retry: RetryPolicy{Max: 3, Base: 20 * time.Microsecond},
+		})
+		if err == nil {
+			if res.Partial || res.Count != ref.Count {
+				t.Fatalf("seed %d: absorbed run count %d partial %v, want %d false",
+					seed, res.Count, res.Partial, ref.Count)
+			}
+			continue
+		}
+		var kp *KernelPanicError
+		var df *DeviceFaultError
+		if !errors.As(err, &kp) && !errors.As(err, &df) {
+			t.Fatalf("seed %d: untyped chaos error %v", seed, err)
+		}
+		if !res.Partial {
+			t.Fatalf("seed %d: surfaced fault %v without Partial", seed, err)
+		}
+	}
+}
+
+// TestChaosInvalidRules: unknown kinds and empty sites are rejected at
+// option resolution, not discovered mid-run.
+func TestChaosInvalidRules(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 40, Seed: 1})
+	q, err := ldbc.QueryByName("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*ChaosConfig{
+		{Rules: []FaultRule{{Site: FaultSiteKernel, Kind: "explode"}}},
+		{Rules: []FaultRule{{Kind: FaultTransient}}},
+	} {
+		if _, err := Match(q, g, &Options{Chaos: bad}); err == nil {
+			t.Fatalf("invalid chaos config %+v accepted", bad)
+		}
+	}
+}
+
+// TestChaosServingStorm races every structural mutation the serving layer
+// offers — ApplyDelta batches, Subscribe/Close churn, SwapGraph, and match
+// traffic against a tenant whose engine takes injected transient faults —
+// under the race detector. The assertions are light (no call may deadlock
+// or crash; every error must be a typed, expected verdict); the detector
+// and the recover barriers carry the real load.
+func TestChaosServingStorm(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 80, Seed: 3})
+	r := NewRouter(RouterOptions{Workers: 4, Breaker: BreakerOptions{Threshold: 3, Cooldown: 10 * time.Millisecond}})
+	err := r.AddGraph("g", g, &Options{
+		Chaos: &ChaosConfig{Seed: 17, Rules: []FaultRule{
+			{Site: FaultSiteDevice(0), EveryNth: 7},
+			{Site: FaultSiteKernel, EveryNth: 11},
+		}},
+		Retry: RetryPolicy{Max: 5, Base: 50 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ldbc.QueryByName("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deadline := time.After(3 * time.Second)
+	stop := make(chan struct{})
+	go func() {
+		<-deadline
+		close(stop)
+	}()
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup
+	var fatal atomic.Value // first unexpected error, if any
+
+	unexpected := func(op string, err error) {
+		var kp *KernelPanicError
+		var df *DeviceFaultError
+		switch {
+		case err == nil,
+			errors.As(err, &kp), errors.As(err, &df),
+			errors.Is(err, ErrBreakerOpen),
+			errors.Is(err, ErrGraphSwapped),
+			errors.Is(err, ErrSubscriptionClosed),
+			errors.Is(err, context.Canceled):
+			return
+		}
+		fatal.CompareAndSwap(nil, op+": "+err.Error())
+	}
+
+	// Match traffic: most calls absorb their faults; an unlucky streak may
+	// exhaust retries (DeviceFaultError) or trip the breaker — all expected.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped() {
+				_, err := r.MatchContext(ctx, "g", q)
+				unexpected("MatchContext", err)
+			}
+		}()
+	}
+
+	// Delta storm: vertex+edge batches keep committing epochs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stopped(); i++ {
+			_, err := r.ApplyDelta("g", graph.Delta{AddVertices: []graph.Label{graph.Label(i % 4)}})
+			unexpected("ApplyDelta", err)
+		}
+	}()
+
+	// Subscription churn: register, ride a few notifications, close.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stopped() {
+			sub, err := r.Subscribe(ctx, "g", q, func(MatchDelta) error { return nil })
+			if err != nil {
+				unexpected("Subscribe", err)
+				continue
+			}
+			time.Sleep(time.Millisecond)
+			sub.Close()
+			unexpected("Subscription.Wait", sub.Wait())
+		}
+	}()
+
+	// Swap storm: periodically replace the graph wholesale.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stopped(); i++ {
+			g2 := ldbc.Generate(ldbc.Config{ScaleFactor: 1, BasePersons: 60 + i%3, Seed: int64(i)})
+			unexpected("SwapGraph", r.SwapGraph("g", g2))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("chaos storm deadlocked")
+	}
+	if msg := fatal.Load(); msg != nil {
+		t.Fatalf("unexpected error under chaos: %v", msg)
+	}
+}

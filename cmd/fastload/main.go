@@ -14,6 +14,9 @@
 // -json writes the serving record alone; -merge folds it into an existing
 // fastbench BENCH_*.json document under its "serving" list, adding the
 // latency-histogram and shed-rate columns next to the matching trajectory.
+// -faults additionally scrapes the server's fault-tolerance counters
+// (recovered panics, circuit-breaker trips and sheds) from /metrics into a
+// "faults" column after the run.
 package main
 
 import (
@@ -62,17 +65,30 @@ type servingRecord struct {
 	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
 	Limit      int64   `json:"limit,omitempty"`
 
-	Sent          int64        `json:"sent"`
-	OK            int64        `json:"ok"`
-	Partial       int64        `json:"partial"`
-	ShedQueueFull int64        `json:"shed_queue_full"`
-	ShedDoomed    int64        `json:"shed_deadline_doomed"`
-	QueueTimeouts int64        `json:"queue_timeouts"`
-	OtherErrors   int64        `json:"other_errors"`
-	ShedRate      float64      `json:"shed_rate"`
-	AchievedRPS   float64      `json:"achieved_rps"`
-	Latency       quantiles    `json:"latency"`
-	LatencyHist   []histBucket `json:"latency_hist"`
+	Sent            int64        `json:"sent"`
+	OK              int64        `json:"ok"`
+	Partial         int64        `json:"partial"`
+	ShedQueueFull   int64        `json:"shed_queue_full"`
+	ShedDoomed      int64        `json:"shed_deadline_doomed"`
+	QueueTimeouts   int64        `json:"queue_timeouts"`
+	ShedBreakerOpen int64        `json:"shed_breaker_open,omitempty"`
+	OtherErrors     int64        `json:"other_errors"`
+	ShedRate        float64      `json:"shed_rate"`
+	AchievedRPS     float64      `json:"achieved_rps"`
+	Latency         quantiles    `json:"latency"`
+	LatencyHist     []histBucket `json:"latency_hist"`
+
+	// Faults is the server's fault-tolerance counters scraped from /metrics
+	// after the run (-faults); nil when scraping is off.
+	Faults *faultsRecord `json:"faults,omitempty"`
+}
+
+// faultsRecord is the -faults column: the server-side fault-tolerance
+// counters after the run, from /metrics.
+type faultsRecord struct {
+	Panics       int64 `json:"panics"`
+	BreakerOpens int64 `json:"breaker_opens"`
+	BreakerShed  int64 `json:"breaker_shed"`
 }
 
 func main() {
@@ -86,6 +102,7 @@ func main() {
 		limit     = flag.Int64("limit", 0, "per-request embedding limit; 0 = unlimited")
 		jsonOut   = flag.String("json", "", "write the serving record to this file")
 		merge     = flag.String("merge", "", "fold the serving record into this existing BENCH_*.json")
+		faults    = flag.Bool("faults", false, "scrape the server's fault-tolerance counters (/metrics) into the record after the run")
 	)
 	flag.Parse()
 	if *rps <= 0 || *duration <= 0 {
@@ -142,6 +159,14 @@ func main() {
 	rec.URL, rec.Graph, rec.Queries = *url, *graphName, *queries
 	rec.RPS, rec.DurationNS = *rps, elapsed.Nanoseconds()
 	rec.TimeoutMS, rec.Limit = *timeoutMS, *limit
+	if *faults {
+		fr, err := scrapeFaults(client, strings.TrimRight(*url, "/")+"/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fastload: scraping /metrics:", err)
+			os.Exit(1)
+		}
+		rec.Faults = fr
+	}
 
 	report(os.Stdout, rec)
 	if *jsonOut != "" {
@@ -188,6 +213,48 @@ func fire(client *http.Client, target string, body []byte) shot {
 	return s
 }
 
+// scrapeFaults pulls the fault-tolerance counters from the server's
+// Prometheus exposition: recovered handler panics, circuit-breaker trips
+// and breaker sheds (the latter two summed across graphs).
+func scrapeFaults(client *http.Client, metricsURL string) (*faultsRecord, error) {
+	resp, err := client.Get(metricsURL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", metricsURL, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var fr faultsRecord
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &v); err != nil {
+			continue
+		}
+		metric, _, _ := strings.Cut(fields[0], "{")
+		switch metric {
+		case "fastmatch_panics_total":
+			fr.Panics += v
+		case "fastmatch_breaker_opens_total":
+			fr.BreakerOpens += v
+		case "fastmatch_shed_breaker_open_total":
+			fr.BreakerShed += v
+		}
+	}
+	return &fr, nil
+}
+
 func summarize(shots []shot, elapsed time.Duration) servingRecord {
 	rec := servingRecord{Sent: int64(len(shots))}
 	latencies := make([]time.Duration, 0, len(shots))
@@ -209,12 +276,14 @@ func summarize(shots []shot, elapsed time.Duration) servingRecord {
 			rec.ShedDoomed++
 		case s.reason == "queue_timeout":
 			rec.QueueTimeouts++
+		case s.reason == "breaker_open":
+			rec.ShedBreakerOpen++
 		default:
 			rec.OtherErrors++
 		}
 	}
 	if rec.Sent > 0 {
-		rec.ShedRate = float64(rec.ShedQueueFull+rec.ShedDoomed+rec.QueueTimeouts) / float64(rec.Sent)
+		rec.ShedRate = float64(rec.ShedQueueFull+rec.ShedDoomed+rec.QueueTimeouts+rec.ShedBreakerOpen) / float64(rec.Sent)
 		rec.AchievedRPS = float64(rec.Sent) / elapsed.Seconds()
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -241,16 +310,20 @@ func summarize(shots []shot, elapsed time.Duration) servingRecord {
 func report(w io.Writer, rec servingRecord) {
 	fmt.Fprintf(w, "fastload %s graph=%s rps=%g for %v\n",
 		rec.URL, rec.Graph, rec.RPS, time.Duration(rec.DurationNS).Round(time.Millisecond))
-	fmt.Fprintf(w, "  sent %d  ok %d (partial %d)  shed %d (queue_full %d, doomed %d, queue_timeout %d)  errors %d\n",
+	fmt.Fprintf(w, "  sent %d  ok %d (partial %d)  shed %d (queue_full %d, doomed %d, queue_timeout %d, breaker %d)  errors %d\n",
 		rec.Sent, rec.OK, rec.Partial,
-		rec.ShedQueueFull+rec.ShedDoomed+rec.QueueTimeouts,
-		rec.ShedQueueFull, rec.ShedDoomed, rec.QueueTimeouts, rec.OtherErrors)
+		rec.ShedQueueFull+rec.ShedDoomed+rec.QueueTimeouts+rec.ShedBreakerOpen,
+		rec.ShedQueueFull, rec.ShedDoomed, rec.QueueTimeouts, rec.ShedBreakerOpen, rec.OtherErrors)
 	fmt.Fprintf(w, "  achieved %.1f req/s  shed rate %.1f%%  latency p50 %v  p90 %v  p99 %v  max %v\n",
 		rec.AchievedRPS, rec.ShedRate*100,
 		time.Duration(rec.Latency.P50NS).Round(time.Microsecond),
 		time.Duration(rec.Latency.P90NS).Round(time.Microsecond),
 		time.Duration(rec.Latency.P99NS).Round(time.Microsecond),
 		time.Duration(rec.Latency.MaxNS).Round(time.Microsecond))
+	if rec.Faults != nil {
+		fmt.Fprintf(w, "  server faults: panics %d  breaker opens %d  breaker shed %d\n",
+			rec.Faults.Panics, rec.Faults.BreakerOpens, rec.Faults.BreakerShed)
+	}
 }
 
 func writeJSONFile(path string, v any) error {

@@ -18,16 +18,27 @@
 //
 // Endpoints, request shapes and the /metrics exposition are documented on
 // fast.Server; queries named in requests resolve through ldbc.QueryByName.
+//
+// SIGINT or SIGTERM drains gracefully: the listener stops accepting, new
+// requests are refused with 503 "draining", standing subscription streams
+// close with a "draining" line, and in-flight requests get up to
+// -drain-timeout to finish before the process exits. A second signal exits
+// immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	fast "fastmatch"
 	"fastmatch/graph"
@@ -44,10 +55,16 @@ func main() {
 		sf       = flag.Float64("sf", 1, "LDBC scale factor for generated graphs")
 		base     = flag.Int("base", 0, "BasePersons scale knob for generated graphs (default 200)")
 		seed     = flag.Int64("seed", 42, "generator seed for generated graphs")
+		drain    = flag.Duration("drain-timeout", 15*time.Second, "how long a SIGINT/SIGTERM drain waits for in-flight requests")
+		breaker  = flag.Int("breaker", 0, "per-tenant circuit-breaker threshold: consecutive hard failures that trip it (0 = default, negative disables)")
 	)
 	flag.Parse()
 
-	router := fast.NewRouter(fast.RouterOptions{Workers: *workers, MaxQueue: *maxQueue})
+	router := fast.NewRouter(fast.RouterOptions{
+		Workers:  *workers,
+		MaxQueue: *maxQueue,
+		Breaker:  fast.BreakerOptions{Threshold: *breaker},
+	})
 	genSeed := *seed
 	for _, spec := range strings.Split(*graphs, ",") {
 		spec = strings.TrimSpace(spec)
@@ -84,8 +101,41 @@ func main() {
 	}
 
 	server := fast.NewServer(router, fast.ServerOptions{QueryByName: ldbc.QueryByName})
+	httpSrv := &http.Server{Addr: *addr, Handler: server}
+
+	// Graceful drain on SIGINT/SIGTERM: stop accepting, let the fast.Server
+	// refuse new work and finish what is in flight, then exit. A second
+	// signal aborts the drain immediately.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		log.Printf("received %s: draining (up to %s; signal again to abort)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		go func() {
+			<-sigs
+			log.Print("second signal: aborting drain")
+			cancel()
+		}()
+		if err := server.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		// Close the listener after the app-level drain so in-flight
+		// responses are written before connections go away.
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("http shutdown: %v", err)
+		}
+		close(drained)
+	}()
+
 	log.Printf("listening on %s (%d workers)", *addr, router.Workers())
-	log.Fatal(http.ListenAndServe(*addr, server))
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Print("drained; exiting")
 }
 
 // parseSpec splits name[=source][@weight].

@@ -124,6 +124,24 @@
 //
 //	server := fast.NewServer(router, fast.ServerOptions{QueryByName: ldbc.QueryByName})
 //	log.Fatal(http.ListenAndServe(":8080", server))
+//
+// # Fault tolerance
+//
+// The pipeline survives partial failure under a degraded-run contract: a
+// run whose faults are all absorbed — transient device faults retried away
+// under Options.Retry, a dead card's partitions redistributed to surviving
+// devices or the CPU path — returns counts byte-identical to the
+// fault-free run, just slower, with Result.Retries/DeviceFailures/
+// Redistributed recording what happened. Only exhausted retries and worker
+// panics surface, always as a typed error (*DeviceFaultError,
+// *KernelPanicError) on a Partial result; a panic never kills the process.
+// Options.Chaos injects deterministic fault schedules for testing. The
+// Router gives each tenant a circuit breaker (RouterOptions.Breaker):
+// consecutive hard failures shed the tenant's calls with ErrBreakerOpen
+// until a half-open probe succeeds after the cooldown. Server.Shutdown
+// drains in-flight matches and ends subscription streams with a terminal
+// "draining" line; handler panics become 500 internal via the recovery
+// middleware.
 package fast
 
 import (
@@ -267,6 +285,12 @@ type Options struct {
 	// keeps the cache unbounded. Least-recently-used plans are evicted and
 	// transparently re-planned if the query recurs. Match ignores it.
 	PlanCacheSize int
+	// Chaos, when non-nil, injects deterministic faults into the pipeline
+	// (see ChaosConfig for the degraded-run contract). nil injects nothing.
+	Chaos *ChaosConfig
+	// Retry bounds the backoff-retry applied to transient device faults.
+	// The zero value means the host defaults; Max < 0 disables retries.
+	Retry RetryPolicy
 }
 
 // hostConfig translates Options into the internal pipeline configuration.
@@ -285,6 +309,10 @@ func (o *Options) hostConfig() (host.Config, error) {
 		}
 		delta = o.Delta
 	}
+	faults, err := o.Chaos.toInjector()
+	if err != nil {
+		return host.Config{}, err
+	}
 	cfg := host.Config{
 		Device:           o.Device.toSim(),
 		NumFPGAs:         o.NumFPGAs,
@@ -294,6 +322,8 @@ func (o *Options) hostConfig() (host.Config, error) {
 		Collect:          o.CollectEmbeddings,
 		Workers:          o.Workers,
 		PartitionWorkers: o.PartitionWorkers,
+		Faults:           faults,
+		Retry:            o.Retry.toHost(),
 	}
 	if cfg.Strategy == "" {
 		cfg.Strategy = host.OrderPath
@@ -330,6 +360,17 @@ type Result struct {
 	// interrupted between batch rounds — modelled work the budget threw
 	// away.
 	KernelAborts int
+
+	// Fault-handling tallies (zero unless faults occurred or were injected).
+	// A run that absorbed its faults — transients retried away, dead
+	// devices' partitions redistributed — still completes with full,
+	// byte-identical counts and no error; these counters are how it shows
+	// it degraded. Retries counts backoff-retry attempts, DeviceFailures
+	// counts devices observed dying, and Redistributed counts partitions
+	// that fell back to the CPU enumeration path.
+	Retries        int64
+	DeviceFailures int
+	Redistributed  int
 }
 
 // Match finds all embeddings of q in g using the CPU–FPGA pipeline. It is
@@ -382,21 +423,24 @@ func matchReport(rep host.Report, err error) (*Result, error) {
 // resultFromReport converts the internal report to the public Result.
 func resultFromReport(rep host.Report) *Result {
 	return &Result{
-		Count:         rep.Embeddings,
-		Embeddings:    rep.Collected,
-		BuildTime:     rep.BuildTime,
-		PartitionTime: rep.PartitionTime,
-		TransferTime:  rep.TransferTime,
-		FPGATime:      rep.FPGATime,
-		CPUShareTime:  rep.CPUShareTime,
-		Total:         rep.Total,
-		Partitions:    rep.NumPartitions,
-		CPUPartitions: rep.CPUPartitions,
-		KernelCycles:  rep.KernelCycles,
-		CSTBytes:      rep.CSTBytes,
-		DataBytes:     rep.DataBytes,
-		Partial:       rep.Partial,
-		KernelAborts:  rep.KernelAborts,
+		Count:          rep.Embeddings,
+		Embeddings:     rep.Collected,
+		BuildTime:      rep.BuildTime,
+		PartitionTime:  rep.PartitionTime,
+		TransferTime:   rep.TransferTime,
+		FPGATime:       rep.FPGATime,
+		CPUShareTime:   rep.CPUShareTime,
+		Total:          rep.Total,
+		Partitions:     rep.NumPartitions,
+		CPUPartitions:  rep.CPUPartitions,
+		KernelCycles:   rep.KernelCycles,
+		CSTBytes:       rep.CSTBytes,
+		DataBytes:      rep.DataBytes,
+		Partial:        rep.Partial,
+		KernelAborts:   rep.KernelAborts,
+		Retries:        rep.Retries,
+		DeviceFailures: rep.DeviceFailures,
+		Redistributed:  rep.Redistributed,
 	}
 }
 

@@ -1,6 +1,7 @@
 package cst
 
 import (
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -70,13 +71,66 @@ type partitionPool struct {
 	cond   *sync.Cond
 	stack  []func(*restrictScratch)
 	active int
-	cancel func() bool // threaded into every worker scratch for restrict's amortised poll
+	cancel func() bool // the caller's Cancel hook; folded into cancelled with abort
+
+	// abort is set when a task panics (and by the ordered drain when its
+	// own delivery panics): remaining tasks shrink to near-no-ops exactly
+	// as under a cancellation, so the pool drains fast and every worker
+	// exits. panicked records the first worker panic for the caller-side
+	// rethrow.
+	abort    atomic.Bool
+	panicMu  sync.Mutex
+	panicked *WorkerPanic
 }
 
 func newPartitionPool(cancel func() bool) *partitionPool {
 	p := &partitionPool{cancel: cancel}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// cancelled is the pool's stop poll, folding the caller's Cancel hook with
+// the panic-abort flag; the producers install it as their PartitionConfig
+// Cancel so tasks, restricts and the ordered drain all observe a worker
+// panic the way they observe a cancellation.
+func (p *partitionPool) cancelled() bool {
+	if p.abort.Load() {
+		return true
+	}
+	return p.cancel != nil && p.cancel()
+}
+
+// runTask executes one task under the worker's recover barrier: a panic is
+// recorded (first one wins) and aborts the pool instead of killing the
+// worker, so the pop loop's bookkeeping always runs and waiters never block
+// on a dead worker.
+func (p *partitionPool) runTask(t func(*restrictScratch), sc *restrictScratch) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r, debug.Stack())
+		}
+	}()
+	t(sc)
+}
+
+func (p *partitionPool) recordPanic(value any, stack []byte) {
+	p.abort.Store(true)
+	p.panicMu.Lock()
+	if p.panicked == nil {
+		p.panicked = &WorkerPanic{Value: value, Stack: stack}
+	}
+	p.panicMu.Unlock()
+}
+
+// rethrow re-throws the first recorded worker panic on the calling
+// goroutine; the caller must only invoke it after the workers have exited.
+func (p *partitionPool) rethrow() {
+	p.panicMu.Lock()
+	wp := p.panicked
+	p.panicMu.Unlock()
+	if wp != nil {
+		panic(wp)
+	}
 }
 
 func (p *partitionPool) push(t func(*restrictScratch)) {
@@ -94,7 +148,7 @@ func (p *partitionPool) push(t func(*restrictScratch)) {
 //
 //fastmatch:nolint cancelpoll drain protocol: tasks poll sc.cancel internally; the pop loop must empty the stack to release waiters
 func (p *partitionPool) run() {
-	sc := &restrictScratch{cancel: p.cancel}
+	sc := &restrictScratch{cancel: p.cancelled}
 	p.mu.Lock()
 	for {
 		for len(p.stack) == 0 && p.active > 0 {
@@ -108,7 +162,7 @@ func (p *partitionPool) run() {
 		p.stack = p.stack[:len(p.stack)-1]
 		p.active++
 		p.mu.Unlock()
-		t(sc)
+		p.runTask(t, sc)
 		p.mu.Lock()
 		p.active--
 		if p.active == 0 && len(p.stack) == 0 {
@@ -138,6 +192,10 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 		stealMu sync.Mutex
 		pool    = newPartitionPool(cfg.Cancel)
 	)
+	// Tasks observe a sibling's panic the way they observe a cancellation:
+	// the pool folds its abort flag into the stop poll, so after a worker
+	// panic the remaining tasks drain cheaply and the pool quiesces.
+	cfg.Cancel = pool.cancelled
 	steal := func(cur *CST) bool {
 		if cfg.Steal == nil {
 			return false
@@ -207,6 +265,7 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 		}()
 	}
 	wg.Wait()
+	pool.rethrow()
 	return int(count.Load())
 }
 
@@ -215,10 +274,11 @@ func partitionUnordered(c *CST, o order.Order, cfg PartitionConfig, workers int,
 // Steal offer and children are replayed at drain time. Workers fill a node
 // in and close ready; the caller's drain walks the tree in sequential order.
 type onode struct {
-	ready    chan struct{}
-	piece    *CST     // non-nil: emit (Fits, or atomic with the order exhausted)
-	steal    *CST     // non-nil: violating; offer Steal, then descend children
-	children []*onode // in sequential (chunk) order
+	ready     chan struct{}
+	readyOnce sync.Once // closeReady: panic paths and normal paths may both fire
+	piece     *CST      // non-nil: emit (Fits, or atomic with the order exhausted)
+	steal     *CST      // non-nil: violating; offer Steal, then descend children
+	children  []*onode  // in sequential (chunk) order
 	// parent links the node to the split-tree node it was speculated under;
 	// stolen is set by the drain when cfg.Steal takes this node. A worker
 	// about to compute a node first walks the parent chain: any stolen
@@ -228,6 +288,12 @@ type onode struct {
 	parent *onode
 	stolen atomic.Bool
 }
+
+// closeReady closes the node's ready channel exactly once. Compute paths
+// close it as early as they can (so the drain runs concurrently with
+// speculation) and additionally guarantee it via defer — a panicking task
+// must never leave the drain blocked on a channel nobody will close.
+func (n *onode) closeReady() { n.readyOnce.Do(func() { close(n.ready) }) }
 
 // abandoned reports whether this node or any ancestor was taken by Steal.
 // The chain is as deep as the split tree, which is logarithmic in practice.
@@ -266,21 +332,27 @@ var testOrderedHook func(event string)
 // a ROADMAP item before partitioning data graphs that dwarf host RAM.
 func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, process func(*CST)) int {
 	pool := newPartitionPool(cfg.Cancel)
+	// Tasks and the drain observe a worker panic the way they observe a
+	// cancellation (the pool folds its abort flag into the stop poll), so
+	// speculation collapses and the workers quiesce after a panic.
+	cfg.Cancel = pool.cancelled
 
 	// computeNode fills n for one rec(cur, index) invocation; computeChunk
-	// is one iteration of rec's split loop (the restrict task).
+	// is one iteration of rec's split loop (the restrict task). Both close
+	// n.ready as early as possible on their normal paths and guarantee the
+	// close via defer: a panic between node creation and the explicit close
+	// must not leave the drain blocked forever — that was the pre-barrier
+	// deadlock.
 	var computeNode func(sc *restrictScratch, n *onode, cur *CST, index int)
 	var computeChunk func(sc *restrictScratch, n *onode, cur *CST, index, i, k int)
 	computeNode = func(sc *restrictScratch, n *onode, cur *CST, index int) {
+		defer n.closeReady()
 		if cfg.cancelled() || n.abandoned() {
-			// Abandon speculation: the node reads as an empty restriction,
-			// and ready must still close or the drain would block on it.
-			close(n.ready)
+			// Abandon speculation: the node reads as an empty restriction.
 			return
 		}
 		if cfg.Fits(cur) || index >= len(o) {
 			n.piece = cur
-			close(n.ready)
 			return
 		}
 		n.steal = cur
@@ -290,7 +362,7 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 			// replays the repeated Steal offer at the next order position.
 			child := &onode{ready: make(chan struct{}), parent: n}
 			n.children = []*onode{child}
-			close(n.ready)
+			n.closeReady()
 			computeNode(sc, child, cur, index+1)
 			return
 		}
@@ -304,7 +376,7 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 			children[i] = &onode{ready: make(chan struct{}), parent: n}
 		}
 		n.children = children
-		close(n.ready)
+		n.closeReady()
 		for i := 1; i < k; i++ {
 			child, i := children[i], i
 			pool.push(func(sc *restrictScratch) { computeChunk(sc, child, cur, index, i, k) })
@@ -312,11 +384,11 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		computeChunk(sc, children[0], cur, index, 0, k)
 	}
 	computeChunk = func(sc *restrictScratch, n *onode, cur *CST, index, i, k int) {
+		defer n.closeReady()
 		if testOrderedHook != nil {
 			testOrderedHook("chunk-start")
 		}
 		if cfg.cancelled() || n.abandoned() {
-			close(n.ready)
 			return
 		}
 		if testOrderedHook != nil {
@@ -325,14 +397,11 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		u := o[index]
 		part := restrict(cur, u, evenChunk(len(cur.Cand[u]), k, i), sc)
 		if part == nil {
-			// Cancelled mid-restrict: the node reads as an empty restriction,
-			// and ready must still close or the drain would block on it.
-			close(n.ready)
+			// Cancelled mid-restrict: the node reads as an empty restriction.
 			return
 		}
 		if part.IsEmpty() {
-			close(n.ready) // empty node: drain skips it
-			return
+			return // empty node: drain skips it
 		}
 		next := index
 		if len(part.Cand[u]) == 1 {
@@ -388,7 +457,20 @@ func partitionOrdered(c *CST, o order.Order, cfg PartitionConfig, workers int, p
 		}
 		n.children = nil // release drained pieces promptly
 	}
-	drain(root)
+	// A panic out of process (or Steal) on the drain must not strand the
+	// speculating workers: abort the pool, wait for them to quiesce, then
+	// let the panic continue to the caller.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				pool.abort.Store(true)
+				wg.Wait()
+				panic(r)
+			}
+		}()
+		drain(root)
+	}()
 	wg.Wait()
+	pool.rethrow()
 	return count
 }

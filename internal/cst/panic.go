@@ -1,0 +1,24 @@
+package cst
+
+import "fmt"
+
+// WorkerPanic carries a panic recovered on a partition-pool worker back to
+// the pool's calling goroutine. Before this type existed a panicking worker
+// died without running its pool bookkeeping or closing its split-tree ready
+// channel, deadlocking the remaining workers and the ordered drain; now the
+// pool records the first panic (value and worker stack), aborts the
+// remaining speculation the way a cancellation does, and — once every
+// worker has exited cleanly — re-throws the panic as a *WorkerPanic on the
+// caller's goroutine, where host.Match's recover barrier converts it into a
+// typed error. Callers that use PartitionConcurrent directly see the panic
+// itself, as they would with the sequential Partition.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker goroutine's stack.
+	Stack []byte
+}
+
+func (wp *WorkerPanic) Error() string {
+	return fmt.Sprintf("cst: partition worker panic: %v", wp.Value)
+}

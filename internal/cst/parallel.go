@@ -79,9 +79,18 @@ func EnumerateParallel(c *CST, o order.Order, cfg PartitionConfig, workers int) 
 		if e == nil {
 			e = new(Enumerator)
 		}
-		defer enums.Put(e)
+		// Return e to the pool only after a clean Run: a panicking
+		// enumeration (recovered by the partition pool's worker barrier)
+		// may have left it inconsistent, so it is dropped instead.
+		ok := false
+		defer func() {
+			if ok {
+				enums.Put(e)
+			}
+		}()
 		e.Reset(p, o)
 		total.Add(e.Run(nil))
+		ok = true
 	})
 	return total.Load()
 }

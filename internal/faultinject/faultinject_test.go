@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 3; i++ {
+		if out := in.Eval(SiteKernel); out.Fault || out.Delay != 0 {
+			t.Fatalf("nil injector produced outcome %+v", out)
+		}
+	}
+	if e, f := in.Stats(); e != 0 || f != 0 {
+		t.Fatalf("nil injector stats = %d, %d", e, f)
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	in := New(1, Rule{Site: SiteKernel, Kind: Transient, Nth: []int64{2, 5}})
+	var failed []int64
+	for i := int64(1); i <= 6; i++ {
+		if out := in.Eval(SiteKernel); out.Fault {
+			failed = append(failed, i)
+			if !errors.Is(out.Error(), ErrInjected) {
+				t.Fatalf("call %d: error %v does not wrap ErrInjected", i, out.Error())
+			}
+		}
+	}
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 5 {
+		t.Fatalf("fail-Nth fired on calls %v, want [2 5]", failed)
+	}
+}
+
+func TestEveryNthIsPerSite(t *testing.T) {
+	in := New(1, Rule{Site: SiteDeviceStage(0), Kind: Transient, EveryNth: 3})
+	for i := 1; i <= 9; i++ {
+		dev0 := in.Eval(SiteDeviceStage(0)).Fault
+		dev1 := in.Eval(SiteDeviceStage(1)).Fault
+		if dev0 != (i%3 == 0) {
+			t.Fatalf("device0 call %d: fault=%v", i, dev0)
+		}
+		if dev1 {
+			t.Fatalf("device1 call %d faulted under a device0 rule", i)
+		}
+	}
+}
+
+func TestOnceFiresOnce(t *testing.T) {
+	in := New(1, Rule{Site: SiteKernel, Kind: Death, EveryNth: 1, Once: true})
+	if out := in.Eval(SiteKernel); !out.Fault || out.Kind != Death {
+		t.Fatalf("first call: outcome %+v, want a Death fault", out)
+	}
+	for i := 0; i < 5; i++ {
+		if in.Eval(SiteKernel).Fault {
+			t.Fatal("Once rule fired twice")
+		}
+	}
+}
+
+func TestRateIsDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed, Rule{Site: SiteEnumerate, Kind: Transient, Rate: 0.3})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Eval(SiteEnumerate).Fault
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.3 fired %d/%d times; schedule degenerate", fired, len(a))
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical rate schedules")
+	}
+}
+
+func TestDelayOnlyIsSlowNotFailed(t *testing.T) {
+	in := New(1, Rule{Site: SiteKernel, Kind: Transient, EveryNth: 2, Delay: 5 * time.Millisecond})
+	first, second := in.Eval(SiteKernel), in.Eval(SiteKernel)
+	if first.Fault || first.Delay != 0 {
+		t.Fatalf("call 1: outcome %+v, want clean", first)
+	}
+	if second.Fault {
+		t.Fatal("latency spike reported as a fault")
+	}
+	if second.Delay != 5*time.Millisecond {
+		t.Fatalf("call 2 delay = %v, want 5ms", second.Delay)
+	}
+	if second.Error() != nil {
+		t.Fatalf("latency spike carries error %v", second.Error())
+	}
+	if _, faults := in.Stats(); faults != 0 {
+		t.Fatalf("latency spikes counted as faults: %d", faults)
+	}
+}
+
+func TestCustomErrAndStats(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1, Rule{Site: SiteKernel, Kind: Transient, Nth: []int64{1}, Err: boom})
+	out := in.Eval(SiteKernel)
+	if !errors.Is(out.Error(), boom) {
+		t.Fatalf("error %v, want boom", out.Error())
+	}
+	in.Eval(SiteKernel)
+	if evals, faults := in.Stats(); evals != 2 || faults != 1 {
+		t.Fatalf("stats = %d evals, %d faults; want 2, 1", evals, faults)
+	}
+	if n := in.Count(SiteKernel); n != 2 {
+		t.Fatalf("site count = %d, want 2", n)
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	in := New(1,
+		Rule{Site: SiteKernel, Kind: Transient, Nth: []int64{3}},
+		Rule{Site: SiteKernel, Kind: Death, Nth: []int64{3}},
+	)
+	in.Eval(SiteKernel)
+	in.Eval(SiteKernel)
+	if out := in.Eval(SiteKernel); !out.Fault || out.Kind != Transient {
+		t.Fatalf("outcome %+v, want the first rule's Transient", out)
+	}
+}

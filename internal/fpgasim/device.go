@@ -1,17 +1,40 @@
 package fpgasim
 
 import (
+	"errors"
 	"fmt"
 	"time"
+
+	"fastmatch/internal/faultinject"
 )
+
+// ErrDeviceFailed reports an operation against a dead card. Errors returned
+// by a failed Device wrap it, so errors.Is(err, ErrDeviceFailed) identifies
+// device loss regardless of the message. Device death is permanent for the
+// card (Healthy stays false until Revive); the host degrades by moving the
+// card's queued partitions to surviving devices or the CPU share.
+var ErrDeviceFailed = errors.New("fpgasim: device failed")
+
+// ErrTransient reports a transient, retryable device fault (an injected
+// PCIe hiccup). The host retries these under its RetryPolicy; the card is
+// healthy again on the next attempt.
+var ErrTransient = errors.New("fpgasim: transient device fault")
 
 // Device models one FPGA card: a cycle counter, a BRAM allocator and a DRAM
 // staging area. The host scheduler owns one Device per card (the multi-FPGA
 // extension of Section VII-E hands CSTs to the device with the least
 // accumulated work).
+//
+// A Device also models failure: Fail marks the card dead — every staging
+// call after that returns an error wrapping ErrDeviceFailed — and the
+// optional fault Injector turns staging calls into scheduled transient
+// faults, latency spikes or one-shot deaths, deterministically per seed.
 type Device struct {
 	ID  int
 	Cfg Config
+	// Faults, when non-nil, is evaluated on every StageDRAM call at site
+	// faultinject.SiteDeviceStage(ID). nil injects nothing.
+	Faults *faultinject.Injector
 
 	cycles    int64
 	busy      time.Duration // accumulated kernel busy time
@@ -20,6 +43,7 @@ type Device struct {
 	transfers int64 // bytes shipped over PCIe
 	kernels   int   // CST partitions processed
 	aborts    int   // kernel executions the host cancelled mid-flight
+	failed    bool  // dead card: staging fails until Revive
 }
 
 // NewDevice creates a Device with the given configuration.
@@ -52,15 +76,47 @@ func (d *Device) FreeBRAM(bytes int64) {
 func (d *Device) BRAMUsed() int64 { return d.bramUsed }
 
 // StageDRAM accounts a CST partition arriving in card DRAM over PCIe and
-// returns the host-side transfer duration.
+// returns the host-side transfer duration. A dead card fails with an error
+// wrapping ErrDeviceFailed; an injected transient fault fails with one
+// wrapping ErrTransient (retryable); an injected latency spike adds its
+// delay to the modelled transfer time. The caller must serialize calls per
+// device (the host does: sequentially, or under its device mutex).
 func (d *Device) StageDRAM(bytes int64) (time.Duration, error) {
+	if d.failed {
+		return 0, fmt.Errorf("fpgasim: device %d: %w", d.ID, ErrDeviceFailed)
+	}
+	var spike time.Duration
+	if out := d.Faults.Eval(faultinject.SiteDeviceStage(d.ID)); out.Fault {
+		switch out.Kind {
+		case faultinject.Death:
+			d.failed = true
+			return 0, fmt.Errorf("fpgasim: device %d died staging %d bytes: %w", d.ID, bytes, ErrDeviceFailed)
+		default:
+			// Device sites model hardware, which fails rather than panics:
+			// a Panic rule scheduled here degrades to a transient fault.
+			return 0, fmt.Errorf("fpgasim: device %d staging %d bytes: %w (%w)", d.ID, bytes, ErrTransient, out.Error())
+		}
+	} else {
+		spike = out.Delay
+	}
 	if d.dramUsed+bytes > d.Cfg.DRAMBytes {
 		return 0, fmt.Errorf("fpgasim: DRAM overflow: %d + %d > %d", d.dramUsed, bytes, d.Cfg.DRAMBytes)
 	}
 	d.dramUsed += bytes
 	d.transfers += bytes
-	return d.Cfg.PCIeDuration(bytes), nil
+	return d.Cfg.PCIeDuration(bytes) + spike, nil
 }
+
+// Fail marks the card dead, as a scheduled Death outcome does. Staging
+// calls fail with ErrDeviceFailed until Revive.
+func (d *Device) Fail() { d.failed = true }
+
+// Revive returns a dead card to service — the model of a card re-flashed
+// and re-enumerated. Counters are preserved.
+func (d *Device) Revive() { d.failed = false }
+
+// Healthy reports whether the card accepts work.
+func (d *Device) Healthy() bool { return !d.failed }
 
 // ReleaseDRAM frees staged bytes after a kernel run retires.
 func (d *Device) ReleaseDRAM(bytes int64) {

@@ -1,0 +1,97 @@
+package fpgasim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fastmatch/internal/faultinject"
+)
+
+func newTestDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceFailRevive(t *testing.T) {
+	d := newTestDevice(t)
+	if !d.Healthy() {
+		t.Fatal("new device not healthy")
+	}
+	if _, err := d.StageDRAM(1 << 10); err != nil {
+		t.Fatalf("healthy staging failed: %v", err)
+	}
+	d.Fail()
+	if d.Healthy() {
+		t.Fatal("failed device reports healthy")
+	}
+	if _, err := d.StageDRAM(1 << 10); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("dead staging error = %v, want ErrDeviceFailed", err)
+	}
+	d.Revive()
+	if _, err := d.StageDRAM(1 << 10); err != nil {
+		t.Fatalf("revived staging failed: %v", err)
+	}
+}
+
+func TestDeviceInjectedTransient(t *testing.T) {
+	d := newTestDevice(t)
+	d.Faults = faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteDeviceStage(0), Nth: []int64{1},
+	})
+	_, err := d.StageDRAM(1 << 10)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("injected transient error = %v, want ErrTransient", err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("transient error does not unwrap to the injected cause: %v", err)
+	}
+	if !d.Healthy() {
+		t.Fatal("transient fault must not kill the device")
+	}
+	if _, err := d.StageDRAM(1 << 10); err != nil {
+		t.Fatalf("staging after transient failed: %v", err)
+	}
+}
+
+func TestDeviceInjectedDeath(t *testing.T) {
+	d := newTestDevice(t)
+	d.Faults = faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteDeviceStage(0), Kind: faultinject.Death, Nth: []int64{2}, Once: true,
+	})
+	if _, err := d.StageDRAM(1 << 10); err != nil {
+		t.Fatalf("call 1 should be clean: %v", err)
+	}
+	if _, err := d.StageDRAM(1 << 10); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("death error = %v, want ErrDeviceFailed", err)
+	}
+	if d.Healthy() {
+		t.Fatal("death must mark the device failed")
+	}
+	if _, err := d.StageDRAM(1 << 10); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("staging after death = %v, want ErrDeviceFailed", err)
+	}
+}
+
+func TestDeviceInjectedLatencySpike(t *testing.T) {
+	d := newTestDevice(t)
+	clean, err := d.StageDRAM(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spike := 10 * time.Millisecond
+	d.Faults = faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteDeviceStage(0), Nth: []int64{1}, Delay: spike,
+	})
+	slow, err := d.StageDRAM(1 << 20)
+	if err != nil {
+		t.Fatalf("latency spike must not fail the call: %v", err)
+	}
+	if slow != clean+spike {
+		t.Fatalf("spiked staging = %v, want %v + %v", slow, clean, spike)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"fastmatch/graph"
 	"fastmatch/internal/cst"
+	"fastmatch/internal/faultinject"
 	"fastmatch/internal/order"
 )
 
@@ -31,10 +32,23 @@ type runControl struct {
 	emitMu  sync.Mutex
 	emit    func(graph.Embedding) error
 	emitErr error // guarded by emitMu
+
+	// Fault-tolerance state: the injector evaluated at the kernel and
+	// δ-share sites (nil injects nothing), the resolved retry policy, and
+	// the run's fault-handling tallies.
+	faults *faultinject.Injector
+	retry  RetryPolicy
+	fstats faultStats
 }
 
 func newRunControl(ctx context.Context, cfg Config) *runControl {
-	ct := &runControl{limit: cfg.Limit, emit: cfg.Emit, stopCh: make(chan struct{})}
+	ct := &runControl{
+		limit:  cfg.Limit,
+		emit:   cfg.Emit,
+		stopCh: make(chan struct{}),
+		faults: cfg.Faults,
+		retry:  cfg.Retry.withDefaults(),
+	}
 	if ctx != nil {
 		ct.done = ctx.Done()
 		ct.ctxErr = ctx.Err
@@ -173,23 +187,46 @@ var enumerators = sync.Pool{New: func() any { return new(cst.Enumerator) }}
 // budget and returns the number of embeddings counted. The count-only paths
 // never materialise an embedding; the emitting paths keep the
 // fresh-embedding contract (callers may retain what they receive).
-func enumerateShare(ct *runControl, p *cst.CST, o order.Order, collect bool, sink *[]graph.Embedding) int64 {
+//
+// The drain runs under the run's recover barrier: a panicking enumeration
+// (or an injected fault at the δ-share site) becomes a *KernelPanicError or
+// *DeviceFaultError, and the pooled Enumerator the panic may have left
+// inconsistent is dropped instead of being returned to the pool. The fault
+// is evaluated before the enumerator runs, so a faulted drain has consumed
+// no result slots and emitted nothing.
+//
+//fastmatch:recoverbarrier
+func enumerateShare(ct *runControl, p *cst.CST, o order.Order, collect bool, sink *[]graph.Embedding) (n int64, err error) {
 	e := enumerators.Get().(*cst.Enumerator)
-	defer enumerators.Put(e)
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(faultinject.SiteEnumerate, r)
+			return
+		}
+		enumerators.Put(e)
+	}()
+	if out := ct.faults.Eval(faultinject.SiteEnumerate); out.Fault {
+		if out.Kind == faultinject.Panic {
+			panic(out.Error())
+		}
+		// The CPU path has no retry semantics — any injected fault here is
+		// terminal, reported as a fault-class error so Match keeps the
+		// partial counts.
+		return 0, &DeviceFaultError{Site: faultinject.SiteEnumerate, Attempts: 1, Err: out.Error()}
+	}
 	e.Reset(p, o)
 	if !ct.active() {
 		if !collect {
-			return e.Run(nil)
+			return e.Run(nil), nil
 		}
 		return e.Run(func(em graph.Embedding) bool {
 			*sink = append(*sink, em)
 			return true
-		})
+		}), nil
 	}
 	if !collect && ct.emit == nil {
-		return e.RunCounted(ct.take)
+		return e.RunCounted(ct.take), nil
 	}
-	var n int64
 	e.Run(func(em graph.Embedding) bool {
 		if !ct.take() {
 			return false
@@ -200,5 +237,5 @@ func enumerateShare(ct *runControl, p *cst.CST, o order.Order, collect bool, sin
 		}
 		return ct.send(em)
 	})
-	return n
+	return n, nil
 }

@@ -1,0 +1,271 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"fastmatch/internal/core"
+	"fastmatch/internal/cst"
+	"fastmatch/internal/faultinject"
+	"fastmatch/internal/fpgasim"
+	"fastmatch/internal/order"
+)
+
+// RetryPolicy bounds the exponential backoff applied to transient device
+// faults (fpgasim.ErrTransient — injected PCIe hiccups and failed kernel
+// launches). Attempt n waits min(Base·2ⁿ, Cap) before retrying, up to Max
+// retries; the wait is interruptible by the run's cancellation. The zero
+// value means the defaults below; Max < 0 disables retries entirely (every
+// transient fault is terminal).
+//
+// Retries never change results: a transient fault fires before the kernel
+// does any work, so re-running it cannot double-count or double-emit.
+type RetryPolicy struct {
+	Max  int
+	Base time.Duration
+	Cap  time.Duration
+}
+
+// Default retry bounds: three retries spread over a few milliseconds —
+// enough to ride out a modelled hiccup, bounded enough that a card failing
+// hard degrades the call fast.
+const (
+	DefaultRetryMax  = 3
+	DefaultRetryBase = time.Millisecond
+	DefaultRetryCap  = 50 * time.Millisecond
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max < 0 {
+		return RetryPolicy{Max: 0}
+	}
+	if p.Max == 0 {
+		p.Max = DefaultRetryMax
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetryBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultRetryCap
+	}
+	return p
+}
+
+// backoff returns the wait before retry attempt n (0-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// KernelPanicError reports a panic recovered inside the pipeline — a kernel
+// execution, a CPU δ-share enumeration, or a partition-pool worker. The
+// panic is isolated to the work item that raised it: pooled scratch state
+// it may have corrupted is discarded instead of returned, sibling workers
+// and the ordered-drain protocol are unaffected, and the Match call returns
+// its partial Report with this error instead of crashing the process.
+type KernelPanicError struct {
+	// Site names where the panic surfaced: faultinject.SiteKernel,
+	// faultinject.SiteEnumerate, or "partition".
+	Site string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("host: panic in %s: %v", e.Site, e.Value)
+}
+
+// DeviceFaultError reports a device fault the retry budget could not
+// absorb: the site kept failing through Attempts attempts (the first try
+// plus the policy's retries). The run returns its partial Report with this
+// error — the degraded-run contract (identical counts) only covers faults
+// that retry or redistribution could absorb.
+type DeviceFaultError struct {
+	// Site is the faulting site (faultinject.SiteKernel, a device's staging
+	// site, faultinject.SiteEnumerate, or the parallel pipeline's "stage").
+	Site string
+	// Attempts counts tries made, the first plus every retry.
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
+func (e *DeviceFaultError) Error() string {
+	return fmt.Sprintf("host: %s failed after %d attempts: %v", e.Site, e.Attempts, e.Err)
+}
+
+func (e *DeviceFaultError) Unwrap() error { return e.Err }
+
+// errRetryCancelled reports that the run was cancelled while backing off
+// between retry attempts; like errStageCancelled it is a skip signal — the
+// control's own state carries the cancellation — not a failure.
+var errRetryCancelled = errors.New("host: retry abandoned: run cancelled")
+
+// errAllDevicesDead reports that no healthy card remains to stage on; the
+// caller degrades the partition to the CPU enumeration path.
+var errAllDevicesDead = errors.New("host: all devices failed")
+
+// isFaultError reports whether err is a fault-class failure — a recovered
+// panic or an exhausted retry budget — for which Match keeps the partial
+// Report (counts covering the work done) instead of discarding it.
+func isFaultError(err error) bool {
+	var pe *KernelPanicError
+	var de *DeviceFaultError
+	return errors.As(err, &pe) || errors.As(err, &de)
+}
+
+// isTransientFault reports whether err is retryable: an injected transient
+// device fault or kernel-launch fault.
+func isTransientFault(err error) bool {
+	return errors.Is(err, fpgasim.ErrTransient) || errors.Is(err, faultinject.ErrInjected)
+}
+
+// newPanicError wraps a recovered panic value as a KernelPanicError. A
+// cst.WorkerPanic (a panic a partition-pool worker already recovered and
+// re-threw on the caller's goroutine) keeps its original value and worker
+// stack instead of the rethrow site's.
+func newPanicError(site string, r any) *KernelPanicError {
+	if wp, ok := r.(*cst.WorkerPanic); ok {
+		return &KernelPanicError{Site: site, Value: wp.Value, Stack: wp.Stack}
+	}
+	return &KernelPanicError{Site: site, Value: r, Stack: debug.Stack()}
+}
+
+// faultStats aggregates a run's fault-handling activity across goroutines;
+// folded into the Report once the pipelines drain.
+type faultStats struct {
+	retries       atomic.Int64
+	deviceDeaths  atomic.Int64
+	redistributed atomic.Int64
+}
+
+func (fs *faultStats) fold(rep *Report) {
+	rep.Retries += fs.retries.Load()
+	rep.DeviceFailures += int(fs.deviceDeaths.Load())
+	rep.Redistributed += int(fs.redistributed.Load())
+}
+
+// sleep waits d, abandoning the wait when the run stops first; it reports
+// whether the run is still live. With no context armed the timer is the
+// only wake source, exactly like a plain time.Sleep.
+func (ct *runControl) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !ct.cancelled()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return !ct.cancelled()
+	case <-ct.done:
+		ct.interrupted.Store(true)
+		ct.halt()
+		return false
+	case <-ct.stopCh:
+		return false
+	}
+}
+
+// pickDevice returns the index of the healthy card with the least
+// accumulated work, or -1 when every card is dead.
+func pickDevice(devices []*fpgasim.Device, transfer []time.Duration) int {
+	best := -1
+	for i := range devices {
+		if !devices[i].Healthy() {
+			continue
+		}
+		if best < 0 || devices[i].Busy()+transfer[i] < devices[best].Busy()+transfer[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// stageWithRetry stages bytes on dev, retrying injected transient faults
+// under the run's policy with exponential backoff. Device death and
+// non-fault failures (DRAM overflow keeps its original hard-failure
+// semantics) return immediately; an exhausted retry budget returns a
+// *DeviceFaultError; a cancellation during backoff returns
+// errRetryCancelled. Only the sequential pipeline calls this — the parallel
+// pipeline cannot sleep under its device mutex, so it retries at the worker
+// level (stageParallel) instead.
+func stageWithRetry(ct *runControl, dev *fpgasim.Device, bytes int64) (time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		if ct.cancelled() {
+			return 0, errRetryCancelled
+		}
+		dur, err := dev.StageDRAM(bytes)
+		if err == nil {
+			return dur, nil
+		}
+		if errors.Is(err, fpgasim.ErrDeviceFailed) || !isTransientFault(err) {
+			return 0, err
+		}
+		if attempt >= ct.retry.Max {
+			return 0, &DeviceFaultError{Site: faultinject.SiteDeviceStage(dev.ID), Attempts: attempt + 1, Err: err}
+		}
+		ct.fstats.retries.Add(1)
+		if !ct.sleep(ct.retry.backoff(attempt)) {
+			return 0, errRetryCancelled
+		}
+	}
+}
+
+// stageParallel wraps the parallel pipeline's stage scan with the
+// worker-level retry loop: the scan runs under the device mutex and cannot
+// sleep there, so a transient fault surfaces to the worker, which backs off
+// outside the lock and rescans (a rescan may land on a different card —
+// that is redistribution working, not a bug).
+func stageParallel(ct *runControl, stage func(*cst.CST) (*fpgasim.Device, error), p *cst.CST) (*fpgasim.Device, error) {
+	for attempt := 0; ; attempt++ {
+		if ct.cancelled() {
+			return nil, errStageCancelled
+		}
+		dev, err := stage(p)
+		if err == nil || !isTransientFault(err) {
+			return dev, err
+		}
+		if attempt >= ct.retry.Max {
+			return nil, &DeviceFaultError{Site: "stage", Attempts: attempt + 1, Err: err}
+		}
+		ct.fstats.retries.Add(1)
+		if !ct.sleep(ct.retry.backoff(attempt)) {
+			return nil, errStageCancelled
+		}
+	}
+}
+
+// runKernelWithRetry executes one kernel under the run's retry policy:
+// injected launch faults (which fire before the kernel does any work, so a
+// retry cannot double-emit) back off and re-run; a recovered kernel panic
+// is terminal (the kernel may have emitted before dying — re-running could
+// double-count); an exhausted budget returns a *DeviceFaultError.
+func runKernelWithRetry(ct *runControl, p *cst.CST, o order.Order, kopts core.Options) (core.Result, error) {
+	for attempt := 0; ; attempt++ {
+		if ct.cancelled() {
+			return core.Result{}, errRetryCancelled
+		}
+		res, err := runKernel(p, o, kopts, ct.faults)
+		if err == nil || !isTransientFault(err) {
+			return res, err
+		}
+		if attempt >= ct.retry.Max {
+			return res, &DeviceFaultError{Site: faultinject.SiteKernel, Attempts: attempt + 1, Err: err}
+		}
+		ct.fstats.retries.Add(1)
+		if !ct.sleep(ct.retry.backoff(attempt)) {
+			return core.Result{}, errRetryCancelled
+		}
+	}
+}

@@ -19,6 +19,20 @@
 // instead of after it finishes. A cancelled run returns its partial Report
 // (Partial set) together with the context's error. Config.Limit bounds the
 // result count and Config.Emit streams embeddings as they are found.
+//
+// Execution is also fault-tolerant, with a degraded-run contract: a run
+// whose faults are all absorbed returns the same counts as the fault-free
+// run, just slower. Transient device faults (fpgasim.ErrTransient) are
+// retried with bounded exponential backoff under Config.Retry; a dead
+// device's queued partitions are redistributed to surviving devices or the
+// CPU δ-share path; and every kernel/enumeration worker runs under a
+// recover barrier that converts a panic into a *KernelPanicError (stack
+// captured, pooled scratch discarded, sibling workers and the ordered
+// drain unaffected). Only exhausted retries (*DeviceFaultError) and panics
+// surface as errors, always on a Partial report; Report.Retries,
+// DeviceFailures and Redistributed record absorbed faults. Config.Inject
+// accepts a deterministic faultinject.Injector so any failing schedule
+// replays byte-identically.
 package host
 
 import (
@@ -32,6 +46,7 @@ import (
 	"fastmatch/graph"
 	"fastmatch/internal/core"
 	"fastmatch/internal/cst"
+	"fastmatch/internal/faultinject"
 	"fastmatch/internal/fpgasim"
 	"fastmatch/internal/order"
 )
@@ -115,6 +130,15 @@ type Config struct {
 	// non-nil error cancels the run; Match returns that error with the
 	// partial Report.
 	Emit func(graph.Embedding) error
+	// Faults, when non-nil, injects scheduled faults into the run: it is
+	// handed to every device (staging faults, latency spikes, card death)
+	// and evaluated at the kernel-launch and CPU δ-share sites. nil injects
+	// nothing and adds no work to the fault-free pipeline.
+	Faults *faultinject.Injector
+	// Retry bounds the backoff-retry applied to transient device faults.
+	// The zero value means the package defaults (DefaultRetryMax etc.);
+	// Max < 0 disables retries.
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults(q *graph.Query) Config {
@@ -159,10 +183,35 @@ func (c Config) runPartition(root *cst.CST, o order.Order, process func(*cst.CST
 // partial-mapping arena for its duration and returns it when done.
 var kernelScratch = sync.Pool{New: func() any { return new(core.Scratch) }}
 
-// runKernel executes one kernel over p with a pooled scratch.
-func runKernel(p *cst.CST, o order.Order, opts core.Options) (core.Result, error) {
+// runKernel executes one kernel over p with a pooled scratch, under the
+// run's recover barrier: a panic inside the kernel (injected or real) is
+// converted into a *KernelPanicError with the stack captured, and the
+// scratch the panicking run may have corrupted is dropped instead of being
+// returned to the pool — sibling workers keep their own scratches and are
+// unaffected. The fault site is evaluated before core.Run, so a faulted
+// launch has produced no embeddings and is safe to retry.
+//
+//fastmatch:recoverbarrier
+func runKernel(p *cst.CST, o order.Order, opts core.Options, faults *faultinject.Injector) (res core.Result, err error) {
 	s := kernelScratch.Get().(*core.Scratch)
-	defer kernelScratch.Put(s)
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(faultinject.SiteKernel, r)
+			return
+		}
+		kernelScratch.Put(s)
+	}()
+	if out := faults.Eval(faultinject.SiteKernel); out.Fault {
+		if out.Kind == faultinject.Panic {
+			panic(out.Error())
+		}
+		// Transient and Death degrade alike to a retryable launch fault —
+		// the kernel site has no per-card state to kill.
+		return core.Result{}, fmt.Errorf("host: kernel launch: %w", out.Error())
+	} else if out.Delay > 0 {
+		// A latency spike at the launch site is real host-side time.
+		time.Sleep(out.Delay)
+	}
 	opts.Scratch = s
 	return core.Run(p, o, opts)
 }
@@ -274,11 +323,23 @@ type Report struct {
 	Devices         int
 
 	// Partial reports that the run stopped before exhausting the search
-	// space — the context fired, the Emit callback failed, or Limit was
-	// reached — so Embeddings and the statistics cover only the work done.
+	// space — the context fired, the Emit callback failed, Limit was
+	// reached, or a fault-class error ended the run — so Embeddings and the
+	// statistics cover only the work done.
 	Partial bool
 	// KernelAborts counts kernel executions cancelled between batch rounds.
 	KernelAborts int
+
+	// Fault-handling tallies. A run that absorbed faults — transient
+	// staging or launch errors retried away, a dead card's partitions
+	// redistributed — still completes with its full, byte-identical counts
+	// and no error; these counters are how such a run shows it degraded.
+	// Retries counts backoff-retry attempts, DeviceFailures counts cards
+	// observed dying, and Redistributed counts partitions that fell back to
+	// the CPU enumeration path because no healthy card remained.
+	Retries        int64
+	DeviceFailures int
+	Redistributed  int
 }
 
 // SpeedupOver returns how many times faster this run was than a reference
@@ -353,17 +414,22 @@ func Match(ctx context.Context, q *graph.Query, g *graph.Graph, cfg Config) (Rep
 		if err != nil {
 			return Report{}, err
 		}
+		d.Faults = cfg.Faults
 		devices[i] = d
 	}
 
-	// Phases 2–5: partition, schedule, execute.
+	// Phases 2–5: partition, schedule, execute. A fault-class error — a
+	// recovered panic or an exhausted retry budget — keeps the partial
+	// Report (the completion accounting below still applies to the work
+	// done); any other error keeps the original discard semantics.
 	var err error
 	if cfg.Workers > 1 {
 		err = matchParallel(cfg, ct, &rep, c, o, devices, transfer)
 	} else {
 		err = matchSequential(cfg, ct, &rep, c, o, devices, transfer)
 	}
-	if err != nil {
+	ct.fstats.fold(&rep)
+	if err != nil && !isFaultError(err) {
 		return Report{}, err
 	}
 
@@ -381,7 +447,10 @@ func Match(ctx context.Context, q *graph.Query, g *graph.Graph, cfg Config) (Rep
 		concurrent = rep.CPUShareTime
 	}
 	rep.Total = rep.BuildTime + rep.PartitionTime + concurrent
-	rep.Partial = ct.partial()
+	rep.Partial = ct.partial() || err != nil
+	if err != nil {
+		return rep, err
+	}
 	return rep, ct.err()
 }
 
@@ -424,70 +493,106 @@ func matchSequential(cfg Config, ct *runControl, rep *Report, c *cst.CST, o orde
 		}
 	}
 	lastResume := time.Now()
-	rep.NumPartitions = cfg.runPartition(c, o, func(p *cst.CST) {
-		rep.PartitionTime += time.Since(lastResume)
-		defer func() { lastResume = time.Now() }()
-		if kernErr != nil || ct.cancelled() {
-			return
-		}
-		w := cst.EstimateWorkload(p)
-		rep.CSTBytes += p.SizeBytes()
-		if sched.assignToCPU(w) {
-			cpuQueue = append(cpuQueue, p)
-			rep.CPUPartitions++
-			return
-		}
-		// Offload to the card with the least accumulated work.
-		best := 0
-		for i := 1; i < len(devices); i++ {
-			if devices[i].Busy()+transfer[i] < devices[best].Busy()+transfer[best] {
-				best = i
+	// The producer runs under the run's recover barrier: Algorithm 2 itself
+	// and the inline offload callback are covered, and a partition-pool
+	// worker panic rethrown by the ordered drain surfaces here as a
+	// *cst.WorkerPanic (converted keeping the worker's stack).
+	perr := func() (perr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				perr = newPanicError("partition", r)
 			}
-		}
-		dev := devices[best]
-		dur, err := dev.StageDRAM(p.SizeBytes())
-		if err != nil {
-			kernErr = err
-			return
-		}
-		transfer[best] += dur
-		// A shared Pool bounds kernel work across Match calls; the
-		// sequential pipeline holds one token per kernel run so a
-		// Workers<=1 engine behind a multi-tenant front end draws from the
-		// same budget as the fanned-out ones instead of adding load beside
-		// it. Without a Pool this is the original path, untouched.
-		if cfg.Pool != nil && !ct.acquirePool(cfg.Pool) {
-			return // cancelled while queued behind other tenants
-		}
-		res, err := runKernel(p, o, kopts)
-		if cfg.Pool != nil {
-			<-cfg.Pool
-		}
-		if err != nil {
-			kernErr = err
-			return
-		}
-		if res.Stopped && ct.abortive() {
-			dev.AbortKernel(res.Cycles)
-		} else {
-			dev.RunKernel(res.Cycles)
-		}
-		dev.ReleaseDRAM(p.SizeBytes())
-		rep.Embeddings += res.Count
-		rep.KernelCycles += res.Cycles
-		rep.KernelPartials += res.Partials
-		rep.KernelEdgeTasks += res.EdgeTasks
-		rep.KernelRounds += res.Rounds
-		if res.BufferHighWater > rep.MaxBufferUse {
-			rep.MaxBufferUse = res.BufferHighWater
-		}
-		if cfg.Collect {
-			rep.Collected = append(rep.Collected, res.Embeddings...)
-		}
-	})
+		}()
+		rep.NumPartitions = cfg.runPartition(c, o, func(p *cst.CST) {
+			rep.PartitionTime += time.Since(lastResume)
+			defer func() { lastResume = time.Now() }()
+			if kernErr != nil || ct.cancelled() {
+				return
+			}
+			w := cst.EstimateWorkload(p)
+			rep.CSTBytes += p.SizeBytes()
+			if sched.assignToCPU(w) {
+				cpuQueue = append(cpuQueue, p)
+				rep.CPUPartitions++
+				return
+			}
+			// Offload to the healthy card with the least accumulated work.
+			// A card dying under us redistributes the partition to the next
+			// card; losing the last card degrades it to the CPU enumeration
+			// path — identical counts, just slower.
+			for {
+				if ct.cancelled() {
+					return
+				}
+				best := pickDevice(devices, transfer)
+				if best < 0 {
+					cpuQueue = append(cpuQueue, p)
+					ct.fstats.redistributed.Add(1)
+					return
+				}
+				dev := devices[best]
+				dur, err := stageWithRetry(ct, dev, p.SizeBytes())
+				if errors.Is(err, fpgasim.ErrDeviceFailed) {
+					// The death moment — the card was healthy when picked.
+					ct.fstats.deviceDeaths.Add(1)
+					continue
+				}
+				if err == errRetryCancelled {
+					return
+				}
+				if err != nil {
+					kernErr = err
+					return
+				}
+				transfer[best] += dur
+				// A shared Pool bounds kernel work across Match calls; the
+				// sequential pipeline holds one token per kernel run so a
+				// Workers<=1 engine behind a multi-tenant front end draws
+				// from the same budget as the fanned-out ones instead of
+				// adding load beside it. Without a Pool this is the
+				// original path, untouched.
+				if cfg.Pool != nil && !ct.acquirePool(cfg.Pool) {
+					return // cancelled while queued behind other tenants
+				}
+				res, err := runKernelWithRetry(ct, p, o, kopts)
+				if cfg.Pool != nil {
+					<-cfg.Pool
+				}
+				if err == errRetryCancelled {
+					return
+				}
+				if err != nil {
+					kernErr = err
+					return
+				}
+				if res.Stopped && ct.abortive() {
+					dev.AbortKernel(res.Cycles)
+				} else {
+					dev.RunKernel(res.Cycles)
+				}
+				dev.ReleaseDRAM(p.SizeBytes())
+				rep.Embeddings += res.Count
+				rep.KernelCycles += res.Cycles
+				rep.KernelPartials += res.Partials
+				rep.KernelEdgeTasks += res.EdgeTasks
+				rep.KernelRounds += res.Rounds
+				if res.BufferHighWater > rep.MaxBufferUse {
+					rep.MaxBufferUse = res.BufferHighWater
+				}
+				if cfg.Collect {
+					rep.Collected = append(rep.Collected, res.Embeddings...)
+				}
+				return
+			}
+		})
+		return nil
+	}()
 	rep.PartitionTime += time.Since(lastResume)
 	if kernErr != nil {
 		return kernErr
+	}
+	if perr != nil {
+		return perr
 	}
 
 	// Phase 5: the CPU processes its cached share with the backtracking
@@ -495,15 +600,21 @@ func matchSequential(cfg Config, ct *runControl, rep *Report, c *cst.CST, o orde
 	// observed between δ-share partitions and, through the control's
 	// budget, per embedding within one.
 	cpuStart := time.Now()
+	var enumErr error
 	for _, p := range cpuQueue {
 		if ct.cancelled() {
 			break
 		}
-		rep.Embeddings += enumerateShare(ct, p, o, cfg.Collect, &rep.Collected)
+		n, err := enumerateShare(ct, p, o, cfg.Collect, &rep.Collected)
+		rep.Embeddings += n
+		if err != nil {
+			enumErr = err
+			break
+		}
 	}
 	rep.CPUShareTime = time.Since(cpuStart)
 	rep.CPUWorkload, rep.FPGAWorkload = sched.wc, sched.wf
-	return nil
+	return enumErr
 }
 
 // fpgaWorkerStats is one worker's private accumulator; merging them after
@@ -577,7 +688,19 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 			if halted() {
 				return nil, errStageCancelled
 			}
-			// Try cards in ascending accumulated-load order via a
+			// Dead cards never come back mid-run: once none are healthy
+			// the caller degrades the partition to the CPU enumeration
+			// path instead of waiting on releases that cannot help.
+			healthy := 0
+			for i := range devices {
+				if devices[i].Healthy() {
+					healthy++
+				}
+			}
+			if healthy == 0 {
+				return nil, errAllDevicesDead
+			}
+			// Try healthy cards in ascending accumulated-load order via a
 			// selection scan — alloc-free under the contended lock, and
 			// NumFPGAs is tiny (the bitmask caps it at 64 cards, far
 			// beyond any modelled deployment).
@@ -586,12 +709,15 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 			for t := 0; t < len(devices) && t < 64; t++ {
 				best := -1
 				for i := range devices {
-					if i >= 64 || tried&(1<<uint(i)) != 0 {
+					if i >= 64 || tried&(1<<uint(i)) != 0 || !devices[i].Healthy() {
 						continue
 					}
 					if best < 0 || devices[i].Busy()+transfer[i] < devices[best].Busy()+transfer[best] {
 						best = i
 					}
+				}
+				if best < 0 {
+					break // every healthy card tried
 				}
 				tried |= 1 << uint(best)
 				dur, err := devices[best].StageDRAM(p.SizeBytes())
@@ -600,9 +726,23 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 					inflight++
 					return devices[best], nil
 				}
+				if errors.Is(err, fpgasim.ErrDeviceFailed) {
+					// The death moment — the card was healthy when picked;
+					// scan on across the survivors.
+					ct.fstats.deviceDeaths.Add(1)
+					continue
+				}
+				// Transient faults and DRAM overflows both land here: with
+				// nothing in flight the error goes to the worker (which
+				// backs off and retries a transient outside this lock);
+				// otherwise wait for a release and rescan.
 				lastErr = err
 			}
 			if inflight == 0 {
+				if lastErr == nil {
+					// Every card scanned died under us.
+					return nil, errAllDevicesDead
+				}
 				return nil, lastErr
 			}
 			devCond.Wait()
@@ -648,17 +788,29 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 				if cfg.Pool != nil && !ct.acquirePool(cfg.Pool) {
 					continue
 				}
-				dev, err := stage(p)
+				dev, err := stageParallel(ct, stage, p)
 				if err != nil {
+					if err == errAllDevicesDead {
+						// Degrade: every card is dead, so this worker
+						// enumerates the partition on the CPU itself (the
+						// δ-share consumer's channel may already be closed)
+						// and the call still completes with identical
+						// counts. The pool token is held — it is real work.
+						ct.fstats.redistributed.Add(1)
+						n, eerr := enumerateShare(ct, p, o, cfg.Collect, &st.collected)
+						st.embeddings += n
+						if eerr != nil {
+							fail(eerr)
+						}
+					} else if err != errStageCancelled {
+						fail(err)
+					}
 					if cfg.Pool != nil {
 						<-cfg.Pool
 					}
-					if err != errStageCancelled {
-						fail(err)
-					}
 					continue
 				}
-				res, err := runKernel(p, o, kopts)
+				res, err := runKernelWithRetry(ct, p, o, kopts)
 				var cycles int64
 				if err == nil {
 					cycles = res.Cycles
@@ -668,7 +820,9 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 					<-cfg.Pool
 				}
 				if err != nil {
-					fail(err)
+					if err != errRetryCancelled {
+						fail(err)
+					}
 					continue
 				}
 				st.embeddings += res.Count
@@ -704,8 +858,12 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 				continue
 			}
 			start := time.Now()
-			cpuCount += enumerateShare(ct, p, o, cfg.Collect, &cpuCollected)
+			n, err := enumerateShare(ct, p, o, cfg.Collect, &cpuCollected)
+			cpuCount += n
 			cpuActive += time.Since(start)
+			if err != nil {
+				fail(err)
+			}
 		}
 	}()
 
@@ -738,17 +896,33 @@ func matchParallel(cfg Config, ct *runControl, rep *Report, c *cst.CST, o order.
 			return true
 		}
 	}
-	rep.NumPartitions = cfg.runPartition(c, o, func(p *cst.CST) {
-		w := cst.EstimateWorkload(p)
-		rep.CSTBytes += p.SizeBytes()
-		if sched.assignToCPU(w) {
-			rep.CPUPartitions++
-			send(cpuCh, p)
-			return
-		}
-		send(fpgaCh, p)
-	})
+	// The producer runs under the run's recover barrier: a panic anywhere
+	// in Algorithm 2 — including a partition-pool worker panic rethrown by
+	// the ordered drain as a *cst.WorkerPanic — is converted to a typed
+	// error here, before the channels close, so the consumers always drain
+	// and the WaitGroups always resolve.
+	perr := func() (perr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				perr = newPanicError("partition", r)
+			}
+		}()
+		rep.NumPartitions = cfg.runPartition(c, o, func(p *cst.CST) {
+			w := cst.EstimateWorkload(p)
+			rep.CSTBytes += p.SizeBytes()
+			if sched.assignToCPU(w) {
+				rep.CPUPartitions++
+				send(cpuCh, p)
+				return
+			}
+			send(fpgaCh, p)
+		})
+		return nil
+	}()
 	rep.PartitionTime += time.Since(lastResume)
+	if perr != nil {
+		fail(perr)
+	}
 	close(fpgaCh)
 	close(cpuCh)
 	wg.Wait()

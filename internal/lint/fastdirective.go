@@ -12,7 +12,7 @@ import (
 // undocumented suppression is itself a lint error, so nolints stay auditable.
 var Directive = &analysis.Analyzer{
 	Name: "fastdirective",
-	Doc:  "validate //fastmatch: directives (hotpath, nolint, lockorder)",
+	Doc:  "validate //fastmatch: directives (hotpath, nolint, lockorder, recoverbarrier)",
 	Run:  runDirective,
 }
 
@@ -36,7 +36,7 @@ func runDirective(pass *analysis.Pass) (any, error) {
 						"//fastmatch:nolint needs an analyzer name and a reason")
 				case !analyzerNames[d.args[0]]:
 					reportf(pass, sup, d.pos,
-						"//fastmatch:nolint names unknown analyzer %q (known: cancelpoll, lockorder, hotpathalloc, poolpair, atomicmix, fastdirective)", d.args[0])
+						"//fastmatch:nolint names unknown analyzer %q (known: cancelpoll, lockorder, hotpathalloc, poolpair, atomicmix, recoverguard, fastdirective)", d.args[0])
 				case len(d.args) < 2:
 					reportf(pass, sup, d.pos,
 						"//fastmatch:nolint %s has no reason; undocumented suppressions are not allowed", d.args[0])
@@ -47,11 +47,19 @@ func runDirective(pass *analysis.Pass) (any, error) {
 					reportf(pass, sup, d.pos,
 						"//fastmatch:lockorder wants the form `Type.field < Type.field`")
 				}
+			case "recoverbarrier":
+				if d.fn == nil {
+					reportf(pass, sup, d.pos,
+						"//fastmatch:recoverbarrier must be in a function's doc comment")
+				} else if len(d.args) != 0 {
+					reportf(pass, sup, d.pos,
+						"//fastmatch:recoverbarrier takes no arguments")
+				}
 			case "":
 				reportf(pass, sup, d.pos, "empty //fastmatch: directive")
 			default:
 				reportf(pass, sup, d.pos,
-					"unknown //fastmatch: directive %q (known: hotpath, nolint, lockorder)", d.verb)
+					"unknown //fastmatch: directive %q (known: hotpath, nolint, lockorder, recoverbarrier)", d.verb)
 			}
 		}
 	}

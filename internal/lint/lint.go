@@ -32,9 +32,13 @@
 //     leak pooled objects.
 //   - atomicmix: a struct field accessed through sync/atomic anywhere in the
 //     package must never be read or written directly elsewhere.
+//   - recoverguard: //fastmatch:recoverbarrier on a function requires a
+//     deferred recover() in its body (the PR 10 panic-isolation barriers);
+//     also flags recover() calls that cannot work (their function literal is
+//     not directly deferred) or that silently discard the panic value.
 //   - fastdirective: validates the //fastmatch: directive language itself
 //     (unknown verbs, nolint without an analyzer name or reason, misplaced
-//     hotpath, malformed lockorder declarations).
+//     hotpath or recoverbarrier, malformed lockorder declarations).
 //
 // Directives:
 //
@@ -50,6 +54,10 @@
 //
 //	//fastmatch:lockorder Type.field < Type.field
 //	    Declares a documented acquisition order edge for lockorder.
+//
+//	//fastmatch:recoverbarrier
+//	    On a function's doc comment: declares it a panic-isolation barrier.
+//	    recoverguard then requires a deferred recover() in its body.
 package lint
 
 import "golang.org/x/tools/go/analysis"
@@ -63,6 +71,7 @@ func Analyzers() []*analysis.Analyzer {
 		HotPathAlloc,
 		PoolPair,
 		AtomicMix,
+		RecoverGuard,
 		Directive,
 	}
 }
@@ -74,5 +83,6 @@ var analyzerNames = map[string]bool{
 	"hotpathalloc":  true,
 	"poolpair":      true,
 	"atomicmix":     true,
+	"recoverguard":  true,
 	"fastdirective": true,
 }

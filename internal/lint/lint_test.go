@@ -16,4 +16,5 @@ func TestLockOrder(t *testing.T)     { linttest.Run(t, "lockorder", "lockorder")
 func TestHotPathAlloc(t *testing.T)  { linttest.Run(t, "hotpathalloc", "hotpathalloc") }
 func TestPoolPair(t *testing.T)      { linttest.Run(t, "poolpair", "poolpair") }
 func TestAtomicMix(t *testing.T)     { linttest.Run(t, "atomicmix", "atomicmix") }
+func TestRecoverGuard(t *testing.T)  { linttest.Run(t, "recoverguard", "recoverguard") }
 func TestFastDirective(t *testing.T) { linttest.Run(t, "fastdirective", "fastdirective") }

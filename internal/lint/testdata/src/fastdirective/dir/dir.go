@@ -19,6 +19,9 @@ var e int
 //fastmatch:lockorder a b // want `wants the form`
 var f int
 
+//fastmatch:recoverbarrier // want `must be in a function's doc comment`
+var fb int
+
 //fastmatch: // want `empty //fastmatch: directive`
 var g int
 
@@ -27,8 +30,14 @@ var g int
 //fastmatch:lockorder T.a < T.b
 var h int
 
+//fastmatch:recoverbarrier with args // want `takes no arguments`
+func barrierArgs() {}
+
 //fastmatch:hotpath
 func hot() {}
+
+//fastmatch:recoverbarrier
+func barrier() {}
 
 //fastmatch:nolint poolpair pooled conn is handed to the caller
 func suppressed() {}

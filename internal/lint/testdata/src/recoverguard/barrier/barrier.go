@@ -1,0 +1,83 @@
+// Package barrier exercises the recoverguard analyzer: marked functions
+// must install a working recover barrier, recover() only works in directly
+// deferred function literals, and the panic value must never be discarded.
+package barrier
+
+import "fmt"
+
+// runWorker is a proper barrier: a deferred literal converts the panic
+// value into an error. No diagnostic.
+//
+//fastmatch:recoverbarrier
+func runWorker() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("worker panic: %v", r)
+		}
+	}()
+	work()
+	return nil
+}
+
+// brokenBarrier still carries the directive but the barrier was refactored
+// away — callers believe panics are contained when they are not.
+//
+//fastmatch:recoverbarrier
+func brokenBarrier() error { // want `installs no deferred recover`
+	work()
+	return nil
+}
+
+// nestedNoop puts the recover in a literal that is spawned, not deferred —
+// the runtime ignores it and the panic keeps unwinding.
+func nestedNoop() {
+	go func() {
+		if r := recover(); r != nil { // want `not directly deferred is a no-op`
+			_ = r
+		}
+	}()
+}
+
+// passedNoop hands a recovering literal to another function; same no-op.
+func passedNoop() {
+	run(func() {
+		_ = recover() // want `not directly deferred is a no-op`
+	})
+}
+
+// swallowed drops the panic value on the floor: the worker "survives" but
+// nothing records why it aborted.
+func swallowed() {
+	defer func() {
+		recover() // want `result discarded`
+	}()
+	work()
+}
+
+// handlePanic is a declared function: recover here can be reached through
+// `defer handlePanic()` at the call site, which this file-local analysis
+// cannot prove — declared functions get the benefit of the doubt.
+func handlePanic() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// delegated uses the declared-handler idiom; clean.
+func delegated() {
+	defer handlePanic()
+	work()
+}
+
+// suppressed documents why it deliberately has no barrier.
+//
+//fastmatch:nolint recoverguard crash-only fixture worker, panics must escape
+//
+//fastmatch:recoverbarrier
+func suppressed() {
+	work()
+}
+
+func run(f func()) { f() }
+
+func work() {}

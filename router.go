@@ -38,6 +38,11 @@ type RouterOptions struct {
 	// ErrQueueFull. 0 means DefaultMaxQueue; negative disables queuing
 	// entirely (any call that cannot be granted on arrival is shed).
 	MaxQueue int
+	// Breaker configures the per-tenant circuit breaker (see
+	// BreakerOptions): consecutive hard failures trip it, open tenants shed
+	// with ErrBreakerOpen until a cooldown probe succeeds. The zero value
+	// enables it with the defaults; Threshold < 0 disables it.
+	Breaker BreakerOptions
 }
 
 // Router is a multi-graph serving front end: a registry of named data
@@ -68,6 +73,7 @@ type Router struct {
 	pool    chan struct{}
 	tmpl    *Options
 	adm     *admitter
+	brkOpts BreakerOptions
 
 	mu     sync.RWMutex
 	graphs map[string]*routerGraph
@@ -80,6 +86,7 @@ type routerGraph struct {
 	opts     *Options
 	defaults callOptions
 	counters *graphCounters
+	brk      *breaker    // per-tenant circuit breaker; nil when disabled
 	state    *graphState // replaced by SwapGraph/ApplyDelta under Router.mu
 
 	// mutMu serializes structural mutation of this tenant — ApplyDelta
@@ -229,6 +236,15 @@ type GraphStats struct {
 	// deadline-doomed shed estimate.
 	P50Latency time.Duration
 	P99Latency time.Duration
+	// Circuit-breaker state (breaker.go). BreakerState is "closed", "open"
+	// or "half_open" (a disabled breaker reports "closed" forever);
+	// BreakerOpens counts trips including re-opens after a failed probe;
+	// ShedBreakerOpen counts calls rejected with ErrBreakerOpen. Like the
+	// other counters, breaker state survives SwapGraph: a swap replaces the
+	// graph, not the evidence that the tenant's serving path was failing.
+	BreakerState    string
+	BreakerOpens    int64
+	ShedBreakerOpen int64
 }
 
 // NewRouter creates an empty Router with its shared worker budget.
@@ -242,6 +258,7 @@ func NewRouter(opts RouterOptions) *Router {
 		pool:    make(chan struct{}, w),
 		tmpl:    opts.Engine,
 		adm:     newAdmitter(w, opts.MaxQueue),
+		brkOpts: opts.Breaker,
 		graphs:  make(map[string]*routerGraph),
 	}
 }
@@ -287,6 +304,7 @@ func (r *Router) AddGraph(name string, g *graph.Graph, opts *Options, defaults .
 		opts:     o,
 		defaults: def,
 		counters: &graphCounters{},
+		brk:      newBreaker(r.brkOpts),
 		state:    &graphState{g: g},
 	}
 	// Register the admission tenant inside the same critical section, so a
@@ -430,20 +448,35 @@ func (r *Router) MatchContext(ctx context.Context, graphName string, q *graph.Qu
 	if err != nil {
 		return nil, err
 	}
+	bdone, err := ent.brk.allow()
+	if err != nil {
+		return nil, fmt.Errorf("fast: Router.MatchContext %q: %w", graphName, err)
+	}
 	eng, err := st.engine(ent.opts, r.pool)
 	if err != nil {
+		breakerDone(bdone, err)
 		return nil, err
 	}
 	ctx, cancel := call.callContext(ctx)
 	defer cancel()
 	grant, shedRes, err := r.admit(ctx, "MatchContext", graphName)
 	if grant == nil {
+		breakerDone(bdone, err)
 		return shedRes, err
 	}
 	res, err := eng.MatchContext(ctx, q, call.asOption())
 	r.adm.release(grant)
+	breakerDone(bdone, err)
 	ent.counters.record(res, err)
 	return res, err
+}
+
+// breakerDone settles a breaker admission with the call's final error; a
+// nil done (breaker disabled) is a no-op.
+func breakerDone(done func(error), err error) {
+	if done != nil {
+		done(err)
+	}
 }
 
 // MatchStream routes a streaming match to the named graph; semantics are
@@ -456,18 +489,25 @@ func (r *Router) MatchStream(ctx context.Context, graphName string, q *graph.Que
 	if err != nil {
 		return nil, err
 	}
+	bdone, err := ent.brk.allow()
+	if err != nil {
+		return nil, fmt.Errorf("fast: Router.MatchStream %q: %w", graphName, err)
+	}
 	eng, err := st.engine(ent.opts, r.pool)
 	if err != nil {
+		breakerDone(bdone, err)
 		return nil, err
 	}
 	ctx, cancel := call.callContext(ctx)
 	defer cancel()
 	grant, shedRes, err := r.admit(ctx, "MatchStream", graphName)
 	if grant == nil {
+		breakerDone(bdone, err)
 		return shedRes, err
 	}
 	res, err := eng.MatchStream(ctx, q, emit, call.asOption())
 	r.adm.release(grant)
+	breakerDone(bdone, err)
 	ent.counters.record(res, err)
 	return res, err
 }
@@ -485,14 +525,20 @@ func (r *Router) MatchBatchContext(ctx context.Context, graphName string, qs []*
 	if err != nil {
 		return nil, err
 	}
+	bdone, err := ent.brk.allow()
+	if err != nil {
+		return nil, fmt.Errorf("fast: Router.MatchBatchContext %q: %w", graphName, err)
+	}
 	eng, err := st.engine(ent.opts, r.pool)
 	if err != nil {
+		breakerDone(bdone, err)
 		return nil, err
 	}
 	ctx, cancel := call.callContext(ctx)
 	defer cancel()
 	grant, shedRes, err := r.admit(ctx, "MatchBatchContext", graphName)
 	if grant == nil {
+		breakerDone(bdone, err)
 		if shedRes == nil {
 			return nil, err // shed on arrival: nothing ran
 		}
@@ -506,6 +552,23 @@ func (r *Router) MatchBatchContext(ctx context.Context, graphName string, qs []*
 	}
 	results, errs := eng.matchBatch(ctx, qs, []MatchOption{call.asOption()})
 	r.adm.release(grant)
+	// The batch is one breaker admission; settle it with the worst per-query
+	// verdict, so one hard failure is not laundered by a batch-mate's
+	// deadline in the joined aggregate.
+	var bErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if bErr == nil {
+			bErr = e
+		}
+		if classify(e) == verdictFailure {
+			bErr = e
+			break
+		}
+	}
+	breakerDone(bdone, bErr)
 	for i, res := range results {
 		ent.counters.record(res, errs[i])
 	}
@@ -532,6 +595,7 @@ func (r *Router) Stats() map[string]GraphStats {
 		ent.subMu.Lock()
 		s.Subscriptions = len(ent.subs)
 		ent.subMu.Unlock()
+		s.BreakerState, s.BreakerOpens, s.ShedBreakerOpen = ent.brk.snapshot()
 		// The engine pointer is set exactly once per state; a nil load means
 		// no match has reached this graph since it was added or swapped.
 		if eng := ent.state.eng.Load(); eng != nil {

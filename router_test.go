@@ -513,7 +513,7 @@ func TestRouterLazyEngines(t *testing.T) {
 			}
 			continue
 		}
-		if s != (GraphStats{Weight: 1}) {
+		if s != (GraphStats{Weight: 1, BreakerState: breakerClosed}) {
 			t.Errorf("idle graph %s has non-zero stats %+v — engine built eagerly?", name, s)
 		}
 	}

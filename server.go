@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastmatch/graph"
@@ -44,23 +45,41 @@ const DefaultMaxBodyBytes = 256 << 20
 //
 // Errors are JSON envelopes {"error": ..., "reason": ...} where reason is
 // one of bad_request (400), unknown_graph (404), queue_full (429),
-// deadline_doomed (504), queue_timeout (504) or internal (500). An admitted
-// call cut short by its deadline is service, not failure: it returns 200
-// with "partial": true, mirroring the Go API's partial Result.
+// breaker_open (503), draining (503), deadline_doomed (504), queue_timeout
+// (504) or internal (500). An admitted call cut short by its deadline is
+// service, not failure: it returns 200 with "partial": true, mirroring the
+// Go API's partial Result.
+//
+// Fault tolerance: every request runs behind a recovery middleware — a
+// handler panic is recovered, counted (fastmatch_panics_total) and answered
+// with 500 "internal" instead of tearing down the connection served by this
+// process. Shutdown drains gracefully: new requests are refused with 503
+// "draining", standing subscriptions terminate with a "draining" close
+// line, and in-flight requests run to completion (or until the caller's
+// Shutdown context fires).
 type Server struct {
 	router *Router
 	opts   ServerOptions
 	mux    *http.ServeMux
+
+	draining  atomic.Bool
+	inflight  sync.WaitGroup
+	panics    atomic.Int64
+	drainCtx  context.Context // cancelled by Shutdown: ends subscriptions
+	drainStop context.CancelFunc
+	drainOnce sync.Once
+	drainedCh chan struct{} // closed when the in-flight count hits zero
 }
 
 // NewServer wraps r in the HTTP front end. The Server holds no state of its
-// own beyond the mux: graphs added or swapped on the Router are visible to
-// requests immediately.
+// own beyond the mux and drain bookkeeping: graphs added or swapped on the
+// Router are visible to requests immediately.
 func NewServer(r *Router, opts ServerOptions) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{router: r, opts: opts, mux: http.NewServeMux()}
+	s := &Server{router: r, opts: opts, mux: http.NewServeMux(), drainedCh: make(chan struct{})}
+	s.drainCtx, s.drainStop = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/graphs/{name}/count", s.handleCount)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/match", s.handleMatch)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/delta", s.handleDelta)
@@ -72,10 +91,84 @@ func NewServer(r *Router, opts ServerOptions) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+// statusRecorder remembers whether a handler already wrote its header, so
+// the panic middleware knows whether a 500 envelope can still go out.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
 }
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
+}
+
+// Flush forwards http.Flusher so the streaming handlers keep flushing
+// through the recorder.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP implements http.Handler: the drain gate and panic-recovery
+// middleware around the mux. The in-flight count is taken before the drain
+// check, so Shutdown's wait can never miss a request that saw draining
+// false.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	sr := &statusRecorder{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler { // the stdlib's own abort protocol
+			panic(rec)
+		}
+		s.panics.Add(1)
+		if !sr.wrote {
+			writeError(sr, http.StatusInternalServerError, "internal", fmt.Sprintf("handler panic: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(sr, r)
+}
+
+// Shutdown drains the server: new requests are refused with 503 "draining",
+// standing subscription streams terminate with a "draining" close line, and
+// Shutdown blocks until every in-flight request has finished or ctx fires
+// (returning ctx's error with requests still running). Shutdown is
+// idempotent and safe to call concurrently; the Server keeps refusing
+// requests afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainStop() // ends every subscription stream's wait
+	s.drainOnce.Do(func() {
+		go func() {
+			s.inflight.Wait()
+			close(s.drainedCh)
+		}()
+	})
+	select {
+	case <-s.drainedCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Panics reports handler panics recovered by the serving middleware.
+func (s *Server) Panics() int64 { return s.panics.Load() }
 
 // matchRequest is the body of /count and /match. A query is either named
 // (resolved through ServerOptions.QueryByName) or spelled out as vertex
@@ -132,6 +225,8 @@ func shedStatus(err error) (int, string, bool) {
 		return http.StatusGatewayTimeout, "deadline_doomed", true
 	case errors.Is(err, ErrQueueTimeout):
 		return http.StatusGatewayTimeout, "queue_timeout", true
+	case errors.Is(err, ErrBreakerOpen):
+		return http.StatusServiceUnavailable, "breaker_open", true
 	case errors.Is(err, ErrUnknownGraph):
 		return http.StatusNotFound, "unknown_graph", true
 	}
@@ -417,6 +512,13 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A server Shutdown must end this stream too: the subscription's
+	// context is the request's, cancelled early when the drain starts.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopAfter := context.AfterFunc(s.drainCtx, cancel)
+	defer stopAfter()
+
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	// The drain goroutine writes MatchDelta lines while this handler writes
@@ -424,7 +526,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// deliveries back until the subscribed line is out.
 	var mu sync.Mutex
 	ready := make(chan struct{})
-	sub, err := s.router.Subscribe(r.Context(), name, q, func(md MatchDelta) error {
+	sub, err := s.router.Subscribe(ctx, name, q, func(md MatchDelta) error {
 		<-ready
 		mu.Lock()
 		defer mu.Unlock()
@@ -455,9 +557,13 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	mu.Unlock()
 	close(ready)
 
-	err = sub.Wait() // client disconnect fires r.Context() and ends this
+	err = sub.Wait() // client disconnect or server drain ends this
+	reason := subscribeCloseReason(err)
+	if errors.Is(err, context.Canceled) && s.drainCtx.Err() != nil && r.Context().Err() == nil {
+		reason = "draining" // the server ended the stream, not the client
+	}
 	mu.Lock()
-	_ = enc.Encode(subscribeLine{Closed: true, Reason: subscribeCloseReason(err)})
+	_ = enc.Encode(subscribeLine{Closed: true, Reason: reason})
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -550,6 +656,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(s GraphStats) int64 { return s.ShedDoomed })
 	counter("fastmatch_queue_timeouts_total", "Calls whose deadline fired while queued for admission.",
 		func(s GraphStats) int64 { return s.QueueTimeouts })
+	counter("fastmatch_breaker_opens_total", "Circuit-breaker trips (including re-opens after a failed probe).",
+		func(s GraphStats) int64 { return s.BreakerOpens })
+	counter("fastmatch_shed_breaker_open_total", "Calls shed because the tenant's circuit breaker was open.",
+		func(s GraphStats) int64 { return s.ShedBreakerOpen })
 	counter("fastmatch_swaps_total", "SwapGraph replacements since AddGraph.",
 		func(s GraphStats) int64 { return s.Swaps })
 	counter("fastmatch_deltas_total", "ApplyDelta batches committed since AddGraph/SwapGraph.",
@@ -564,6 +674,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(s GraphStats) float64 { return float64(s.QueueDepth) })
 	gauge("fastmatch_budget_weight", "Tenant's weighted share of the worker budget.",
 		func(s GraphStats) float64 { return float64(s.Weight) })
+	gauge("fastmatch_breaker_state", "Circuit-breaker state (0 closed, 0.5 half-open, 1 open).",
+		func(s GraphStats) float64 {
+			switch s.BreakerState {
+			case breakerOpen:
+				return 1
+			case breakerHalfOpen:
+				return 0.5
+			}
+			return 0
+		})
 
 	fmt.Fprintf(w, "# HELP fastmatch_latency_seconds Service latency of admitted calls (log2-bucket upper bounds).\n# TYPE fastmatch_latency_seconds summary\n")
 	for _, name := range names {
@@ -573,4 +693,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "fastmatch_latency_seconds_count{graph=%q} %d\n", name, st.Admitted)
 	}
 	fmt.Fprintf(w, "# HELP fastmatch_worker_budget Shared worker budget capacity.\n# TYPE fastmatch_worker_budget gauge\nfastmatch_worker_budget %d\n", s.router.Workers())
+	fmt.Fprintf(w, "# HELP fastmatch_panics_total Handler panics recovered by the serving middleware.\n# TYPE fastmatch_panics_total counter\nfastmatch_panics_total %d\n", s.panics.Load())
 }

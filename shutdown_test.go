@@ -1,0 +1,183 @@
+package fast
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fastmatch/graph"
+	"fastmatch/ldbc"
+)
+
+// TestServerPanicMiddleware: a panicking handler is answered with 500
+// "internal" instead of killing the connection, and the panic is counted in
+// Panics and /metrics. (Pre-middleware, the panic escaped ServeHTTP.)
+func TestServerPanicMiddleware(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(1)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(r, ServerOptions{QueryByName: func(string) (*graph.Query, error) {
+		panic("resolver exploded")
+	}})
+	w := postJSON(t, s, "/v1/graphs/a/count", `{"query":"q1"}`)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %s", w.Code, w.Body)
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Reason != "internal" || !strings.Contains(resp.Error, "resolver exploded") {
+		t.Fatalf("envelope %+v, want internal with the panic value", resp)
+	}
+	if s.Panics() != 1 {
+		t.Fatalf("Panics() = %d, want 1", s.Panics())
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mw := httptest.NewRecorder()
+	s.ServeHTTP(mw, req)
+	if !strings.Contains(mw.Body.String(), "fastmatch_panics_total 1") {
+		t.Fatal("/metrics missing fastmatch_panics_total 1")
+	}
+}
+
+// TestServerShutdownWaitsForInflight: Shutdown refuses new requests with
+// 503 "draining" but blocks until requests already in flight finish.
+func TestServerShutdownWaitsForInflight(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(1)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := NewServer(r, ServerOptions{QueryByName: func(name string) (*graph.Query, error) {
+		close(entered)
+		<-release // the in-flight request Shutdown must wait for
+		return ldbc.QueryByName(name)
+	}})
+
+	reqDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { reqDone <- postJSON(t, s, "/v1/graphs/a/count", `{"query":"q1"}`) }()
+	<-entered
+
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- s.Shutdown(context.Background()) }()
+
+	// New arrivals are refused while the drain waits.
+	deadline := time.After(5 * time.Second)
+	for {
+		w := postJSON(t, s, "/v1/graphs/a/count", `{"query":"q1"}`)
+		if w.Code == http.StatusServiceUnavailable {
+			if !strings.Contains(w.Body.String(), `"draining"`) {
+				t.Fatalf("503 body %s missing draining reason", w.Body)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("server never started refusing new requests")
+		default:
+		}
+	}
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case err := <-shutDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after the in-flight request finished")
+	}
+	w := <-reqDone
+	if w.Code != http.StatusOK {
+		t.Fatalf("in-flight request finished %d, want 200; body %s", w.Code, w.Body)
+	}
+}
+
+// TestServerShutdownContextExpires: a Shutdown whose context fires with
+// requests still running returns the context's error instead of hanging.
+func TestServerShutdownContextExpires(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(1)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := NewServer(r, ServerOptions{QueryByName: func(name string) (*graph.Query, error) {
+		close(entered)
+		<-release
+		return ldbc.QueryByName(name)
+	}})
+	reqDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { reqDone <- postJSON(t, s, "/v1/graphs/a/count", `{"query":"q1"}`) }()
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	<-reqDone
+}
+
+// TestServerShutdownDrainsSubscriptions: a standing subscription stream is
+// terminated by Shutdown with a "draining" close line — Shutdown does not
+// wait behind an open-ended stream.
+func TestServerShutdownDrainsSubscriptions(t *testing.T) {
+	gA, _ := routerTestGraphs()
+	r := NewRouter(RouterOptions{Workers: 2, Engine: engineTestOptions(1)})
+	if err := r.AddGraph("a", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(r, ServerOptions{QueryByName: ldbc.QueryByName})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/graphs/a/subscribe?query=q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no subscribed line: %v", sc.Err())
+	}
+	var first subscribeLine
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil || !first.Subscribed {
+		t.Fatalf("first line %s, want subscribed", sc.Bytes())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with an open subscription: %v", err)
+	}
+	var last subscribeLine
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+		if last.Closed {
+			break
+		}
+	}
+	if !last.Closed || last.Reason != "draining" {
+		t.Fatalf("terminal line %+v, want closed with reason draining", last)
+	}
+}
